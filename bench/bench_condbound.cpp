@@ -1,0 +1,83 @@
+// ABL-COND: conditional weights (§5 future work).
+//
+// "For example, conditional probabilities (conditional information) might
+// be added to the model, since a decision should depend on what has been
+// previously decided."
+//
+// Workload: a predicate whose clause choice is good or bad depending on
+// the *caller's* earlier decision. Unconditional pointer weights whipsaw
+// between the two contexts; conditional weights learn both.
+#include <cstdio>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/support/table.hpp"
+
+using namespace blog;
+
+namespace {
+
+/// The `second` choice is only correct relative to the `first` decision
+/// made one arc earlier in the same shared clause:
+///
+///   go(X) :- first(X,Y), second(Y).
+///   first(k0,v0). first(k1,v1). ...     % context facts
+///   second(Y) :- pick0(Y).  ...         % n alternatives, one per context
+///   pick_i(v_i).
+///
+/// All queries route through the single `go` clause, so the unconditional
+/// pointer key (go, literal 1, second_i) is shared across contexts — one
+/// global weight cannot fit every caller. The conditional key adds the
+/// parent arc (the `first` fact chosen), separating the contexts.
+std::string context_program(int contexts) {
+  std::string s = "go(X) :- first(X,Y), second(Y).\n";
+  for (int k = 0; k < contexts; ++k)
+    s += "first(k" + std::to_string(k) + ",v" + std::to_string(k) + ").\n";
+  for (int i = contexts - 1; i >= 0; --i)
+    s += "second(Y) :- pick" + std::to_string(i) + "(Y).\n";
+  for (int i = 0; i < contexts; ++i)
+    s += "pick" + std::to_string(i) + "(v" + std::to_string(i) + ").\n";
+  return s;
+}
+
+std::size_t alternating_cost(int contexts, int rounds, bool conditional) {
+  engine::Interpreter ip;
+  ip.consult_string(context_program(contexts));
+  search::SearchOptions o;
+  o.expander.conditional_weights = conditional;
+  o.max_solutions = 1;
+  std::size_t total = 0;
+  // Warm-up round, then measured rounds alternating across all contexts.
+  for (int k = 0; k < contexts; ++k)
+    (void)ip.solve("go(k" + std::to_string(k) + ")", o);
+  for (int r = 0; r < rounds; ++r) {
+    for (int k = 0; k < contexts; ++k) {
+      total +=
+          ip.solve("go(k" + std::to_string(k) + ")", o).stats.nodes_expanded;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABL-COND: alternating context-dependent queries, nodes to "
+              "first solution (4 measured rounds)\n\n");
+  Table t({"contexts", "unconditional", "conditional", "ratio"});
+  for (const int c : {2, 4, 8}) {
+    const auto uncond = alternating_cost(c, 4, false);
+    const auto cond = alternating_cost(c, 4, true);
+    t.add_row({std::to_string(c), std::to_string(uncond), std::to_string(cond),
+               Table::num(static_cast<double>(uncond) /
+                          static_cast<double>(cond))});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "expected shape: with unconditional weights the shared predicate's\n"
+      "pointers carry one global estimate that cannot fit every caller, so\n"
+      "alternating queries keep re-exploring; conditional weights separate\n"
+      "the contexts and converge per caller — the paper's anticipated\n"
+      "benefit, at the database-size cost it also anticipates (one weight\n"
+      "per context).\n");
+  return 0;
+}

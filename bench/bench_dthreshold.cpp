@@ -1,0 +1,59 @@
+// CL-D (§6): the communication threshold D.
+//
+// "We choose a value D, which reflects the communication cost of moving a
+// chain. If the minimum over the network is D lower than the minimum of the
+// tasks in a processor, the freed task would acquire the chain through the
+// network, else it would work on the minimum chain given by some task in
+// its own processor."
+//
+// Measured: network traffic (migrations) and makespan across a D sweep on
+// the machine simulator, with expensive migration to make the trade-off
+// visible.
+#include <cstdio>
+
+#include "blog/machine/sim.hpp"
+#include "blog/support/table.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+
+int main() {
+  Rng rng(5);
+  const std::string program = workloads::needle_tree(rng, 10, 3) +
+                              workloads::layered_dag(4, 3);
+
+  std::printf("CL-D: sweep of the communication threshold D "
+              "(4 processors, costly interconnect)\n\n");
+  Table t({"D", "makespan", "migrations", "net takes", "local takes",
+           "solutions"});
+  for (const double d : {0.0, 1.0, 4.0, 16.0, 64.0, 1e6}) {
+    engine::Interpreter ip;
+    ip.consult_string(program);
+    machine::MachineConfig cfg;
+    cfg.processors = 4;
+    cfg.tasks_per_processor = 2;
+    cfg.d_threshold = d;
+    cfg.update_weights = false;
+    cfg.interconnect.setup = 200.0;  // migration is expensive
+    cfg.interconnect.per_word = 2.0;
+    machine::MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    const auto rep = sim.run(ip.parse_query("path(n0_0,Z,P)"));
+    std::uint64_t mig = 0, net = 0, local = 0;
+    for (const auto& p : rep.processors) {
+      mig += p.migrations;
+      net += p.net_takes;
+      local += p.local_takes;
+    }
+    t.add_row({d >= 1e6 ? "inf" : Table::num(d), Table::num(rep.makespan, 0),
+               std::to_string(mig), std::to_string(net), std::to_string(local),
+               std::to_string(rep.solutions_found)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "expected shape: larger D -> fewer migrations (less interconnect\n"
+      "traffic); the makespan is best at a moderate D — D=0 migrates\n"
+      "eagerly and pays the interconnect, D=inf never shares the global\n"
+      "minimum and loses bound quality. The solution count is identical in\n"
+      "every row (D is a performance knob, not a correctness one).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// FIG2/3: regenerate the Figure 3 OR-tree of ?- gf(sam,G): every complete
+// chain with its arcs, and the §4 worked weight example (both solutions get
+// probability 1/2 => weight sum log2(2) = 1 per solution chain; the failed
+// chain carries an infinite arc).
+#include <cstdio>
+
+#include "blog/support/table.hpp"
+#include "blog/theory/chains.hpp"
+#include "blog/theory/weights.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+
+int main() {
+  engine::Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+
+  const auto tree = theory::enumerate_chains(ip, "gf(sam,G)");
+  std::printf("FIG3: OR-tree of ?- gf(sam,G)\n\n");
+
+  Table t({"chain", "outcome", "arcs (caller/literal->clause)"});
+  int i = 0;
+  for (const auto& c : tree.chains) {
+    std::string arcs;
+    for (const auto& k : c.arcs) {
+      if (!arcs.empty()) arcs += "  ";
+      const std::string caller = k.caller == db::kQueryClause
+                                     ? "query"
+                                     : "c" + std::to_string(k.caller);
+      arcs += caller + "/" + std::to_string(k.literal) + "->" +
+              ip.program().clause(k.callee).to_string();
+    }
+    t.add_row({std::to_string(++i), c.success ? "SOLUTION" : "failure", arcs});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  const auto w = theory::solve_theoretical(tree);
+  std::printf("paper: 2 solutions, 1 failure; measured: %zu solutions, %zu "
+              "failures\n",
+              tree.solutions, tree.failures);
+  std::printf("§4 worked example: every solution chain bound = log2(S) = %g\n",
+              w.target_bound);
+  Table tw({"arc", "theoretical weight"});
+  for (const auto& [k, wt] : w.finite) {
+    const std::string caller = k.caller == db::kQueryClause
+                                   ? "query"
+                                   : "c" + std::to_string(k.caller);
+    tw.add_row({caller + "/" + std::to_string(k.literal) + "->c" +
+                    std::to_string(k.callee),
+                Table::num(wt, 3)});
+  }
+  std::printf("%s", tw.str().c_str());
+  std::printf("(any solution of the N-equations-in-M-unknowns system is "
+              "valid; we report the minimum-norm one. residual %.2e)\n",
+              w.residual);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// FIG4: the §5 worked example on the propositional program
+//   a :- b,c,d.   b :- e.   b :- f.   c :- g.   d :- h.
+// The paper walks the search order for a specific set of pointer weights:
+// with the second B pointer at weight 3 (lowest), the Bs fan out first and
+// B:-F expands before the first B; flipping the first B pointer to a lower
+// weight makes the search depth-first-like. We reproduce both orders.
+#include <cstdio>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/support/table.hpp"
+#include "blog/term/writer.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+
+namespace {
+
+// Weight setup mirroring the paper's figure: pointers from a's body.
+// Clause ids: 0 = a:-b,c,d, 1 = b:-e, 2 = b:-f, 3 = c:-g, 4 = d:-h,
+// facts e,f,g,h = 5..8.
+void set_weights(engine::Interpreter& ip, double first_b) {
+  auto& ws = ip.weights();
+  ws.set_session(db::PointerKey{0, 0, 1}, first_b);  // a -> first B clause
+  ws.set_session(db::PointerKey{0, 0, 2}, 3.0);      // a -> second B clause
+  ws.set_session(db::PointerKey{0, 1, 3}, 4.0);      // a -> C clause
+  ws.set_session(db::PointerKey{0, 2, 4}, 5.0);      // a -> D clause
+  ws.set_session(db::PointerKey{1, 0, 5}, 1.0);      // b:-e -> e
+  ws.set_session(db::PointerKey{2, 0, 6}, 1.0);      // b:-f -> f
+  ws.set_session(db::PointerKey{3, 0, 7}, 1.0);      // c:-g -> g
+  ws.set_session(db::PointerKey{4, 0, 8}, 1.0);      // d:-h -> h
+}
+
+std::vector<std::string> expansion_order(engine::Interpreter& ip) {
+  std::vector<std::string> order;
+  search::SearchObserver obs;
+  obs.on_pop = [&](const search::Node& n) {
+    if (n.goals.empty()) return;
+    order.push_back(term::to_string(n.store, n.goals.front().term) + " @b=" +
+                    Table::num(n.bound));
+  };
+  search::SearchOptions opts;
+  opts.strategy = search::Strategy::BestFirst;
+  opts.update_weights = false;
+  (void)ip.solve("a", opts, &obs);
+  return order;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FIG4: weighted linked-list database drives the search order\n\n");
+
+  {
+    engine::Interpreter ip;
+    ip.consult_string(workloads::figure4_propositional());
+    set_weights(ip, /*first_b=*/3.5);
+    std::printf(
+        "case 1 — second-B pointer lowest (3), first-B at 3.5 (paper's "
+        "walkthrough):\n");
+    for (const auto& s : expansion_order(ip)) std::printf("  expand %s\n", s.c_str());
+    std::printf(
+        "  -> the second B (3) is searched first; the chain to F (3+1=4) is\n"
+        "     then compared with the first B (3.5), and the first B wins —\n"
+        "     \"the next search from the first B is similar to a "
+        "breadth-first search.\"\n\n");
+  }
+  {
+    engine::Interpreter ip;
+    ip.consult_string(workloads::figure4_propositional());
+    set_weights(ip, /*first_b=*/1.0);
+    std::printf("case 2 — first-B pointer weight 1 (paper's variation):\n");
+    for (const auto& s : expansion_order(ip)) std::printf("  expand %s\n", s.c_str());
+    std::printf(
+        "  -> the first B (1) fans out first and B:-E's body (sum 2) expands\n"
+        "     before the second B (3): \"this appears to be a depth-first "
+        "search, as in PROLOG.\"\n\n");
+  }
+
+  std::printf("\"In general, the 'best' chain would be expanded first, rather "
+              "than depth-first or breadth-first.\"\n");
+  return 0;
+}

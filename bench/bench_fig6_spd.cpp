@@ -1,0 +1,96 @@
+// FIG6 / CL-SPD (§6): the semantic paging disk.
+//
+// Measured: (a) page-in time for Hamming-distance balls in SIMD vs MIMD
+// mode as the number of SPs grows; (b) cylinder sweeps vs per-block loads;
+// (c) the track cache absorbing repeated requests.
+#include <cstdio>
+
+#include "blog/spd/array.hpp"
+#include "blog/support/table.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+
+namespace {
+
+std::vector<spd::Block> blocks_for(const std::string& program) {
+  db::Program p;
+  p.consult_string(program);
+  db::WeightStore ws;
+  return spd::build_blocks(p, ws);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(3);
+  const auto blocks = blocks_for(workloads::random_family(rng, 6, 6) +
+                                 workloads::layered_dag(4, 4));
+
+  std::printf("FIG6/CL-SPD: semantic paging of Hamming-distance subgraphs "
+              "(%zu blocks)\n\n", blocks.size());
+
+  std::printf("(a) SIMD vs MIMD page-in time, radius 2 ball from the first "
+              "rule block\n\n");
+  Table t({"SPs", "SIMD time", "SIMD sweeps", "MIMD time", "MIMD loads",
+           "ball size"});
+  for (const std::size_t sps : {1u, 2u, 4u, 8u}) {
+    spd::SpdConfig simd_cfg;
+    simd_cfg.sps = sps;
+    simd_cfg.blocks_per_track = 8;
+    simd_cfg.mode = spd::SpdMode::SIMD;
+    spd::SpdArray simd(blocks, simd_cfg);
+    const auto ps = simd.page_in({0}, 2);
+
+    spd::SpdConfig mimd_cfg = simd_cfg;
+    mimd_cfg.mode = spd::SpdMode::MIMD;
+    spd::SpdArray mimd(blocks, mimd_cfg);
+    const auto pm = mimd.page_in({0}, 2);
+
+    t.add_row({std::to_string(sps), Table::num(ps.elapsed, 0),
+               std::to_string(ps.track_loads), Table::num(pm.elapsed, 0),
+               std::to_string(pm.track_loads), std::to_string(ps.blocks.size())});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf("(b) radius sweep (4 SPs, SIMD): deeper balls cost more "
+              "sweeps\n\n");
+  Table t2({"radius", "ball size", "time", "cylinder sweeps",
+            "cross-SP transfers"});
+  spd::SpdConfig cfg;
+  cfg.sps = 4;
+  cfg.blocks_per_track = 8;
+  for (const std::uint32_t r : {0u, 1u, 2u, 3u, 4u}) {
+    spd::SpdArray arr(blocks, cfg);
+    const auto page = arr.page_in({0}, r);
+    t2.add_row({std::to_string(r), std::to_string(page.blocks.size()),
+                Table::num(page.elapsed, 0), std::to_string(page.track_loads),
+                std::to_string(page.cross_sp_transfers)});
+  }
+  std::printf("%s\n", t2.str().c_str());
+
+  std::printf("(c) the track cache: repeated accesses to a cached track are "
+              "rotation-free\n\n");
+  Table t3({"access", "track", "cost (cycles)"});
+  // Alternate between two tracks, then hit the cached one repeatedly.
+  const std::size_t pattern[] = {0, 1, 1, 1, 0, 0};
+  {
+    spd::SearchProcessor sp({{blocks.begin(), blocks.begin() + 8},
+                             {blocks.begin() + 8, blocks.begin() + 16}},
+                            spd::DiskTiming{});
+    int i = 0;
+    for (const std::size_t trk : pattern) {
+      const auto cost = sp.load_track(trk);
+      t3.add_row({std::to_string(++i), std::to_string(trk),
+                  Table::num(cost, 0)});
+    }
+  }
+  std::printf("%s\n", t3.str().c_str());
+  std::printf(
+      "expected shape: SIMD amortizes a cylinder sweep over every marked\n"
+      "block in it, so it scales with cylinders touched, not blocks; MIMD\n"
+      "pays per-visit track loads. A repeated access to the loaded track\n"
+      "costs 0 — the cache removes the rotation, which is why \"cheap RAM\n"
+      "has made a cache attractive in a disk system\".\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// ABL-ORDER: goal-selection ablation.
+//
+// The paper's §2 search model picks the next graph to search freely
+// ("traversing from this new leaf towards the root, we collect all unused
+// graphs"); our engine defaults to Prolog's leftmost rule. This ablation
+// compares leftmost vs smallest-fanout (first-fail) vs cheapest-pointer
+// selection on conjunctive workloads.
+#include <cstdio>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/support/table.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+
+namespace {
+
+std::size_t run(const std::string& program, const std::string& query,
+                search::GoalOrder order, bool adapt) {
+  engine::Interpreter ip;
+  ip.consult_string(program);
+  search::SearchOptions o;
+  o.expander.goal_order = order;
+  o.expander.max_depth = 256;
+  if (adapt) (void)ip.solve(query, o);
+  return ip.solve(query, o).stats.nodes_expanded;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(23);
+  struct Case {
+    const char* name;
+    std::string program;
+    std::string query;
+  };
+  const std::vector<Case> cases = {
+      {"det-first join", "many(1). many(2). many(3). many(4). many(5). "
+                         "one(a). q(X,Y) :- many(X), one(Y).",
+       "q(X,Y)"},
+      {"family x list", workloads::figure1_family() + workloads::list_library(),
+       "gf(X,Z), member(M,[a,b])"},
+      {"map color 7r3c", workloads::map_coloring(rng, 7, 3, 2),
+       "coloring(A,B,C,D,E,F,G)"},
+      {"two joins", workloads::figure1_family(),
+       "f(X,Y), m(W,Z), f(Y,Q)"},
+  };
+
+  std::printf("ABL-ORDER: nodes expanded (all solutions), by goal-selection "
+              "policy\n\n");
+  Table t({"workload", "leftmost", "smallest fanout", "cheapest pointer",
+           "cheapest (adapted)"});
+  for (const auto& c : cases) {
+    t.add_row({c.name,
+               std::to_string(run(c.program, c.query, search::GoalOrder::Leftmost, false)),
+               std::to_string(run(c.program, c.query, search::GoalOrder::SmallestFanout, false)),
+               std::to_string(run(c.program, c.query, search::GoalOrder::CheapestPointer, false)),
+               std::to_string(run(c.program, c.query, search::GoalOrder::CheapestPointer, true))});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "expected shape: smallest-fanout (first-fail) never loses badly and\n"
+      "wins when a deterministic goal can prune a wide one; cheapest-pointer\n"
+      "approaches it once weights are adapted. All policies return identical\n"
+      "solution sets (tested in tests/extensions_test.cpp).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// CL-MINNET (§3/§6): "A sorting network is costly ... instead, a circuit
+// that determines the minimum, and a priority circuit to arbitrate among
+// several waiting processors ... would be adequate."
+//
+// Measured: comparator counts and circuit depths of Batcher's sorting
+// network vs the tree min-circuit across machine sizes, plus the measured
+// grant rate of the minimum-seeking network during a simulated run (is a
+// full sort ever needed? the paper argues the network is "lightly used").
+#include <cstdio>
+
+#include "blog/machine/sim.hpp"
+#include "blog/support/table.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+
+int main() {
+  std::printf("CL-MINNET: Batcher sorting network vs tree min-circuit\n\n");
+  Table t({"inputs n", "Batcher comparators", "Batcher depth",
+           "min-tree comparators", "min-tree depth"});
+  for (const unsigned n : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    const machine::BatcherModel b{.inputs = n};
+    const machine::MinNetModel m{.leaves = n, .per_level = 1.0};
+    t.add_row({std::to_string(n), std::to_string(b.comparators()),
+               std::to_string(b.depth()), std::to_string(m.comparators()),
+               std::to_string(m.levels())});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf("network usage during a simulated run (16 processors):\n\n");
+  engine::Interpreter ip;
+  ip.consult_string(workloads::layered_dag(5, 3));
+  machine::MachineConfig cfg;
+  cfg.processors = 16;
+  cfg.tasks_per_processor = 2;
+  cfg.update_weights = false;
+  machine::MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+  const auto rep = sim.run(ip.parse_query("path(n0_0,Z,P)"));
+  const double grants_per_kcycle =
+      rep.makespan > 0 ? 1000.0 * static_cast<double>(rep.minnet_grants) /
+                             rep.makespan
+                       : 0.0;
+  std::printf("min-net grants: %llu over %.0f cycles = %.1f grants/kcycle\n",
+              static_cast<unsigned long long>(rep.minnet_grants), rep.makespan,
+              grants_per_kcycle);
+  std::printf(
+      "\nexpected shape: Batcher grows n/4·log2(n)·(log2(n)+1) comparators\n"
+      "(672 at n=64) while the min tree is linear (63 at n=64) and\n"
+      "shallower; and the measured grant rate shows each processor consults\n"
+      "the network far less than once per cycle — \"the sorting network ...\n"
+      "is probably lightly used\", so the cheap circuit suffices.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// CL-COPY (§6): "a multitasked processor will spend a lot of time copying
+// data received from the disk, and data in its own memory, as new chains in
+// the search tree are sprouted. ... the processor memory should be designed
+// to write multiply."
+//
+// Measured: the share of unit-busy cycles spent copying, and the makespan /
+// copy-cycle curve as the multi-write width grows.
+#include <cstdio>
+
+#include "blog/machine/sim.hpp"
+#include "blog/support/table.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+
+int main() {
+  const std::string dag = workloads::layered_dag(4, 4);
+  const char* query = "path(n0_0,Z,P)";
+
+  std::printf("CL-COPY: copying dominates; multi-write memory mitigates\n\n");
+  Table t({"write width", "makespan", "copy cycles", "copy share",
+           "speedup vs w=1"});
+  double base = 0.0;
+  for (const unsigned w : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    engine::Interpreter ip;
+    ip.consult_string(dag);
+    machine::MachineConfig cfg;
+    cfg.processors = 4;
+    cfg.tasks_per_processor = 4;
+    cfg.update_weights = false;
+    cfg.copy.write_width = w;
+    machine::MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    const auto rep = sim.run(ip.parse_query(query));
+    if (base == 0.0) base = rep.makespan;
+    t.add_row({std::to_string(w), Table::num(rep.makespan, 0),
+               Table::num(rep.copy_cycles, 0), Table::num(rep.copy_share(), 2),
+               Table::num(base / rep.makespan)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "expected shape: at width 1 copying is the biggest single consumer of\n"
+      "unit cycles (the §6 bottleneck observation, a consequence of \"the\n"
+      "very peculiar character of the logic variable\"); widening the\n"
+      "multi-write memory collapses copy cycles roughly linearly until\n"
+      "unify becomes the limiter and returns diminish.\n");
+  return 0;
+}

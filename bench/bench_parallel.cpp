@@ -1,0 +1,67 @@
+// CL-PAR (§6/§7): OR-parallel speedup.
+//
+// "OR-parallelism is specially effective in speeding up non-deterministic
+// programs, specially when more than one solution is needed."
+//
+// Measured: simulated makespan (machine simulator) for NP in {1..64} on a
+// multi-solution path workload, plus a thread-engine sanity run showing the
+// same solution set on real threads.
+#include <cstdio>
+
+#include "blog/machine/sim.hpp"
+#include "blog/parallel/engine.hpp"
+#include "blog/support/table.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+
+int main() {
+  const std::string dag = workloads::layered_dag(5, 3);
+  const char* query = "path(n0_0,Z,P)";
+
+  std::printf("CL-PAR: simulated speedup of the B-LOG machine "
+              "(all paths in a 5x3 DAG)\n\n");
+  Table t({"processors", "makespan", "speedup", "efficiency", "utilization"});
+  double base = 0.0;
+  for (const unsigned np : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    engine::Interpreter ip;
+    ip.consult_string(dag);
+    machine::MachineConfig cfg;
+    cfg.processors = np;
+    cfg.tasks_per_processor = 2;
+    cfg.update_weights = false;
+    cfg.local_memory_blocks = 32;
+    machine::MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    const auto rep = sim.run(ip.parse_query(query));
+    if (base == 0.0) base = rep.makespan;
+    const double speedup = base / rep.makespan;
+    t.add_row({std::to_string(np), Table::num(rep.makespan, 0),
+               Table::num(speedup), Table::num(speedup / np, 3),
+               Table::num(rep.utilization(), 2)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf("thread-engine sanity (same workload, real std::thread "
+              "workers):\n\n");
+  Table t2({"workers", "solutions", "nodes expanded"});
+  for (const unsigned w : {1u, 4u}) {
+    engine::Interpreter ip;
+    ip.consult_string(dag);
+    parallel::ParallelOptions po;
+    po.workers = w;
+    po.update_weights = false;
+    parallel::ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(), po);
+    const auto r = pe.solve(ip.parse_query(query));
+    t2.add_row({std::to_string(w), std::to_string(r.solutions.size()),
+                std::to_string(r.nodes_expanded)});
+  }
+  std::printf("%s\n", t2.str().c_str());
+  std::printf(
+      "expected shape: near-linear speedup while the frontier is wider than\n"
+      "the machine, flattening once NP approaches the tree's usable width\n"
+      "(the paper's scheduling caveat: \"the scheduling problem makes it\n"
+      "impossible to always use the total number of processors\").  The\n"
+      "thread engine finds the identical solution set at every worker "
+      "count.\n");
+  return 0;
+}

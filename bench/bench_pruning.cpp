@@ -1,0 +1,81 @@
+// ABL-PRUNE: branch-and-bound incumbent pruning (§3).
+//
+// "Once a solution is found, its bound can be used to cut off any searches
+// on other chains if their bound is greater than the one found."
+//
+// In the converged model every solution has bound N, so margin 0 keeps
+// completeness; on a fresh database pruning with a small margin trades
+// completeness for work. This ablation sweeps the margin and reports both.
+#include <cstdio>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/support/table.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+
+namespace {
+
+struct Run {
+  std::size_t nodes;
+  std::size_t pruned;
+  std::size_t solutions;
+};
+
+Run run(const std::string& program, const std::string& query, double margin,
+        bool adapt, bool prune) {
+  engine::Interpreter ip;
+  ip.consult_string(program);
+  search::SearchOptions o;
+  o.strategy = search::Strategy::BestFirst;
+  if (adapt) (void)ip.solve(query, o);
+  o.prune_with_incumbent = prune;
+  o.prune_margin = margin;
+  const auto r = ip.solve(query, o);
+  return {r.stats.nodes_expanded, r.stats.pruned, r.solutions.size()};
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(37);
+  const std::string program = workloads::random_family(rng, 5, 4);
+  const std::string query = "gf(X,G)";
+
+  engine::Interpreter ref;
+  ref.consult_string(program);
+  const std::size_t all = ref.solve(query).solutions.size();
+  std::printf("ABL-PRUNE: incumbent pruning on %s (%zu total solutions)\n\n",
+              query.c_str(), all);
+
+  Table t({"weights", "margin", "nodes", "pruned", "solutions found"});
+  const auto np = run(program, query, 0, false, false);
+  t.add_row({"fresh", "off", std::to_string(np.nodes), "0",
+             std::to_string(np.solutions)});
+  for (const double m : {0.0, 8.0, 32.0, 128.0}) {
+    const auto r = run(program, query, m, false, true);
+    t.add_row({"fresh", Table::num(m), std::to_string(r.nodes),
+               std::to_string(r.pruned), std::to_string(r.solutions)});
+  }
+  const auto ap = run(program, query, 0, true, false);
+  t.add_row({"adapted", "off", std::to_string(ap.nodes), "0",
+             std::to_string(ap.solutions)});
+  for (const double m : {0.0, 8.0, 32.0}) {
+    const auto r = run(program, query, m, true, true);
+    t.add_row({"adapted", Table::num(m), std::to_string(r.nodes),
+               std::to_string(r.pruned), std::to_string(r.solutions)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "expected shape: on fresh weights every chain carries equal unknown\n"
+      "(N+1) arcs, so bounds cannot separate solutions from failures and\n"
+      "pruning is a no-op. After adaptation solutions concentrate at bound\n"
+      "<= N — but the §5 anomaly (known sums exceeding N are clamped to 0)\n"
+      "pushes some solution chains *below* N, so margin 0 over-prunes; a\n"
+      "margin of about N/2 recovers every solution while still cutting the\n"
+      "frontier. This quantifies the paper's warning that \"small\n"
+      "deviations from the theoretical model will reduce efficiency, but\n"
+      "the correct solution(s) will still be found\" — found, that is, when\n"
+      "the cutoff honours the deviation.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// CL-SCOREBOARD (§6): "a single processor will thus be multitasked, able to
+// develop several chains of the search tree at one time. Also, the delays
+// due to disk access can be compensated for by developing other chains that
+// are not waiting for the slow disk."
+//
+// Measured: makespan, disk wait and unit stalls as the number of tasks per
+// processor M grows, with a small local memory forcing SPD traffic; plus an
+// ablation on the number of functional units.
+#include <cstdio>
+
+#include "blog/machine/sim.hpp"
+#include "blog/support/table.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+
+int main() {
+  const std::string dag = workloads::layered_dag(4, 3);
+  const char* query = "path(n0_0,Z,P)";
+
+  std::printf("CL-SCOREBOARD: tasks per processor M hide SPD latency "
+              "(2 processors, 4-block local memory)\n\n");
+  Table t({"M tasks", "makespan", "disk wait", "unit stall", "utilization"});
+  for (const unsigned m : {1u, 2u, 4u, 8u, 16u}) {
+    engine::Interpreter ip;
+    ip.consult_string(dag);
+    machine::MachineConfig cfg;
+    cfg.processors = 2;
+    cfg.tasks_per_processor = m;
+    cfg.update_weights = false;
+    cfg.local_memory_blocks = 4;  // force misses -> disk waits
+    machine::MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    const auto rep = sim.run(ip.parse_query(query));
+    double stall = 0.0;
+    for (const auto& p : rep.processors) stall += p.unit_stall;
+    t.add_row({std::to_string(m), Table::num(rep.makespan, 0),
+               Table::num(rep.disk_wait, 0), Table::num(stall, 0),
+               Table::num(rep.utilization(), 2)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf("functional-unit ablation (M=8): which unit is the "
+              "bottleneck?\n\n");
+  Table t2({"unify/copy units", "makespan", "copy stall", "unify stall"});
+  for (const unsigned units : {1u, 2u, 4u}) {
+    engine::Interpreter ip;
+    ip.consult_string(dag);
+    machine::MachineConfig cfg;
+    cfg.processors = 2;
+    cfg.tasks_per_processor = 8;
+    cfg.update_weights = false;
+    cfg.local_memory_blocks = 4;
+    cfg.units.unify_units = units;
+    cfg.units.copy_units = units;
+    machine::MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    const auto rep = sim.run(ip.parse_query(query));
+    double copy_stall = 0.0, unify_stall = 0.0;
+    for (const auto& p : rep.processors) {
+      copy_stall += p.units[static_cast<std::size_t>(machine::Unit::Copy)].stall;
+      unify_stall += p.units[static_cast<std::size_t>(machine::Unit::Unify)].stall;
+    }
+    t2.add_row({std::to_string(units), Table::num(rep.makespan, 0),
+                Table::num(copy_stall, 0), Table::num(unify_stall, 0)});
+  }
+  std::printf("%s\n", t2.str().c_str());
+  std::printf(
+      "expected shape: makespan drops as M grows until the functional units\n"
+      "saturate (stalls grow); disk wait overlaps with useful work instead\n"
+      "of serializing. Extra units relieve the stalls, the copy unit being\n"
+      "the hungriest (see CL-COPY).\n");
+  return 0;
+}

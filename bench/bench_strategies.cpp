@@ -1,0 +1,88 @@
+// CL-STRAT: depth-first vs breadth-first vs best-first (§3).
+//
+// The paper's argument:
+//  - depth-first "does not lend itself easily to parallel processing" and
+//    pays for wrong turns;
+//  - breadth-first "tends to work near the root of the tree, doing extra
+//    work before a solution is found";
+//  - best-first guided by adapted weights reaches solutions with the least
+//    work.
+// Measured: nodes expanded to the FIRST solution (fresh weights and adapted
+// weights) and peak frontier size, across workloads.
+#include <cstdio>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/support/table.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+
+namespace {
+
+struct Workload {
+  const char* name;
+  std::string program;
+  std::string query;
+  std::uint32_t max_depth = 128;
+};
+
+std::size_t first_solution_nodes(const Workload& w, search::Strategy s,
+                                 int warm_runs, std::size_t* frontier) {
+  engine::Interpreter ip;
+  ip.consult_string(w.program);
+  search::SearchOptions warm;
+  warm.strategy = search::Strategy::DepthFirst;
+  warm.expander.max_depth = w.max_depth;
+  for (int i = 0; i < warm_runs; ++i) (void)ip.solve(w.query, warm);
+
+  search::SearchOptions opts;
+  opts.strategy = s;
+  opts.max_solutions = 1;
+  opts.expander.max_depth = w.max_depth;
+  const auto r = ip.solve(w.query, opts);
+  if (frontier) *frontier = r.stats.max_frontier;
+  return r.stats.nodes_expanded;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(7);
+  std::vector<Workload> workloads;
+  workloads.push_back({"family gf (fig1)", workloads::figure1_family(),
+                       "gf(sam,G)"});
+  workloads.push_back({"needle d8 f3", workloads::needle_tree(rng, 8, 3),
+                       "goal0"});
+  workloads.push_back({"needle d10 f4", workloads::needle_tree(rng, 10, 4),
+                       "goal0"});
+  workloads.push_back({"dag paths 4x3", workloads::layered_dag(4, 3),
+                       "path(n0_0,n4_0,P)"});
+  workloads.push_back({"map color 8r3c",
+                       workloads::map_coloring(rng, 8, 3, 3),
+                       "coloring(A,B,C,D,E,F,G,H)"});
+  workloads.push_back({"queens5", workloads::queens(5), "queens5(Qs)", 256});
+
+  std::printf("CL-STRAT: nodes expanded to the first solution\n\n");
+  Table t({"workload", "DF cold", "BF cold", "best cold", "best adapted",
+           "best adapted frontier"});
+  for (const auto& w : workloads) {
+    std::size_t frontier = 0;
+    const auto df = first_solution_nodes(w, search::Strategy::DepthFirst, 0, nullptr);
+    const auto bf = first_solution_nodes(w, search::Strategy::BreadthFirst, 0, nullptr);
+    const auto best_cold =
+        first_solution_nodes(w, search::Strategy::BestFirst, 0, nullptr);
+    const auto best_adapted =
+        first_solution_nodes(w, search::Strategy::BestFirst, 1, &frontier);
+    t.add_row({w.name, std::to_string(df), std::to_string(bf),
+               std::to_string(best_cold), std::to_string(best_adapted),
+               std::to_string(frontier)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "expected shape: adapted best-first <= depth-first on workloads with\n"
+      "failing branches (needle trees, coloring); breadth-first pays the\n"
+      "biggest frontier (\"works near the root\").  After one exhaustive\n"
+      "run the weights steer best-first straight to a solution (§5's\n"
+      "adaptive control strategy).\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// An interactive B-LOG interpreter: consult files, run queries, switch
+// strategies, inspect weights, draw the OR-tree.
+//
+//   $ blog_repl [program.pl ...]
+//   ?- gf(sam,G).
+//   G=den ;  G=doug.
+//   ?- :strategy best        % depth | breadth | best
+//   ?- :order fanout         % leftmost | fanout | cheapest
+//   ?- :tree gf(sam,G)       % print the searched OR-tree
+//   ?- :session end          % §5: merge session weights conservatively
+//   ?- :stats                % last query's statistics
+//   ?- :halt
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/term/reader.hpp"
+#include "blog/trace/tree.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+
+namespace {
+
+struct ReplState {
+  engine::Interpreter ip;
+  search::SearchOptions opts;
+  search::SearchStats last_stats;
+};
+
+void run_query(ReplState& st, const std::string& text, bool draw_tree) {
+  try {
+    trace::TreeRecorder rec;
+    auto obs = rec.observer();
+    const auto r = st.ip.solve(text, st.opts, draw_tree ? &obs : nullptr);
+    st.last_stats = r.stats;
+    if (r.solutions.empty()) {
+      std::printf("false.\n");
+    } else {
+      for (std::size_t i = 0; i < r.solutions.size(); ++i) {
+        std::printf("%s%s", r.solutions[i].text.c_str(),
+                    i + 1 < r.solutions.size() ? " ;\n" : ".\n");
+      }
+    }
+    if (!r.exhausted) std::printf("%% search truncated (budget/limit hit)\n");
+    if (draw_tree) std::printf("\n%s", rec.render_text().c_str());
+  } catch (const term::ParseError& e) {
+    std::printf("syntax error at %d:%d: %s\n", e.line, e.col, e.what());
+  }
+}
+
+bool command(ReplState& st, const std::string& line) {
+  std::istringstream is(line.substr(1));
+  std::string cmd;
+  is >> cmd;
+  if (cmd == "halt" || cmd == "quit") return false;
+  if (cmd == "strategy") {
+    std::string s;
+    is >> s;
+    if (s == "depth") st.opts.strategy = search::Strategy::DepthFirst;
+    else if (s == "breadth") st.opts.strategy = search::Strategy::BreadthFirst;
+    else if (s == "best") st.opts.strategy = search::Strategy::BestFirst;
+    else std::printf("usage: :strategy depth|breadth|best\n");
+  } else if (cmd == "order") {
+    std::string s;
+    is >> s;
+    if (s == "leftmost") st.opts.expander.goal_order = search::GoalOrder::Leftmost;
+    else if (s == "fanout")
+      st.opts.expander.goal_order = search::GoalOrder::SmallestFanout;
+    else if (s == "cheapest")
+      st.opts.expander.goal_order = search::GoalOrder::CheapestPointer;
+    else std::printf("usage: :order leftmost|fanout|cheapest\n");
+  } else if (cmd == "tree") {
+    std::string q;
+    std::getline(is, q);
+    if (!q.empty()) run_query(st, q, true);
+  } else if (cmd == "session") {
+    std::string s;
+    is >> s;
+    if (s == "begin") {
+      st.ip.begin_session();
+      std::printf("%% session weights discarded\n");
+    } else if (s == "end") {
+      st.ip.end_session();
+      std::printf("%% session merged: %zu global weights\n",
+                  st.ip.weights().global_size());
+    } else {
+      std::printf("usage: :session begin|end\n");
+    }
+  } else if (cmd == "stats") {
+    const auto& s = st.last_stats;
+    std::printf("nodes %zu, children %zu, solutions %zu, failures %zu, "
+                "pruned %zu, max frontier %zu\n",
+                s.nodes_expanded, s.children_generated, s.solutions,
+                s.failures, s.pruned, s.max_frontier);
+  } else if (cmd == "consult") {
+    std::string path;
+    is >> path;
+    try {
+      st.ip.consult_file(path);
+      std::printf("%% consulted %s (%zu clauses total)\n", path.c_str(),
+                  st.ip.program().size());
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  } else if (cmd == "demo") {
+    st.ip.consult_string(workloads::figure1_family());
+    std::printf("%% loaded the Figure 1 family database\n");
+  } else {
+    std::printf("commands: :strategy :order :tree :session :stats :consult "
+                ":demo :halt\n");
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReplState st;
+  st.opts.strategy = search::Strategy::BestFirst;
+  for (int i = 1; i < argc; ++i) {
+    try {
+      st.ip.consult_file(argv[i]);
+      std::printf("%% consulted %s\n", argv[i]);
+    } catch (const std::exception& e) {
+      std::printf("error consulting %s: %s\n", argv[i], e.what());
+    }
+  }
+  std::printf("B-LOG interactive interpreter. :demo loads the paper's "
+              "database; :halt exits.\n");
+  std::string line;
+  for (;;) {
+    std::printf("?- ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Trim.
+    while (!line.empty() && (line.back() == ' ' || line.back() == '.'))
+      line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == ':') {
+      if (!command(st, line)) break;
+      continue;
+    }
+    run_query(st, line, false);
+  }
+  return 0;
+}

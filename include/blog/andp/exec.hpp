@@ -1,0 +1,65 @@
+// AND-parallel execution of conjunctive queries (§7).
+//
+// The conjunction is partitioned into independence groups; each group is
+// solved by the OR-tree engine on its own, as if on its own processor, and
+// the group answer sets are combined by cross product (no shared variables
+// between groups, so every combination is consistent). Groups that do share
+// variables can alternatively be solved goal-by-goal and combined with the
+// semi-join algorithm.
+//
+// Cost model: sequential work = Σ group work; AND-parallel elapsed work =
+// max group work (+ the join/combination cost), which is the speedup the
+// paper predicts for "highly deterministic programs".
+#pragma once
+
+#include "blog/andp/independence.hpp"
+#include "blog/andp/join.hpp"
+#include "blog/engine/interpreter.hpp"
+
+namespace blog::andp {
+
+struct AndParallelOptions {
+  search::SearchOptions search;  // per-group engine options
+  bool use_semi_join = true;     // join strategy for shared-variable groups
+};
+
+struct GroupReport {
+  std::vector<std::size_t> goal_indices;
+  std::size_t nodes_expanded = 0;
+  std::size_t solutions = 0;
+};
+
+struct AndParallelResult {
+  /// Rendered solutions "X=a,Y=b" (sorted), matching the sequential engine.
+  std::vector<std::string> solutions;
+  std::vector<GroupReport> groups;
+  std::size_t shared_vars = 0;
+  std::size_t sequential_nodes = 0;   // Σ group nodes (one-processor cost)
+  std::size_t critical_path_nodes = 0;  // max group nodes (parallel cost)
+  JoinStats join;
+
+  [[nodiscard]] double and_speedup() const {
+    return critical_path_nodes > 0
+               ? static_cast<double>(sequential_nodes) /
+                     static_cast<double>(critical_path_nodes)
+               : 1.0;
+  }
+};
+
+/// Execute `query_text` (a conjunction) with AND-parallelism.
+/// Requirements: each group's solutions must ground its variables (true for
+/// database-style programs); otherwise results fall back to the sequential
+/// engine for that group combination.
+AndParallelResult solve_and_parallel(engine::Interpreter& ip,
+                                     std::string_view query_text,
+                                     const AndParallelOptions& opts = {});
+
+/// Solve a single goal as a Relation over its named variables (helper for
+/// the join strategy; also used by benches).
+Relation goal_relation(engine::Interpreter& ip, const term::Store& store,
+                       term::TermRef goal,
+                       const std::vector<std::pair<Symbol, term::TermRef>>& vars,
+                       const search::SearchOptions& opts,
+                       std::size_t* nodes = nullptr);
+
+}  // namespace blog::andp

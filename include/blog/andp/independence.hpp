@@ -1,0 +1,34 @@
+// Run-time independence analysis for AND-parallelism (§7): goals of a
+// conjunction that share no (unbound) variables can execute in parallel;
+// goals connected through variables form a dependency group. The analysis
+// runs on the *current bindings*, because "at run time, many of the
+// dependencies apparent at compile time can disappear because of the
+// particular bindings of the variables at the time the call is made".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "blog/term/unify.hpp"
+
+namespace blog::andp {
+
+struct IndependenceAnalysis {
+  /// Goal indices partitioned into dependency groups; groups and members
+  /// keep the original goal order.
+  std::vector<std::vector<std::size_t>> groups;
+  /// Variables occurring in at least two goals (the join attributes).
+  std::size_t shared_vars = 0;
+
+  [[nodiscard]] bool fully_independent() const {
+    for (const auto& g : groups)
+      if (g.size() > 1) return false;
+    return true;
+  }
+};
+
+/// Partition `goals` by shared unbound variables (union-find over goals).
+IndependenceAnalysis analyze(const term::Store& s,
+                             std::span<const term::TermRef> goals);
+
+}  // namespace blog::andp

@@ -1,0 +1,47 @@
+// Relational join machinery for shared-variable AND-parallelism (§7):
+// solve each goal into a relation over its variables, then combine with a
+// join. The paper proposes "a highly efficient semi-join algorithm [using]
+// the marking capabilities of the SPD's"; we implement the same algebra
+// with hash tables (the marking pass of the SPD is a set-membership filter,
+// which a hash probe reproduces exactly — see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blog/support/symbol.hpp"
+
+namespace blog::andp {
+
+/// A relation: named columns (query variables) and rows of rendered ground
+/// terms.
+struct Relation {
+  std::vector<Symbol> schema;
+  std::vector<std::vector<std::string>> rows;
+
+  [[nodiscard]] std::size_t arity() const { return schema.size(); }
+  [[nodiscard]] std::size_t size() const { return rows.size(); }
+  [[nodiscard]] std::ptrdiff_t column(Symbol name) const;
+};
+
+struct JoinStats {
+  std::uint64_t comparisons = 0;  // nested-loop row comparisons
+  std::uint64_t probes = 0;       // hash probes (build + lookup)
+  std::uint64_t output_rows = 0;
+};
+
+/// Natural join by exhaustive pairing (the baseline the semi-join beats).
+Relation nested_loop_join(const Relation& a, const Relation& b, JoinStats* stats);
+
+/// Hash natural join: build on `b`, probe with `a`.
+Relation hash_join(const Relation& a, const Relation& b, JoinStats* stats);
+
+/// Semi-join reduction: rows of `a` that have at least one match in `b` on
+/// the shared columns (the SPD marking pass).
+Relation semi_join_reduce(const Relation& a, const Relation& b, JoinStats* stats);
+
+/// Semi-join strategy: reduce both sides, then hash-join the survivors.
+Relation semi_join_then_join(const Relation& a, const Relation& b, JoinStats* stats);
+
+}  // namespace blog::andp

@@ -1,0 +1,61 @@
+// Horn clauses. Each clause owns its term store; resolution renames
+// (imports) the clause into the search node's store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blog/term/store.hpp"
+
+namespace blog::db {
+
+using ClauseId = std::uint32_t;
+
+/// Pseudo clause id used as the "caller" of the top-level query goals.
+inline constexpr ClauseId kQueryClause = 0xffffffffu;
+
+/// Predicate indicator: name/arity.
+struct Pred {
+  Symbol name;
+  std::uint32_t arity = 0;
+
+  friend bool operator==(const Pred&, const Pred&) = default;
+};
+
+struct PredHash {
+  std::size_t operator()(const Pred& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.name.id()) << 32) | p.arity);
+  }
+};
+
+/// A stored Horn clause `head :- body1, ..., bodyn` (facts have empty body).
+class Clause {
+public:
+  Clause(term::Store store, term::TermRef head, std::vector<term::TermRef> body);
+
+  [[nodiscard]] const term::Store& store() const { return store_; }
+  [[nodiscard]] term::TermRef head() const { return head_; }
+  [[nodiscard]] const std::vector<term::TermRef>& body() const { return body_; }
+  [[nodiscard]] bool is_fact() const { return body_.empty(); }
+  [[nodiscard]] Pred pred() const { return pred_; }
+
+  /// Number of term cells in head+body; the machine simulator charges
+  /// copy cycles proportional to this.
+  [[nodiscard]] std::size_t term_cells() const { return cells_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+private:
+  term::Store store_;
+  term::TermRef head_;
+  std::vector<term::TermRef> body_;
+  Pred pred_;
+  std::size_t cells_ = 0;
+};
+
+/// Predicate of a callable term (atom or struct) in `s`; arity 0 for atoms.
+Pred pred_of(const term::Store& s, term::TermRef t);
+
+}  // namespace blog::db

@@ -1,0 +1,87 @@
+// The clause database (Figure 4's linked-list structure).
+//
+// Clauses are stored as blocks; each body literal of each clause carries a
+// list of *weighted pointers* to the clauses that can resolve it. The
+// weights on those pointers are exactly the B-LOG arc weights (§5: "The
+// weights of the arcs in the search tree correspond to weights on pointers
+// in the database").
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "blog/db/clause.hpp"
+
+namespace blog::db {
+
+/// Context tag for conditional weights (§5's future-work bound: "a decision
+/// should depend on what has been previously decided"). kNoContext is the
+/// unconditional model; otherwise the clause chosen by the parent arc.
+inline constexpr ClauseId kNoContext = 0xfffffffeu;
+
+/// Identifies one weighted pointer: from body literal `literal` of clause
+/// `caller` to clause `callee`. The top-level query uses kQueryClause.
+/// `context` stays kNoContext in the paper's base model; the conditional
+/// extension keys weights additionally by the previous decision.
+struct PointerKey {
+  ClauseId caller = kQueryClause;
+  std::uint32_t literal = 0;
+  ClauseId callee = 0;
+  ClauseId context = kNoContext;
+
+  friend bool operator==(const PointerKey&, const PointerKey&) = default;
+};
+
+struct PointerKeyHash {
+  std::size_t operator()(const PointerKey& k) const noexcept {
+    std::uint64_t h = k.caller;
+    h = h * 0x9e3779b97f4a7c15ULL + k.literal;
+    h = h * 0x9e3779b97f4a7c15ULL + k.callee;
+    h = h * 0x9e3779b97f4a7c15ULL + k.context;
+    return std::hash<std::uint64_t>{}(h);
+  }
+};
+
+/// Immutable-after-load set of clauses with a predicate index.
+class Program {
+public:
+  Program() = default;
+
+  /// Append a clause; returns its id. Clause order within a predicate is
+  /// the textual order (Prolog's clause selection order).
+  ClauseId add_clause(Clause c);
+
+  /// Parse and add all clauses in `text` (Edinburgh syntax).
+  /// Throws term::ParseError on bad syntax.
+  void consult_string(std::string_view text);
+
+  [[nodiscard]] const Clause& clause(ClauseId id) const { return clauses_[id]; }
+  [[nodiscard]] std::size_t size() const { return clauses_.size(); }
+
+  /// Candidate clauses for a predicate, in textual order.
+  [[nodiscard]] const std::vector<ClauseId>& candidates(const Pred& p) const;
+
+  /// Candidate clauses filtered by first-argument indexing: clauses whose
+  /// head's first argument cannot unify with `first_arg` are skipped.
+  [[nodiscard]] std::vector<ClauseId> candidates_indexed(
+      const Pred& p, const term::Store& s, term::TermRef goal) const;
+
+  [[nodiscard]] const std::vector<Clause>& clauses() const { return clauses_; }
+
+  /// All predicates defined by the program.
+  [[nodiscard]] std::vector<Pred> predicates() const;
+
+  /// Total number of weighted pointers in the Figure-4 representation:
+  /// for every body literal of every clause (plus a virtual query literal
+  /// per predicate), one pointer per candidate clause.
+  [[nodiscard]] std::size_t pointer_count() const;
+
+private:
+  std::vector<Clause> clauses_;
+  std::unordered_map<Pred, std::vector<ClauseId>, PredHash> index_;
+  std::vector<ClauseId> empty_;
+};
+
+}  // namespace blog::db

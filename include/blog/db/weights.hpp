@@ -1,0 +1,80 @@
+// Arc-weight storage and session semantics (§5 of the paper).
+//
+// Every pointer in the database carries a weight:
+//   - "unknown"  : initialized to N+1 (just above any solved bound N);
+//   - "known"    : set by a successful search;
+//   - "infinity" : coded as A*N (A = longest chain), set by a failed search.
+//
+// During a *session*, updates are strong and go to a local overlay.
+// `end_session()` merges them *conservatively* into the global database:
+// infinities never override non-infinite global weights, and other weights
+// move toward the session value by the blend factor, averaging adaptation
+// across sessions.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "blog/db/program.hpp"
+
+namespace blog::db {
+
+enum class WeightKind : std::uint8_t { Unknown, Known, Infinite };
+
+struct WeightParams {
+  double n = 16.0;        // target bound N of every successful chain
+  double a = 8.0;         // longest chain length A; infinity is coded A*N
+  double blend = 0.5;     // session→global blend factor at end_session()
+
+  [[nodiscard]] double unknown() const { return n + 1.0; }
+  [[nodiscard]] double infinity() const { return a * n; }
+};
+
+/// Thread-safe weight store: a global map plus a session-local overlay.
+class WeightStore {
+public:
+  explicit WeightStore(WeightParams params = {}) : params_(params) {}
+
+  [[nodiscard]] const WeightParams& params() const { return params_; }
+
+  /// Effective weight of a pointer: session overlay first, then global,
+  /// then "unknown" (N+1).
+  [[nodiscard]] double weight(const PointerKey& k) const;
+
+  /// Classify the *effective* weight.
+  [[nodiscard]] WeightKind kind(const PointerKey& k) const;
+  [[nodiscard]] WeightKind classify(double w) const;
+
+  /// Strong update within the current session (overlay only).
+  void set_session(const PointerKey& k, double w);
+
+  /// Weight recorded in the global database (no overlay), "unknown" if absent.
+  [[nodiscard]] double global_weight(const PointerKey& k) const;
+
+  /// Discard the session overlay without merging (aborted session).
+  void begin_session();
+
+  /// Conservative merge of the overlay into the global map (§5), then clear
+  /// the overlay:
+  ///   - a session infinity never overrides a non-infinite global weight
+  ///     (it is kept only when the global entry is absent-with-unknown or
+  ///     already infinite);
+  ///   - any other session weight moves the global weight toward it:
+  ///     g' = (1-blend)*g + blend*s.
+  void end_session();
+
+  [[nodiscard]] std::size_t session_size() const;
+  [[nodiscard]] std::size_t global_size() const;
+
+  /// Snapshot of the session-effective weights (testing/inspection).
+  [[nodiscard]] std::unordered_map<PointerKey, double, PointerKeyHash> snapshot() const;
+
+private:
+  WeightParams params_;
+  mutable std::mutex mu_;
+  std::unordered_map<PointerKey, double, PointerKeyHash> global_;
+  std::unordered_map<PointerKey, double, PointerKeyHash> session_;
+};
+
+}  // namespace blog::db

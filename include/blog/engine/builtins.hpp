@@ -1,0 +1,35 @@
+// Deterministic builtin predicates: unification, disunification, arithmetic
+// evaluation and comparison, type tests. Kept deterministic so they never
+// create OR-tree arcs (builtins carry no weights — only database pointers
+// do, per §5).
+#pragma once
+
+#include <optional>
+
+#include "blog/search/node.hpp"
+
+namespace blog::engine {
+
+/// Evaluate an arithmetic expression over integers: + - * // mod abs min
+/// max. Returns std::nullopt on unbound variables or bad functors.
+std::optional<std::int64_t> eval_arith(const term::Store& s, term::TermRef t);
+
+/// The standard builtin set:
+///   true/0, fail/0, =/2, \=/2, ==/2, \==/2, is/2,
+///   </2, >/2, =</2, >=/2, =:=/2, =\=/2,
+///   var/1, nonvar/1, atom/1, integer/1, ground/1.
+class StandardBuiltins final : public search::BuiltinEvaluator {
+public:
+  StandardBuiltins();
+  Outcome eval(term::Store& s, term::TermRef goal, term::Trail& trail) override;
+
+  /// True if name/arity is handled by this evaluator.
+  [[nodiscard]] bool is_builtin(const db::Pred& p) const override;
+
+private:
+  Symbol true_, fail_, unify_, nunify_, eq_, neq_, is_;
+  Symbol lt_, gt_, le_, ge_, aeq_, ane_;
+  Symbol var_, nonvar_, atom_, integer_, ground_;
+};
+
+}  // namespace blog::engine

@@ -1,0 +1,60 @@
+// The public facade: a B-LOG interpreter holding a program, its weighted
+// pointer database, and session state.
+//
+//   blog::engine::Interpreter ip;
+//   ip.consult_string("f(curt,elain). gf(X,Z) :- f(X,Y), f(Y,Z).");
+//   auto r = ip.solve("gf(sam,G)", {.strategy = search::Strategy::BestFirst});
+//   for (auto& s : r.solutions) std::cout << s.text << '\n';
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "blog/db/weights.hpp"
+#include "blog/engine/builtins.hpp"
+#include "blog/search/engine.hpp"
+
+namespace blog::engine {
+
+class Interpreter {
+public:
+  explicit Interpreter(db::WeightParams weight_params = {});
+
+  /// Load clauses (Edinburgh syntax). Throws term::ParseError.
+  void consult_string(std::string_view text);
+  void consult_file(const std::string& path);
+
+  /// Parse `text` as a query body (conjunction allowed). The answer
+  /// template is the conjunction of `Name = Value` pairs for the query's
+  /// named variables, or the whole goal when it has none.
+  [[nodiscard]] search::Query parse_query(std::string_view text) const;
+
+  /// Solve a ready query / a query string.
+  search::SearchResult solve(const search::Query& q, const search::SearchOptions& opts,
+                             search::SearchObserver* obs = nullptr);
+  search::SearchResult solve(std::string_view query_text,
+                             const search::SearchOptions& opts = {},
+                             search::SearchObserver* obs = nullptr);
+
+  /// §5 sessions. begin_session() discards unmerged session weights;
+  /// end_session() merges them conservatively into the global database.
+  void begin_session() { weights_.begin_session(); }
+  void end_session() { weights_.end_session(); }
+
+  [[nodiscard]] const db::Program& program() const { return program_; }
+  [[nodiscard]] db::Program& program() { return program_; }
+  [[nodiscard]] db::WeightStore& weights() { return weights_; }
+  [[nodiscard]] const db::WeightStore& weights() const { return weights_; }
+  [[nodiscard]] StandardBuiltins& builtins() { return builtins_; }
+
+private:
+  db::Program program_;
+  db::WeightStore weights_;
+  StandardBuiltins builtins_;
+};
+
+/// Sorted solution texts — strategy-independent identity of a result set.
+std::vector<std::string> solution_texts(const search::SearchResult& r);
+
+}  // namespace blog::engine

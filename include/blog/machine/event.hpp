@@ -1,0 +1,49 @@
+// Deterministic discrete-event core for the B-LOG machine simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace blog::machine {
+
+/// Simulated time, in processor cycles.
+using SimTime = double;
+
+/// Time-ordered event queue; ties run in scheduling order, making every
+/// simulation run deterministic.
+class EventQueue {
+public:
+  void schedule(SimTime t, std::function<void()> fn);
+
+  /// Run the earliest event. Returns false when empty.
+  bool step();
+
+  /// Run events until the queue drains.
+  void run();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+private:
+  struct Ev {
+    SimTime t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Cmp {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, Cmp> q_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace blog::machine

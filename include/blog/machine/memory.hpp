@@ -1,0 +1,59 @@
+// Processor-local memory models: the LRU block cache fed by the SPDs, and
+// the §6 multi-write memory (a shift register beside the address decoder
+// lets one access write the same word of several copies), which divides the
+// cycle cost of state copying by the write width.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "blog/machine/event.hpp"
+#include "blog/spd/block.hpp"
+
+namespace blog::machine {
+
+/// LRU set of database blocks held in a processor's local memory.
+class LocalMemory {
+public:
+  explicit LocalMemory(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Touch a block. Returns true on hit. On miss the block is inserted
+  /// (evicting the least recently used if full).
+  bool access(spd::BlockId id);
+
+  [[nodiscard]] bool contains(spd::BlockId id) const { return map_.contains(id); }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+private:
+  std::size_t capacity_;
+  std::list<spd::BlockId> lru_;  // front = most recent
+  std::unordered_map<spd::BlockId, std::list<spd::BlockId>::iterator> map_;
+  std::uint64_t hits_ = 0, misses_ = 0;
+};
+
+/// Copy-cost model. A conventional RAM writes one word per cycle; the
+/// multi-write memory writes the corresponding word of `write_width` copies
+/// per cycle.
+struct CopyModel {
+  unsigned write_width = 1;
+  double cycle_per_word = 1.0;
+
+  [[nodiscard]] SimTime cost(std::size_t words) const {
+    const double w = std::max(1u, write_width);
+    return std::ceil(static_cast<double>(words) / w) * cycle_per_word;
+  }
+  /// Cost of producing `copies` copies of a `words`-word state. With
+  /// multi-write the copies are written simultaneously.
+  [[nodiscard]] SimTime cost_copies(std::size_t words, std::size_t copies) const {
+    if (copies == 0) return 0.0;
+    const double w = std::max(1u, write_width);
+    const double batches = std::ceil(static_cast<double>(copies) / w);
+    return batches * static_cast<double>(words) * cycle_per_word;
+  }
+};
+
+}  // namespace blog::machine

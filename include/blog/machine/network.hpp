@@ -1,0 +1,54 @@
+// Interconnection models (§6): the minimum-seeking network (a tree whose
+// nodes select the minimum of their descendants, plus a priority circuit to
+// arbitrate waiting processors) and the packet-switched-setup /
+// circuit-switched-transfer interconnect used to migrate chains. Also the
+// Batcher sorting network comparator counts used in the cost comparison the
+// paper makes in §3/§6.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "blog/machine/event.hpp"
+
+namespace blog::machine {
+
+/// Tree-of-min circuit over `leaves` inputs.
+struct MinNetModel {
+  unsigned leaves = 4;
+  double per_level = 1.0;  // cycles per tree level
+
+  [[nodiscard]] unsigned levels() const {
+    unsigned lv = 0, n = 1;
+    while (n < leaves) {
+      n *= 2;
+      ++lv;
+    }
+    return lv == 0 ? 1 : lv;
+  }
+  /// Latency of one minimum selection (propagate leaf→root).
+  [[nodiscard]] SimTime latency() const { return per_level * levels(); }
+  /// Comparator count of the min tree: n-1.
+  [[nodiscard]] std::uint64_t comparators() const { return leaves > 0 ? leaves - 1 : 0; }
+};
+
+/// Batcher bitonic sorting network over n inputs:
+/// comparators = n/4 * log2(n) * (log2(n)+1), depth = log2(n)(log2(n)+1)/2.
+struct BatcherModel {
+  unsigned inputs = 4;
+
+  [[nodiscard]] std::uint64_t comparators() const;
+  [[nodiscard]] unsigned depth() const;
+};
+
+/// Chain migration cost: packet-switched path setup plus circuit-switched
+/// transfer of the chain's state.
+struct InterconnectModel {
+  double setup = 16.0;           // path setup (packet switching)
+  double per_word = 0.5;         // circuit-switched data movement
+  [[nodiscard]] SimTime migrate_cost(std::size_t state_words) const {
+    return setup + per_word * static_cast<double>(state_words);
+  }
+};
+
+}  // namespace blog::machine

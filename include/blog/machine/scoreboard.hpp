@@ -1,0 +1,58 @@
+// The scoreboard-driven controller of the B-LOG processor (§6): a small set
+// of specialized functional units (instantiate variables, copy state, update
+// weights, dispatch chains) kept busy across the processor's M concurrent
+// tasks, in the style of the CDC 6600 scoreboard.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "blog/machine/event.hpp"
+
+namespace blog::machine {
+
+enum class Unit : std::uint8_t { Unify = 0, Copy = 1, Weight = 2, Dispatch = 3 };
+inline constexpr std::size_t kUnitKinds = 4;
+
+const char* unit_name(Unit u);
+
+struct ScoreboardConfig {
+  unsigned unify_units = 1;
+  unsigned copy_units = 1;
+  unsigned weight_units = 1;
+  unsigned dispatch_units = 1;
+};
+
+struct UnitStats {
+  SimTime busy = 0.0;       // total occupied time
+  SimTime stall = 0.0;      // time operations waited for a free unit
+  std::uint64_t ops = 0;
+};
+
+/// Books functional-unit time. An operation that becomes ready at `ready`
+/// starts on the earliest-free unit of its kind (possibly later than
+/// `ready`: a structural hazard, accounted as stall).
+class Scoreboard {
+public:
+  explicit Scoreboard(const ScoreboardConfig& cfg);
+
+  struct Slot {
+    SimTime start;
+    SimTime finish;
+  };
+
+  Slot reserve(Unit kind, SimTime ready, SimTime duration);
+
+  [[nodiscard]] const UnitStats& stats(Unit kind) const {
+    return stats_[static_cast<std::size_t>(kind)];
+  }
+  /// Latest completion time over all units.
+  [[nodiscard]] SimTime horizon() const;
+
+private:
+  std::array<std::vector<SimTime>, kUnitKinds> free_at_;  // per-unit free time
+  std::array<UnitStats, kUnitKinds> stats_;
+};
+
+}  // namespace blog::machine

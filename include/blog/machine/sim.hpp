@@ -1,0 +1,118 @@
+// The B-LOG machine simulator (§6): NP processors × M scoreboard-multitasked
+// tasks, processor-local chain pools, a minimum-seeking network with a
+// priority circuit and the communication threshold D, local memories paged
+// from a semantic paging disk array, and a multi-write copy model.
+//
+// The simulator executes the *real* search (every expansion is a genuine
+// resolution step via search::Expander) while charging simulated cycles for
+// every micro-operation, so reported makespans reflect the actual OR-tree
+// of the program under the configured machine.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/machine/event.hpp"
+#include "blog/machine/memory.hpp"
+#include "blog/machine/network.hpp"
+#include "blog/machine/scoreboard.hpp"
+#include "blog/spd/array.hpp"
+
+namespace blog::machine {
+
+struct MachineConfig {
+  unsigned processors = 4;
+  unsigned tasks_per_processor = 4;     // M concurrent tasks per processor
+  double d_threshold = 0.0;             // §6's D, in bound units
+  std::size_t local_pool_capacity = 8;  // chains parked in processor memory
+
+  // Micro-operation costs (cycles).
+  double unify_cost_per_cell = 1.0;
+  double weight_update_cost = 4.0;
+  double dispatch_cost = 2.0;
+  CopyModel copy;             // write_width models the multi-write memory
+  ScoreboardConfig units;
+
+  // Local memory and the disk array.
+  std::size_t local_memory_blocks = 64;
+  bool use_spd = true;
+  spd::SpdConfig spd;
+  std::uint32_t prefetch_radius = 1;  // Hamming distance of each page-in
+
+  MinNetModel minnet;          // leaves forced to `processors` at run time
+  InterconnectModel interconnect;
+
+  // Search behaviour.
+  bool update_weights = true;
+  std::size_t max_solutions = std::numeric_limits<std::size_t>::max();
+  std::size_t max_nodes = 200'000;
+  search::ExpanderOptions expander;
+};
+
+struct ProcessorReport {
+  std::uint64_t expanded = 0;
+  std::uint64_t local_takes = 0;
+  std::uint64_t net_takes = 0;      // chains acquired through the network
+  std::uint64_t migrations = 0;     // net takes that crossed processors
+  std::uint64_t spills = 0;         // children pushed to the network
+  SimTime disk_wait = 0.0;          // task time spent waiting for the SPDs
+  SimTime unit_busy = 0.0;          // Σ functional-unit busy time
+  SimTime unit_stall = 0.0;         // Σ structural-hazard stalls
+  UnitStats units[kUnitKinds];
+};
+
+struct MachineReport {
+  SimTime makespan = 0.0;
+  std::uint64_t nodes_expanded = 0;
+  std::uint64_t solutions_found = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t minnet_grants = 0;   // priority-circuit arbitrations
+  SimTime copy_cycles = 0.0;
+  SimTime unify_cycles = 0.0;
+  SimTime disk_wait = 0.0;
+  std::vector<ProcessorReport> processors;
+  std::vector<std::string> solutions;  // rendered answers
+  bool complete = false;               // tree fully consumed
+
+  /// Mean fraction of the makespan each processor's units were busy.
+  [[nodiscard]] double utilization() const;
+  /// Fraction of unit-busy cycles spent copying (the §6 bottleneck).
+  [[nodiscard]] double copy_share() const;
+};
+
+/// A whole §5 session on the machine: a run of queries with strong local
+/// weight adaptation, then the conservative merge and the write-back of
+/// the merged weights to the semantic paging disks.
+struct SessionReport {
+  std::vector<SimTime> query_makespans;
+  std::vector<std::uint64_t> query_nodes;
+  SimTime flush_time = 0.0;  // SPD sweep rewriting pointer weights
+  SimTime total = 0.0;       // Σ makespans + flush
+};
+
+class MachineSim {
+public:
+  MachineSim(const db::Program& program, db::WeightStore& weights,
+             search::BuiltinEvaluator* builtins, MachineConfig config);
+
+  /// Simulate the machine solving `q`. Deterministic for a given config.
+  MachineReport run(const search::Query& q);
+
+  /// Simulate a session: begin_session, run every query, end_session
+  /// (conservative merge), then flush the merged weights to the SPDs —
+  /// "at the end of the session the global database [in secondary
+  /// storage] will be updated".
+  SessionReport run_session(const std::vector<search::Query>& queries);
+
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+private:
+  struct Impl;
+  const db::Program& program_;
+  db::WeightStore& weights_;
+  search::BuiltinEvaluator* builtins_;
+  MachineConfig config_;
+};
+
+}  // namespace blog::machine

@@ -1,0 +1,64 @@
+// Thread-parallel B-LOG search (§6's machine behaviour on real threads).
+//
+// Each worker is a "processor" with a local best-first frontier. Freed
+// workers consult the global frontier (the minimum-seeking network): if the
+// network minimum is more than D below the local minimum the chain migrates
+// through the network, otherwise the processor continues on its own minimum
+// chain. Initially the root's children are spread through the network so
+// the tree is searched "breadth-first to get all processors working".
+#pragma once
+
+#include <thread>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/parallel/minnet.hpp"
+
+namespace blog::parallel {
+
+struct ParallelOptions {
+  unsigned workers = 4;
+  double d_threshold = 0.0;       // §6's D (bound units)
+  std::size_t max_solutions = std::numeric_limits<std::size_t>::max();
+  std::size_t max_nodes = 1'000'000;  // global expansion budget
+  std::size_t local_capacity = 8;     // spill to the network beyond this
+  bool update_weights = true;
+  search::ExpanderOptions expander;
+};
+
+struct WorkerStats {
+  std::uint64_t expanded = 0;
+  std::uint64_t local_takes = 0;
+  std::uint64_t network_takes = 0;   // chains migrated through the net
+  std::uint64_t spills = 0;          // children pushed to the network
+  std::uint64_t solutions = 0;
+  std::uint64_t failures = 0;
+};
+
+struct ParallelResult {
+  std::vector<search::Solution> solutions;
+  std::vector<WorkerStats> workers;
+  GlobalFrontier::Stats network;
+  std::uint64_t nodes_expanded = 0;
+  bool exhausted = false;
+};
+
+class ParallelEngine {
+public:
+  ParallelEngine(const db::Program& program, db::WeightStore& weights,
+                 search::BuiltinEvaluator* builtins, ParallelOptions opts = {});
+
+  ParallelResult solve(const search::Query& q);
+
+private:
+  void worker_loop(const search::Expander& expander, GlobalFrontier& net,
+                   WorkerStats& ws, std::vector<search::Solution>& solutions,
+                   std::mutex& sol_mu, std::atomic<std::int64_t>& node_budget,
+                   std::atomic<std::uint64_t>& solutions_left);
+
+  const db::Program& program_;
+  db::WeightStore& weights_;
+  search::BuiltinEvaluator* builtins_;
+  ParallelOptions opts_;
+};
+
+}  // namespace blog::parallel

@@ -1,0 +1,85 @@
+// The shared global frontier — the software analogue of §6's
+// minimum-seeking network plus priority circuit: it always hands out the
+// globally lowest-bound chain, granting one waiting processor at a time.
+// It also owns distributed termination: a count of chains "in flight"
+// (queued anywhere or being expanded) reaches zero exactly when the whole
+// OR-tree has been consumed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "blog/search/node.hpp"
+
+namespace blog::parallel {
+
+class GlobalFrontier {
+public:
+  /// `initial_inflight` is the number of root chains about to be pushed.
+  explicit GlobalFrontier(std::size_t initial_inflight = 1)
+      : inflight_(static_cast<std::int64_t>(initial_inflight)) {}
+
+  /// Add a chain to the global pool. Does not change the in-flight count
+  /// (the chain already existed somewhere).
+  void push(search::Node n);
+
+  /// Lowest bound currently queued globally.
+  [[nodiscard]] std::optional<double> min_bound() const;
+
+  /// Non-blocking: pop the global minimum if its bound is lower than
+  /// `local_min - d` (§6's communication threshold D).
+  std::optional<search::Node> try_pop_if_better(double local_min, double d);
+
+  /// Blocking: wait until a chain is available, the search terminates
+  /// (in-flight count 0), or the search is stopped. std::nullopt = done.
+  std::optional<search::Node> pop_blocking();
+
+  /// Account for expansion results: the expanded chain dies, `children`
+  /// new chains are born. Signals termination when in-flight hits zero.
+  void on_expanded(std::size_t children);
+
+  /// Abort: wake everyone, pop_blocking() returns nullopt from now on.
+  void stop();
+  [[nodiscard]] bool stopped() const;
+
+  /// True once every chain has been consumed (or stop() was called).
+  [[nodiscard]] bool done() const;
+
+  struct Stats {
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;        // chains handed to processors
+    std::uint64_t grants = 0;      // blocking waits satisfied
+  };
+  [[nodiscard]] Stats stats() const;
+
+private:
+  struct Entry {
+    double bound;
+    std::uint64_t seq;
+    search::Node node;
+  };
+  struct Cmp {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.bound != b.bound) return a.bound > b.bound;
+      return a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] bool done_locked() const {
+    return stop_ || (inflight_ == 0 && heap_.empty());
+  }
+  search::Node pop_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> heap_;
+  std::uint64_t seq_ = 0;
+  std::int64_t inflight_ = 0;
+  bool stop_ = false;
+  Stats stats_;
+};
+
+}  // namespace blog::parallel

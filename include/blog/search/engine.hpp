@@ -1,0 +1,83 @@
+// Sequential OR-tree search driver: one frontier, one worker. Implements
+// depth-first (Prolog), breadth-first, and B-LOG best-first with
+// branch-and-bound pruning and §5 weight adaptation.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "blog/search/frontier.hpp"
+#include "blog/search/node.hpp"
+#include "blog/search/update.hpp"
+
+namespace blog::search {
+
+struct SearchOptions {
+  Strategy strategy = Strategy::BestFirst;
+  std::size_t max_solutions = std::numeric_limits<std::size_t>::max();
+  std::size_t max_nodes = 1'000'000;   // expansion budget (safety net)
+  bool update_weights = true;          // apply §5 updates as chains resolve
+  // Branch & bound: once an incumbent solution is known, prune frontier
+  // nodes whose bound exceeds incumbent + margin. All successful chains
+  // share the same bound in the theoretical model, so margin 0 keeps
+  // completeness once weights have converged; a fresh database needs a
+  // generous margin (or pruning off) to stay complete.
+  bool prune_with_incumbent = false;
+  double prune_margin = 0.0;
+  ExpanderOptions expander;
+};
+
+struct Solution {
+  term::Store store;
+  term::TermRef answer = term::kNullTerm;
+  double bound = 0.0;
+  std::uint32_t depth = 0;
+  std::string text;  // rendered answer term
+};
+
+struct SearchStats {
+  std::size_t nodes_expanded = 0;
+  std::size_t children_generated = 0;
+  std::size_t solutions = 0;
+  std::size_t failures = 0;
+  std::size_t depth_cutoffs = 0;
+  std::size_t pruned = 0;
+  std::size_t max_frontier = 0;
+  ExpandStats expand;
+};
+
+struct SearchResult {
+  std::vector<Solution> solutions;
+  SearchStats stats;
+  bool exhausted = false;  // frontier emptied (search space fully explored)
+};
+
+/// Observer hooks for tree recording (theory module, traces, machine sim).
+struct SearchObserver {
+  std::function<void(const Node&)> on_pop;
+  std::function<void(const Node&, const std::vector<Node>&)> on_expand;
+  std::function<void(const Node&)> on_solution;
+  std::function<void(const Node&)> on_failure;
+};
+
+class SearchEngine {
+public:
+  SearchEngine(const db::Program& program, db::WeightStore& weights,
+               BuiltinEvaluator* builtins);
+
+  SearchResult solve(const Query& q, const SearchOptions& opts,
+                     SearchObserver* observer = nullptr);
+
+  [[nodiscard]] db::WeightStore& weights() { return weights_; }
+
+private:
+  const db::Program& program_;
+  db::WeightStore& weights_;
+  BuiltinEvaluator* builtins_;
+};
+
+/// Render a solution's answer (binding list or the instantiated template).
+std::string solution_text(const term::Store& s, term::TermRef answer);
+
+}  // namespace blog::search

@@ -1,0 +1,91 @@
+// Frontier (open list) policies: the only difference between Prolog-style
+// depth-first, breadth-first and B-LOG best-first search (§3).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "blog/search/node.hpp"
+
+namespace blog::search {
+
+enum class Strategy { DepthFirst, BreadthFirst, BestFirst };
+
+const char* strategy_name(Strategy s);
+
+/// Abstract open list.
+class Frontier {
+public:
+  virtual ~Frontier() = default;
+  virtual void push(Node n) = 0;
+  virtual Node pop() = 0;
+  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  /// Smallest bound currently in the frontier (BestFirst: exact; others:
+  /// scans). Meaningful only when non-empty.
+  [[nodiscard]] virtual double min_bound() const = 0;
+  /// Drop all nodes with bound > cutoff; returns how many were pruned.
+  virtual std::size_t prune_above(double cutoff) = 0;
+};
+
+/// LIFO — children pushed in reverse clause order reproduce Prolog's
+/// leftmost-first traversal.
+class DepthFirstFrontier final : public Frontier {
+public:
+  void push(Node n) override { stack_.push_back(std::move(n)); }
+  Node pop() override;
+  [[nodiscard]] bool empty() const override { return stack_.empty(); }
+  [[nodiscard]] std::size_t size() const override { return stack_.size(); }
+  [[nodiscard]] double min_bound() const override;
+  std::size_t prune_above(double cutoff) override;
+
+private:
+  std::vector<Node> stack_;
+};
+
+/// FIFO.
+class BreadthFirstFrontier final : public Frontier {
+public:
+  void push(Node n) override { q_.push_back(std::move(n)); }
+  Node pop() override;
+  [[nodiscard]] bool empty() const override { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const override { return q_.size(); }
+  [[nodiscard]] double min_bound() const override;
+  std::size_t prune_above(double cutoff) override;
+
+private:
+  std::deque<Node> q_;
+};
+
+/// Min-heap on (bound, insertion order): the branch-and-bound open list.
+/// Ties break FIFO so equal-bound nodes expand in generation order.
+class BestFirstFrontier final : public Frontier {
+public:
+  void push(Node n) override;
+  Node pop() override;
+  [[nodiscard]] bool empty() const override { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const override { return heap_.size(); }
+  [[nodiscard]] double min_bound() const override;
+  std::size_t prune_above(double cutoff) override;
+
+private:
+  struct Entry {
+    double bound;
+    std::uint64_t seq;
+    Node node;
+  };
+  struct Cmp {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.bound != b.bound) return a.bound > b.bound;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<Entry> heap_;  // std::*_heap managed
+  std::uint64_t seq_ = 0;
+};
+
+std::unique_ptr<Frontier> make_frontier(Strategy s);
+
+}  // namespace blog::search

@@ -1,0 +1,159 @@
+// OR-tree nodes and the resolution (expansion) step.
+//
+// A node is a full copy of the computation state — its own term store, the
+// remaining goal list, and the instantiated answer template. The arcs from
+// the root are kept as a shared immutable chain so that bounds and §5
+// weight updates can walk leaf→root cheaply.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "blog/db/program.hpp"
+#include "blog/db/weights.hpp"
+#include "blog/term/unify.hpp"
+
+namespace blog::search {
+
+/// A pending goal together with its provenance: which clause body literal
+/// introduced it (the caller side of the Figure-4 weighted pointer).
+struct Goal {
+  term::TermRef term = term::kNullTerm;
+  db::ClauseId src_clause = db::kQueryClause;
+  std::uint32_t src_literal = 0;
+};
+
+/// One resolution decision (an arc of the OR-tree).
+struct Arc {
+  db::PointerKey key;
+  double weight = 0.0;             // weight read at decision time
+  db::WeightKind kind_at_use = db::WeightKind::Unknown;
+};
+
+/// Immutable leafward-growing chain of arcs (shared between siblings'
+/// descendants).
+struct Chain {
+  Arc arc;
+  std::shared_ptr<const Chain> parent;
+};
+
+using ChainPtr = std::shared_ptr<const Chain>;
+
+/// Length of a chain (number of arcs root→here).
+std::uint32_t chain_length(const Chain* c);
+
+/// Search-tree node. Value type: freely movable, copyable for observers.
+struct Node {
+  term::Store store;
+  std::vector<Goal> goals;          // goals[0] is resolved next
+  term::TermRef answer = term::kNullTerm;  // instantiated query template
+  double bound = 0.0;               // sum of arc weights root→here
+  std::uint32_t depth = 0;          // number of arcs
+  ChainPtr chain;
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;
+
+  [[nodiscard]] bool is_leaf_solution() const { return goals.empty(); }
+};
+
+/// A query ready to run: goal terms plus the answer template, in one store.
+struct Query {
+  term::Store store;
+  std::vector<term::TermRef> goals;
+  term::TermRef answer = term::kNullTerm;
+};
+
+/// Hook for evaluating builtin goals. Deterministic builtins only: they
+/// bind in `s` (trailing via `trail`) and succeed or fail.
+class BuiltinEvaluator {
+public:
+  enum class Outcome { NotBuiltin, True, Fail };
+  virtual ~BuiltinEvaluator() = default;
+  virtual Outcome eval(term::Store& s, term::TermRef goal, term::Trail& trail) = 0;
+  /// Pure check (no evaluation) used by goal-selection policies.
+  [[nodiscard]] virtual bool is_builtin(const db::Pred&) const { return false; }
+};
+
+struct ExpandStats {
+  std::size_t unify_attempts = 0;
+  std::size_t unify_successes = 0;
+  std::size_t unify_cells = 0;    // cells visited by unification (work proxy)
+  std::size_t cells_copied = 0;   // child state sizes (machine copy cost)
+  std::size_t builtin_calls = 0;
+};
+
+enum class NodeOutcome {
+  Expanded,   // children produced
+  Solution,   // node had no goals
+  Failure,    // no clause matched / builtin failed: a failed chain (§5)
+  DepthLimit, // cut off, not a semantic failure
+};
+
+/// Which pending goal to resolve next. The paper's §2 model traverses
+/// "collecting all unused graphs" and picks freely; Prolog (and our
+/// default) is leftmost. Selection is restricted to the prefix of goals
+/// before the first builtin so arithmetic stays correctly sequenced.
+enum class GoalOrder {
+  Leftmost,         // Prolog order
+  SmallestFanout,   // first-fail: fewest candidate clauses first
+  CheapestPointer,  // goal whose best candidate arc has the least weight
+};
+
+struct ExpanderOptions {
+  bool first_arg_indexing = true;
+  bool occurs_check = false;
+  std::uint32_t max_depth = 512;
+  bool use_weights = true;  // false: every arc weighs 1 (uniform costs)
+  GoalOrder goal_order = GoalOrder::Leftmost;
+  // Conditional weights (§5 future work): key each pointer weight also by
+  // the clause chosen one step earlier ("conditional information").
+  bool conditional_weights = false;
+};
+
+/// Result of one resolution step.
+struct ExpandOutput {
+  NodeOutcome outcome = NodeOutcome::Failure;
+  std::vector<Node> children;  // for Expanded, in clause (Prolog) order
+  Node final_node;             // the node after builtin evaluation, for
+                               // Solution / Failure / DepthLimit outcomes
+};
+
+/// The resolution step shared by the sequential engine, the thread-parallel
+/// engine and the machine simulator.
+class Expander {
+public:
+  Expander(const db::Program& program, const db::WeightStore& weights,
+           BuiltinEvaluator* builtins, ExpanderOptions opts = {});
+
+  /// Build the root node of a query.
+  [[nodiscard]] Node make_root(const Query& q) const;
+
+  /// Resolve `n`'s first goal. Builtin goals are evaluated in-place,
+  /// consuming goals until a non-builtin is at the front; a builtin failure
+  /// yields `Failure`. `out.children` is cleared first.
+  void expand(Node n, ExpandOutput& out, ExpandStats* stats = nullptr) const;
+
+  [[nodiscard]] const db::Program& program() const { return program_; }
+  [[nodiscard]] const db::WeightStore& weights() const { return weights_; }
+  [[nodiscard]] const ExpanderOptions& options() const { return opts_; }
+
+  /// Next fresh node id (shared by all consumers of this expander).
+  std::uint64_t next_id() const;
+
+private:
+  void select_goal(Node& n) const;
+  Node make_child(const Node& parent, const db::Clause& clause,
+                  term::TermRef renamed_head,
+                  const std::vector<term::TermRef>& renamed_body,
+                  const Arc& arc, ExpandStats* stats) const;
+
+  const db::Program& program_;
+  const db::WeightStore& weights_;
+  BuiltinEvaluator* builtins_;
+  ExpanderOptions opts_;
+  mutable std::atomic<std::uint64_t> next_id_{1};
+};
+
+}  // namespace blog::search

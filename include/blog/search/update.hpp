@@ -1,0 +1,25 @@
+// §5 weight-update rules, applied to chains when searches fail or succeed.
+#pragma once
+
+#include "blog/db/weights.hpp"
+#include "blog/search/node.hpp"
+
+namespace blog::search {
+
+/// Failed chain: if no arc in the chain already has infinite weight, set the
+/// *unknown arc nearest the leaf* to infinity ("similar to the backtracking
+/// problem in Prolog; we think it should be the unknown nearest the leaf").
+/// Returns true if a weight was set.
+bool update_on_failure(db::WeightStore& ws, const Chain* chain);
+
+/// Successful chain: let M be the sum of the chain's known weights and k the
+/// number of unknown-or-infinite arcs. If M > N, set those k weights to 0;
+/// otherwise set each to (N - M)/k so the chain's bound becomes exactly N.
+/// Returns the number of weights set.
+std::size_t update_on_success(db::WeightStore& ws, const Chain* chain);
+
+/// Bound of a chain recomputed against the *current* weights (not the
+/// weights read at decision time). Used by tests and the session benches.
+double chain_bound_now(const db::WeightStore& ws, const Chain* chain);
+
+}  // namespace blog::search

@@ -1,0 +1,70 @@
+// The SPD array: several search processors holding a partitioned database,
+// operating in SIMD mode (all SPs sweep the same cylinder, cross-SP pointer
+// transfers resolved in the sweep) or MIMD mode (independent SPs).
+//
+// The array's task is §6's: "store a graph ... and extract a subgraph
+// consisting of some selected nodes and all nodes within some Hamming
+// distance of the selected nodes."
+#pragma once
+
+#include "blog/spd/disk.hpp"
+
+namespace blog::spd {
+
+enum class SpdMode { SIMD, MIMD };
+
+struct SpdConfig {
+  std::size_t sps = 4;               // search processors
+  std::size_t blocks_per_track = 8;  // record capacity of one track
+  SpdMode mode = SpdMode::SIMD;
+  DiskTiming timing;
+};
+
+struct PageResult {
+  std::vector<BlockId> blocks;   // the extracted subgraph
+  SimTime elapsed = 0.0;
+  std::uint64_t track_loads = 0;
+  std::uint64_t cross_sp_transfers = 0;  // pointers resolved between SPs
+  std::uint64_t deferred_rounds = 0;     // extra cylinder sweeps needed
+};
+
+class SpdArray {
+public:
+  /// Distribute `blocks` round-robin over SPs and tracks (cylinder layout:
+  /// track t of every SP forms cylinder t).
+  SpdArray(std::vector<Block> blocks, SpdConfig config);
+
+  /// Page in every block within Hamming distance `radius` of `seeds`
+  /// (following all pointer names). This is the semantic page used by a
+  /// processor: a subgraph defined by the run-time state.
+  PageResult page_in(const std::vector<BlockId>& seeds, std::uint32_t radius);
+
+  [[nodiscard]] const SearchProcessor& sp(std::size_t i) const { return sps_[i]; }
+  [[nodiscard]] std::size_t sp_count() const { return sps_.size(); }
+  [[nodiscard]] std::size_t cylinder_count() const { return cylinders_; }
+  [[nodiscard]] std::size_t sp_of(BlockId id) const { return sp_of_.at(id); }
+
+  /// Reference BFS over the pointer graph (ground truth for tests).
+  [[nodiscard]] std::vector<BlockId> bfs_ball(const std::vector<BlockId>& seeds,
+                                              std::uint32_t radius) const;
+
+  /// §5 end-of-session write-back: rewrite every pointer weight on disk
+  /// from the (just merged) global weight store. Sweeps every track of
+  /// every SP once; SPs work in parallel (elapsed = max over SPs).
+  SimTime flush_weights(const db::WeightStore& ws);
+
+  [[nodiscard]] SearchProcessor& sp_mutable(std::size_t i) { return sps_[i]; }
+
+private:
+  PageResult page_in_simd(const std::vector<BlockId>& seeds, std::uint32_t radius);
+  PageResult page_in_mimd(const std::vector<BlockId>& seeds, std::uint32_t radius);
+
+  std::vector<SearchProcessor> sps_;
+  std::unordered_map<BlockId, std::size_t> sp_of_;
+  std::unordered_map<BlockId, const Block*> by_id_;
+  std::vector<Block> all_;  // owning copy for bfs ground truth
+  std::size_t cylinders_ = 0;
+  SpdMode mode_ = SpdMode::SIMD;
+};
+
+}  // namespace blog::spd

@@ -1,0 +1,50 @@
+// The on-disk representation of the database (Figure 4 / §6): variable
+// length blocks, one per Horn clause, holding data words and named,
+// weighted pointers to the blocks that can resolve each body literal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blog/db/program.hpp"
+#include "blog/db/weights.hpp"
+
+namespace blog::spd {
+
+using BlockId = std::uint32_t;
+inline constexpr BlockId kNullBlock = 0xffffffffu;
+
+/// A named weighted pointer (name, target block, weight). Weights are
+/// stored *with the pointers*, "rather than at the beginning of each
+/// block", so the search can decide whether to retrieve the target before
+/// touching slow storage (§5).
+struct DiskPointer {
+  Symbol name;         // predicate name of the target clause
+  BlockId target = kNullBlock;
+  double weight = 0.0;
+  std::uint32_t literal = 0;  // which body literal this pointer resolves
+};
+
+/// One variable-length record.
+struct Block {
+  BlockId id = kNullBlock;
+  db::ClauseId clause = 0;
+  Symbol pred;                 // head predicate
+  std::uint32_t arity = 0;
+  std::uint32_t data_words = 0;  // clause body size (term cells)
+  std::vector<DiskPointer> pointers;
+
+  /// Record length in words: data plus 3 words per pointer (name, target,
+  /// weight) plus a 2-word header.
+  [[nodiscard]] std::uint32_t words() const {
+    return 2 + data_words + 3 * static_cast<std::uint32_t>(pointers.size());
+  }
+};
+
+/// Build the Figure-4 block image of a program: one block per clause, one
+/// pointer per (body literal, candidate clause) pair, weights read from
+/// `ws` at build time.
+std::vector<Block> build_blocks(const db::Program& program,
+                                const db::WeightStore& ws);
+
+}  // namespace blog::spd

@@ -1,0 +1,110 @@
+// One search processor (SP) of the semantic paging disk: a set of tracks,
+// a read-write head, a track-sized RAM cache and marking logic implementing
+// the three §6 operations:
+//   (1) associative search in cached blocks → mark,
+//   (2) follow (named) pointers from marked blocks → mark,
+//   (3) output/update words of marked blocks.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "blog/spd/block.hpp"
+
+namespace blog::spd {
+
+/// Simulated time in disk cycles.
+using SimTime = double;
+
+struct DiskTiming {
+  double seek_per_track = 40.0;    // head move cost per track of distance
+  double rotation = 100.0;         // one full revolution: load track → cache
+  double cache_op_per_block = 1.0; // associative compare per cached block
+  double transfer_per_word = 0.1;  // output of marked data
+};
+
+struct SpStats {
+  std::uint64_t track_loads = 0;
+  std::uint64_t cache_hits = 0;   // operations served by the loaded track
+  std::uint64_t blocks_marked = 0;
+  std::uint64_t pointer_follows = 0;
+  SimTime busy_time = 0.0;
+};
+
+/// A single search processor with its tracks and cache.
+class SearchProcessor {
+public:
+  SearchProcessor(std::vector<std::vector<Block>> tracks, DiskTiming timing);
+
+  [[nodiscard]] std::size_t track_count() const { return tracks_.size(); }
+  [[nodiscard]] const std::vector<Block>& track(std::size_t t) const {
+    return tracks_[t];
+  }
+
+  /// Load track `t` into the cache (no-op if already loaded). Returns the
+  /// elapsed time (0 on a cache hit).
+  SimTime load_track(std::size_t t);
+
+  /// Operation (1): mark cached blocks whose head predicate matches.
+  /// Returns elapsed time.
+  SimTime mark_matching(Symbol pred, std::uint32_t arity);
+
+  /// Mark a specific block if it is in the cached track.
+  SimTime mark_block(BlockId id);
+
+  /// Operation (2): follow pointers (optionally restricted to `name`) from
+  /// marked blocks one step. Targets inside the cached track are marked;
+  /// pointers leaving the track are appended to `deferred`. Newly marked
+  /// in-cache targets are also reported through `newly_marked`.
+  SimTime follow_pointers(std::optional<Symbol> name,
+                          std::vector<BlockId>& deferred,
+                          std::vector<BlockId>& newly_marked);
+
+  /// Operation (3): read out the marked blocks.
+  SimTime output_marked(std::vector<BlockId>& out) const;
+
+  /// Operation (3), write side: rewrite the pointer weights of every marked
+  /// block in the cached track. `f` computes the new weight for a pointer.
+  /// Charged one word transfer per rewritten pointer. Returns elapsed time.
+  SimTime update_weights_in_marked(
+      const std::function<double(const Block&, const DiskPointer&)>& f);
+
+  /// Operation (3), delete: remove the marked blocks from the cached track.
+  /// Their words become garbage on the track until gc() compacts it.
+  SimTime delete_marked();
+
+  /// Insert a block into the cached track (appended after the live
+  /// records). Charged its transfer cost.
+  SimTime insert_block(Block b);
+
+  /// Words of reclaimable garbage on track `t`.
+  [[nodiscard]] std::uint32_t garbage_words(std::size_t t) const;
+
+  /// Compact the cached track "without interacting with external
+  /// processors" (§6): rewrites the live records, clearing the garbage.
+  SimTime gc();
+
+  void clear_marks() { marks_.clear(); }
+  [[nodiscard]] const std::unordered_set<BlockId>& marks() const { return marks_; }
+  [[nodiscard]] std::optional<std::size_t> loaded_track() const { return loaded_; }
+  [[nodiscard]] bool contains(BlockId id) const { return location_.contains(id); }
+  [[nodiscard]] std::size_t track_of(BlockId id) const { return location_.at(id); }
+  [[nodiscard]] const SpStats& stats() const { return stats_; }
+
+private:
+  [[nodiscard]] const Block* cached_block(BlockId id) const;
+
+  std::vector<std::vector<Block>> tracks_;
+  std::vector<std::uint32_t> garbage_;                 // words per track
+  std::unordered_map<BlockId, std::size_t> location_;  // block -> track
+  DiskTiming timing_;
+  std::optional<std::size_t> loaded_;
+  std::size_t head_pos_ = 0;
+  std::unordered_set<BlockId> marks_;  // marks refer to the cached track
+  mutable SpStats stats_;
+};
+
+}  // namespace blog::spd

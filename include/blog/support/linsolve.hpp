@@ -1,0 +1,42 @@
+// Small dense linear algebra: least-squares solver used by the §4
+// theoretical weight model (N chain equations in M >> N arc unknowns).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace blog {
+
+/// Dense row-major matrix, minimal interface.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), a_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  double& operator()(std::size_t r, std::size_t c) { return a_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return a_[r * cols_ + c]; }
+
+private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> a_;
+};
+
+/// Solve the square system A x = b by Gaussian elimination with partial
+/// pivoting. Returns false if A is (numerically) singular.
+bool solve_square(Matrix a, std::vector<double> b, std::vector<double>& x);
+
+/// Minimum-norm least-squares solution of A x = b for (typically
+/// under-determined) A, via ridge-regularized normal equations
+/// x = Aᵀ (A Aᵀ + λI)⁻¹ b. The minimum-norm solution is the natural choice
+/// for the paper's M >> N weight system: any solution satisfies branch and
+/// bound, the smallest one avoids gratuitously large weights.
+bool least_squares_min_norm(const Matrix& a, const std::vector<double>& b,
+                            std::vector<double>& x, double ridge = 1e-9);
+
+/// Residual ‖A x − b‖₂.
+double residual_norm(const Matrix& a, const std::vector<double>& x,
+                     const std::vector<double>& b);
+
+}  // namespace blog

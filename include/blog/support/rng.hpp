@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation for workload generators and
+// simulators. All experiments seed explicitly so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace blog {
+
+/// xoshiro256** with splitmix64 seeding. Deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace blog

@@ -1,0 +1,47 @@
+// Statistics accumulators used by search engines, simulators and benches.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace blog {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class Accumulator {
+public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double total() const { return sum_; }
+
+private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets.
+class Histogram {
+public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double percentile(double p) const;  // p in [0,100]
+
+private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace blog

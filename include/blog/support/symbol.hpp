@@ -1,0 +1,48 @@
+// Interned symbol table.
+//
+// Every atom, functor and predicate name in the system is interned once and
+// referred to by a 32-bit id. Interning is process-global and thread-safe so
+// that terms created on different worker threads compare by id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace blog {
+
+/// Opaque handle to an interned string. Value 0 is reserved for "the empty
+/// symbol" and never names a real atom.
+class Symbol {
+public:
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(std::uint32_t id) : id_(id) {}
+
+  [[nodiscard]] constexpr std::uint32_t id() const { return id_; }
+  [[nodiscard]] constexpr bool empty() const { return id_ == 0; }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend constexpr bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  friend constexpr bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+private:
+  std::uint32_t id_ = 0;
+};
+
+/// Intern `name`, returning its unique symbol. Idempotent and thread-safe.
+Symbol intern(std::string_view name);
+
+/// The text of an interned symbol. `Symbol{}` yields the empty string.
+const std::string& symbol_name(Symbol s);
+
+/// Number of symbols interned so far (useful in tests).
+std::size_t symbol_count();
+
+}  // namespace blog
+
+template <>
+struct std::hash<blog::Symbol> {
+  std::size_t operator()(blog::Symbol s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.id());
+  }
+};

@@ -1,0 +1,28 @@
+// Plain-text table formatting for bench/example output, so every experiment
+// prints paper-style rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace blog {
+
+/// Column-aligned text table. Add a header once, then rows; `str()` renders
+/// with right-aligned numeric-looking cells.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  [[nodiscard]] std::string str() const;
+
+  /// Format a double with `prec` significant decimals, trimming zeros.
+  static std::string num(double v, int prec = 2);
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace blog

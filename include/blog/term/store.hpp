@@ -1,0 +1,118 @@
+// Term representation.
+//
+// Terms live in a `Store` arena and are referred to by 32-bit indices
+// (`TermRef`). Each OR-tree search node owns its own Store — the "copying"
+// style of OR-parallel systems — so nodes are fully independent and can be
+// expanded on any thread without structure sharing (the paper itself notes
+// that "most structure sharing schemes are difficult to implement in
+// parallel", §6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "blog/support/symbol.hpp"
+
+namespace blog::term {
+
+using TermRef = std::uint32_t;
+inline constexpr TermRef kNullTerm = 0xffffffffu;
+
+enum class Tag : std::uint8_t {
+  Var,     // logic variable; `a` = binding (self if unbound), `b` = name symbol
+  Atom,    // `a` = symbol
+  Int,     // `a`/`b` = low/high 32 bits of a signed 64-bit value
+  Struct,  // `a` = functor symbol, `b` = arg offset, `c` = arity
+};
+
+struct Cell {
+  Tag tag = Tag::Var;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+};
+
+/// Arena of term cells plus argument pool. Movable, cheap to create.
+class Store {
+public:
+  Store() = default;
+
+  // --- construction ------------------------------------------------------
+  TermRef make_var(Symbol name = Symbol{});
+  TermRef make_atom(Symbol name);
+  TermRef make_atom(std::string_view name) { return make_atom(intern(name)); }
+  TermRef make_int(std::int64_t v);
+  TermRef make_struct(Symbol functor, std::span<const TermRef> args);
+  TermRef make_list(std::span<const TermRef> items, TermRef tail = kNullTerm);
+
+  // --- inspection (callers should deref first) ---------------------------
+  [[nodiscard]] const Cell& cell(TermRef t) const { return cells_[t]; }
+  [[nodiscard]] Tag tag(TermRef t) const { return cells_[t].tag; }
+  [[nodiscard]] bool is_var(TermRef t) const { return cells_[t].tag == Tag::Var; }
+  [[nodiscard]] bool is_atom(TermRef t) const { return cells_[t].tag == Tag::Atom; }
+  [[nodiscard]] bool is_int(TermRef t) const { return cells_[t].tag == Tag::Int; }
+  [[nodiscard]] bool is_struct(TermRef t) const { return cells_[t].tag == Tag::Struct; }
+
+  [[nodiscard]] Symbol atom_name(TermRef t) const { return Symbol{cells_[t].a}; }
+  [[nodiscard]] Symbol functor(TermRef t) const { return Symbol{cells_[t].a}; }
+  [[nodiscard]] std::uint32_t arity(TermRef t) const {
+    return cells_[t].tag == Tag::Struct ? cells_[t].c : 0;
+  }
+  [[nodiscard]] TermRef arg(TermRef t, std::uint32_t i) const {
+    return args_[cells_[t].b + i];
+  }
+  [[nodiscard]] std::span<const TermRef> args(TermRef t) const {
+    return {args_.data() + cells_[t].b, cells_[t].c};
+  }
+  [[nodiscard]] std::int64_t int_value(TermRef t) const {
+    return static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(cells_[t].b) << 32) | cells_[t].a);
+  }
+  [[nodiscard]] Symbol var_name(TermRef t) const { return Symbol{cells_[t].b}; }
+
+  /// Follow variable bindings to the representative term.
+  [[nodiscard]] TermRef deref(TermRef t) const;
+
+  /// Bind an *unbound* variable cell to `to`. Does not trail; see unify.hpp.
+  void bind(TermRef var, TermRef to) { cells_[var].a = to; }
+  /// Reset a variable cell to unbound (trail undo).
+  void unbind(TermRef var) { cells_[var].a = var; }
+  [[nodiscard]] bool is_unbound(TermRef t) const {
+    return cells_[t].tag == Tag::Var && cells_[t].a == t;
+  }
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+  /// Deep-copy `t` (in `src`) into this store, dereferencing bindings along
+  /// the way. Unbound source variables map to fresh variables here;
+  /// `var_map` makes the mapping stable across multiple copies (clause
+  /// renaming, answer extraction).
+  TermRef import(const Store& src, TermRef t,
+                 std::unordered_map<TermRef, TermRef>& var_map);
+
+  /// Structural equality of two (possibly cross-store) terms after deref.
+  /// Unbound variables are equal only when `lhs`/`rhs` resolve to the same
+  /// cell of the same store.
+  static bool equal(const Store& sa, TermRef a, const Store& sb, TermRef b);
+
+  /// Standard order comparison (Var < Int < Atom < Struct) after deref.
+  static int compare(const Store& sa, TermRef a, const Store& sb, TermRef b);
+
+  /// Number of cells reachable from `t` (after deref); used by the machine
+  /// simulator as the copy-cost measure.
+  [[nodiscard]] std::size_t reachable_cells(TermRef t) const;
+
+private:
+  std::vector<Cell> cells_;
+  std::vector<TermRef> args_;
+};
+
+/// Convenience: the well-known atoms.
+Symbol nil_symbol();   // []
+Symbol cons_symbol();  // '.'
+Symbol comma_symbol();
+Symbol true_symbol();
+
+}  // namespace blog::term

@@ -1,0 +1,48 @@
+// Unification with trailing, the resolution primitive of the whole system.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "blog/term/store.hpp"
+
+namespace blog::term {
+
+/// Record of variable bindings made by unification, so they can be undone
+/// (Prolog backtracking within a node during clause filtering).
+class Trail {
+public:
+  void push(TermRef var) { entries_.push_back(var); }
+  [[nodiscard]] std::size_t mark() const { return entries_.size(); }
+  /// Undo all bindings made since `mark`.
+  void undo_to(std::size_t mark, Store& store);
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+private:
+  std::vector<TermRef> entries_;
+};
+
+struct UnifyOptions {
+  bool occurs_check = false;
+};
+
+struct UnifyStats {
+  std::size_t cells_visited = 0;  // unification effort, used as a cost proxy
+  std::size_t bindings = 0;
+};
+
+/// Unify `a` and `b` inside one store, trailing bindings. On failure the
+/// trail is rolled back to its state at entry. Returns true on success.
+bool unify(Store& store, TermRef a, TermRef b, Trail& trail,
+           const UnifyOptions& opts = {}, UnifyStats* stats = nullptr);
+
+/// True if `var` occurs in `t` (after deref).
+bool occurs(const Store& store, TermRef var, TermRef t);
+
+/// True if `t` contains no unbound variables.
+bool is_ground(const Store& store, TermRef t);
+
+/// Collect the distinct unbound variables in `t`, in first-occurrence order.
+void collect_vars(const Store& store, TermRef t, std::vector<TermRef>& out);
+
+}  // namespace blog::term

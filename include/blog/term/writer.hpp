@@ -1,0 +1,18 @@
+// Term printing in Edinburgh syntax (lists, operators, variables).
+#pragma once
+
+#include <string>
+
+#include "blog/term/store.hpp"
+
+namespace blog::term {
+
+struct WriteOptions {
+  bool quoted = false;      // quote atoms that need it
+  bool number_vars = true;  // unnamed vars print as _G<idx>
+};
+
+/// Render `t` (after deref) as text.
+std::string to_string(const Store& store, TermRef t, const WriteOptions& opts = {});
+
+}  // namespace blog::term

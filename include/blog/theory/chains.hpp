@@ -1,0 +1,33 @@
+// Chain enumeration: record every complete root-to-leaf chain (successful
+// solutions and failures) of a query's OR-tree, the raw material of the §4
+// theoretical weight model.
+#pragma once
+
+#include <vector>
+
+#include "blog/engine/interpreter.hpp"
+
+namespace blog::theory {
+
+struct ChainRecord {
+  std::vector<db::PointerKey> arcs;  // root→leaf order
+  bool success = false;
+};
+
+struct TreeRecord {
+  std::vector<ChainRecord> chains;
+  std::size_t solutions = 0;   // number of successful chains
+  std::size_t failures = 0;
+  std::size_t nodes = 0;       // nodes expanded while enumerating
+};
+
+/// Exhaustively enumerate the OR-tree of `query_text` (depth-first, no
+/// weight updates, no pruning) and record every complete chain. Chains cut
+/// by the depth limit are not recorded.
+TreeRecord enumerate_chains(engine::Interpreter& ip, std::string_view query_text,
+                            std::uint32_t max_depth = 64);
+
+/// The distinct arcs appearing in `chains`, in first-appearance order.
+std::vector<db::PointerKey> distinct_arcs(const std::vector<ChainRecord>& chains);
+
+}  // namespace blog::theory

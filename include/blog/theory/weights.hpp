@@ -1,0 +1,57 @@
+// The §4 theoretical weight model.
+//
+// Treat each complete chain as an equation over its arc weights:
+//   - each successful chain has (unnormalized) probability 1/S, S = number
+//     of solutions, so its weights sum to -log2(1/S) = log2(S);
+//   - each failed chain has probability 0, i.e. it must contain at least
+//     one infinite-weight arc.
+// Arcs that occur only in failed chains can absorb the infinity. A failed
+// chain whose arcs ALL appear in successful chains is the paper's
+// pathological case: no consistent weights exist.
+//
+// With N equations in M >> N unknowns we compute the minimum-norm
+// least-squares solution (any solution satisfies branch and bound).
+#pragma once
+
+#include <unordered_map>
+
+#include "blog/support/linsolve.hpp"
+#include "blog/theory/chains.hpp"
+
+namespace blog::theory {
+
+struct TheoreticalWeights {
+  std::unordered_map<db::PointerKey, double, db::PointerKeyHash> finite;
+  std::vector<db::PointerKey> infinite;  // arcs occurring only in failures
+  std::size_t pathological_failures = 0; // failed chains with no infinite arc
+  double residual = 0.0;                 // ‖A x − b‖ of the solved system
+  double target_bound = 0.0;             // log2(S), the bound of every solution
+  std::size_t equations = 0;             // N (successful chains)
+  std::size_t unknowns = 0;              // M (finite arcs)
+  bool solvable = false;
+};
+
+/// Solve the theoretical model for a recorded tree.
+TheoreticalWeights solve_theoretical(const TreeRecord& tree);
+
+/// Comparison of adaptive (heuristic) weights with theoretical ones over
+/// the finite arcs. The paper claims the heuristic becomes *proportional*
+/// to the theoretical weights, so we report the best-fit scale and the
+/// relative error under it.
+struct WeightComparison {
+  double scale = 0.0;       // argmin_s ‖s·theory − heuristic‖
+  double rel_error = 0.0;   // ‖s·theory − heuristic‖ / ‖heuristic‖
+  std::size_t arcs = 0;
+  /// Rank agreement in [0,1]: fraction of arc pairs ordered identically by
+  /// both weightings (Kendall-style). Search order only depends on ranks.
+  double rank_agreement = 0.0;
+};
+
+WeightComparison compare_with_heuristic(const TheoreticalWeights& theory,
+                                        const db::WeightStore& heuristic);
+
+/// Bound of a chain under the theoretical weights (infinity if it contains
+/// an infinite arc).
+double chain_bound(const TheoreticalWeights& w, const ChainRecord& chain);
+
+}  // namespace blog::theory

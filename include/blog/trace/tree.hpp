@@ -1,0 +1,48 @@
+// OR-tree recording and rendering: regenerates Figure 3 as text or
+// Graphviz DOT from a live search. Attach a TreeRecorder as the
+// SearchObserver, run the query, then render.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blog/search/engine.hpp"
+
+namespace blog::trace {
+
+struct TreeNode {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string label;       // the goal resolved at this node (or the answer)
+  double bound = 0.0;
+  std::uint32_t depth = 0;
+  enum class Kind { Inner, Solution, Failure } kind = Kind::Inner;
+  std::vector<std::uint64_t> children;
+};
+
+/// Observer that captures the searched portion of the OR-tree.
+class TreeRecorder {
+public:
+  /// The observer to pass to SearchEngine::solve.
+  [[nodiscard]] search::SearchObserver observer();
+
+  [[nodiscard]] const std::unordered_map<std::uint64_t, TreeNode>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] std::uint64_t root() const { return root_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// ASCII rendering (indented tree, Figure-3 style).
+  [[nodiscard]] std::string render_text() const;
+
+  /// Graphviz DOT rendering (solutions doubled, failures dashed).
+  [[nodiscard]] std::string render_dot() const;
+
+private:
+  void ensure(const search::Node& n);
+  std::unordered_map<std::uint64_t, TreeNode> nodes_;
+  std::uint64_t root_ = 0;
+};
+
+}  // namespace blog::trace

@@ -1,0 +1,49 @@
+// Workload generators: the paper's Figure-1 example plus parameterized
+// program families used by the experiment suite (family trees, layered
+// DAGs, map coloring, N-queens, propositional chains).
+#pragma once
+
+#include <string>
+
+#include "blog/support/rng.hpp"
+
+namespace blog::workloads {
+
+/// The exact Figure 1 database: 2 gf rules, 6 f facts, 4 m facts.
+std::string figure1_family();
+
+/// The §5 propositional example: a :- b,c,d. b :- e. b :- f. c :- g. d :- h.
+/// plus the leaf facts so the searches can succeed.
+std::string figure4_propositional();
+
+/// A random multi-generation family database. `couples` per generation,
+/// `generations` deep; defines f/2 (father) and m/2 (mother) facts and the
+/// two gf rules. Persons are p<g>_<i>. Returns the program text.
+std::string random_family(Rng& rng, int generations, int couples_per_gen);
+
+/// Layered DAG with `layers`×`width` nodes and full bipartite edges between
+/// adjacent layers, plus path/3. OR-parallel workhorse: path count grows as
+/// width^layers.
+std::string layered_dag(int layers, int width);
+
+/// Random sparse DAG: `nodes` vertices, each with `out_degree` random edges
+/// to higher-numbered vertices, plus path/3.
+std::string random_dag(Rng& rng, int nodes, int out_degree);
+
+/// Map coloring: a random planar-ish adjacency over `regions` regions with
+/// `colors` colors; query color_map/0-style via region facts. Defines
+/// color/1, adj/2 and a conflict-free `coloring(R1..Rn)` rule.
+std::string map_coloring(Rng& rng, int regions, int colors, int extra_edges);
+
+/// N-queens via select/3 over the list [1..n]; defines queens<n>(Qs).
+std::string queens(int n);
+
+/// A propositional OR-tree of fan-out `fanout` and depth `depth` where
+/// exactly one leaf path succeeds (the rest fail); good/bad arcs are
+/// shuffled so depth-first search pays for wrong turns. Entry: goal0.
+std::string needle_tree(Rng& rng, int depth, int fanout);
+
+/// List utilities (append/member/len/reverse) used by several tests.
+std::string list_library();
+
+}  // namespace blog::workloads

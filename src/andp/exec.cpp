@@ -1,0 +1,200 @@
+#include "blog/andp/exec.hpp"
+
+#include <algorithm>
+
+#include "blog/term/reader.hpp"
+#include "blog/term/writer.hpp"
+
+namespace blog::andp {
+namespace {
+
+void flatten_conj(const term::Store& s, term::TermRef t,
+                  std::vector<term::TermRef>& out) {
+  t = s.deref(t);
+  if (s.is_struct(t) && s.functor(t) == term::comma_symbol() && s.arity(t) == 2) {
+    flatten_conj(s, s.arg(t, 0), out);
+    flatten_conj(s, s.arg(t, 1), out);
+    return;
+  }
+  out.push_back(t);
+}
+
+Symbol answer_functor() {
+  static const Symbol s = intern("$ans");
+  return s;
+}
+
+/// Solve `goals` (in `store`) for the named variables in `vars`, returning
+/// a relation with one row per solution. Rows must be ground; returns
+/// std::nullopt row-wise failure via `ground` flag.
+struct RelationResult {
+  Relation rel;
+  std::size_t nodes = 0;
+  bool all_ground = true;
+};
+
+RelationResult solve_to_relation(
+    engine::Interpreter& ip, const term::Store& store,
+    const std::vector<term::TermRef>& goals,
+    const std::vector<std::pair<Symbol, term::TermRef>>& vars,
+    const search::SearchOptions& opts) {
+  RelationResult out;
+  for (const auto& [name, v] : vars) out.rel.schema.push_back(name);
+
+  search::Query q;
+  std::unordered_map<term::TermRef, term::TermRef> vmap;
+  // Answer template $ans(V1,...,Vk) shares variables with the goals.
+  if (!vars.empty()) {
+    std::vector<term::TermRef> args;
+    for (const auto& [name, v] : vars) args.push_back(q.store.import(store, v, vmap));
+    q.answer = q.store.make_struct(answer_functor(), args);
+  }
+  for (const term::TermRef g : goals) q.goals.push_back(q.store.import(store, g, vmap));
+
+  const auto res = ip.solve(q, opts);
+  out.nodes = res.stats.nodes_expanded;
+  for (const auto& sol : res.solutions) {
+    std::vector<std::string> row;
+    if (!vars.empty()) {
+      const term::TermRef a = sol.store.deref(sol.answer);
+      for (std::uint32_t i = 0; i < sol.store.arity(a); ++i) {
+        const term::TermRef v = sol.store.deref(sol.store.arg(a, i));
+        if (!term::is_ground(sol.store, v)) out.all_ground = false;
+        row.push_back(term::to_string(sol.store, v));
+      }
+    }
+    out.rel.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+Relation goal_relation(engine::Interpreter& ip, const term::Store& store,
+                       term::TermRef goal,
+                       const std::vector<std::pair<Symbol, term::TermRef>>& vars,
+                       const search::SearchOptions& opts, std::size_t* nodes) {
+  auto rr = solve_to_relation(ip, store, {goal}, vars, opts);
+  if (nodes) *nodes = rr.nodes;
+  return std::move(rr.rel);
+}
+
+AndParallelResult solve_and_parallel(engine::Interpreter& ip,
+                                     std::string_view query_text,
+                                     const AndParallelOptions& opts) {
+  AndParallelResult out;
+
+  term::Store store;
+  const term::ReadTerm rt = term::parse_term(query_text, store);
+  std::vector<term::TermRef> goals;
+  flatten_conj(store, rt.term, goals);
+
+  const auto analysis = analyze(store, goals);
+  out.shared_vars = analysis.shared_vars;
+
+  // Variables used by each goal (to slice the query's named variables).
+  std::vector<std::vector<term::TermRef>> goal_vars(goals.size());
+  for (std::size_t i = 0; i < goals.size(); ++i)
+    term::collect_vars(store, goals[i], goal_vars[i]);
+
+  auto vars_of = [&](const std::vector<std::size_t>& goal_idx) {
+    std::vector<std::pair<Symbol, term::TermRef>> vs;
+    for (const auto& [name, v] : rt.variables) {
+      const term::TermRef dv = store.deref(v);
+      for (const std::size_t gi : goal_idx) {
+        if (std::find(goal_vars[gi].begin(), goal_vars[gi].end(), dv) !=
+            goal_vars[gi].end()) {
+          vs.emplace_back(name, v);
+          break;
+        }
+      }
+    }
+    return vs;
+  };
+
+  // Solve each independence group (conceptually in parallel).
+  Relation combined;
+  bool first = true;
+  for (const auto& group : analysis.groups) {
+    GroupReport grep;
+    grep.goal_indices = group;
+
+    std::vector<term::TermRef> ggoals;
+    for (const std::size_t gi : group) ggoals.push_back(goals[gi]);
+    const auto gvars = vars_of(group);
+
+    // Builtin goals have no solution relation of their own (they constrain
+    // other goals' bindings); a group containing one must run sequentially.
+    bool has_builtin = false;
+    for (const std::size_t gi : group)
+      has_builtin |= ip.builtins().is_builtin(db::pred_of(store, goals[gi]));
+
+    Relation grel;
+    if (group.size() > 1 && opts.use_semi_join && !has_builtin) {
+      // Shared-variable group: per-goal relations combined by semi-join.
+      bool join_ok = true;
+      std::vector<Relation> rels;
+      for (const std::size_t gi : group) {
+        std::vector<std::pair<Symbol, term::TermRef>> gv;
+        for (const auto& [name, v] : rt.variables) {
+          const term::TermRef dv = store.deref(v);
+          if (std::find(goal_vars[gi].begin(), goal_vars[gi].end(), dv) !=
+              goal_vars[gi].end())
+            gv.emplace_back(name, v);
+        }
+        auto rr = solve_to_relation(ip, store, {goals[gi]}, gv, opts.search);
+        grep.nodes_expanded += rr.nodes;
+        if (!rr.all_ground) {
+          join_ok = false;
+          break;
+        }
+        rels.push_back(std::move(rr.rel));
+      }
+      if (join_ok && !rels.empty()) {
+        grel = std::move(rels.front());
+        for (std::size_t r = 1; r < rels.size(); ++r)
+          grel = semi_join_then_join(grel, rels[r], &out.join);
+      } else {
+        // Fall back to sequential resolution of the whole group.
+        auto rr = solve_to_relation(ip, store, ggoals, gvars, opts.search);
+        grep.nodes_expanded += rr.nodes;
+        grel = std::move(rr.rel);
+      }
+    } else {
+      auto rr = solve_to_relation(ip, store, ggoals, gvars, opts.search);
+      grep.nodes_expanded = rr.nodes;
+      grel = std::move(rr.rel);
+    }
+
+    grep.solutions = grel.size();
+    out.sequential_nodes += grep.nodes_expanded;
+    out.critical_path_nodes = std::max(out.critical_path_nodes, grep.nodes_expanded);
+    out.groups.push_back(std::move(grep));
+
+    // Combine with previous groups: disjoint schemas ⇒ cross product.
+    if (first) {
+      combined = std::move(grel);
+      first = false;
+    } else {
+      combined = hash_join(combined, grel, &out.join);
+    }
+    if (combined.rows.empty() && !combined.schema.empty()) break;
+  }
+
+  // Render solutions in query-variable order, matching the interpreter.
+  for (const auto& row : combined.rows) {
+    std::string text;
+    for (const auto& [name, v] : rt.variables) {
+      const auto col = combined.column(name);
+      if (col < 0) continue;
+      if (!text.empty()) text += ",";
+      text += symbol_name(name) + "=" + row[static_cast<std::size_t>(col)];
+    }
+    if (text.empty()) text = "true";
+    out.solutions.push_back(std::move(text));
+  }
+  std::sort(out.solutions.begin(), out.solutions.end());
+  return out;
+}
+
+}  // namespace blog::andp

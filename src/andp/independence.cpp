@@ -1,0 +1,57 @@
+#include "blog/andp/independence.hpp"
+
+#include <functional>
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace blog::andp {
+
+IndependenceAnalysis analyze(const term::Store& s,
+                             std::span<const term::TermRef> goals) {
+  IndependenceAnalysis out;
+  const std::size_t n = goals.size();
+  std::vector<std::vector<term::TermRef>> vars(n);
+  for (std::size_t i = 0; i < n; ++i) term::collect_vars(s, goals[i], vars[i]);
+
+  // Union-find over goal indices.
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) { parent[find(a)] = find(b); };
+
+  // Map each variable to the first goal using it; later users merge.
+  std::map<term::TermRef, std::size_t> owner;
+  std::map<term::TermRef, std::size_t> uses;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const term::TermRef v : vars[i]) {
+      ++uses[v];
+      if (auto it = owner.find(v); it != owner.end()) {
+        unite(i, it->second);
+      } else {
+        owner.emplace(v, i);
+      }
+    }
+  }
+  for (const auto& [v, cnt] : uses)
+    if (cnt >= 2) ++out.shared_vars;
+
+  // Emit groups in first-goal order.
+  std::map<std::size_t, std::size_t> root_to_group;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = find(i);
+    auto it = root_to_group.find(r);
+    if (it == root_to_group.end()) {
+      root_to_group.emplace(r, out.groups.size());
+      out.groups.push_back({i});
+    } else {
+      out.groups[it->second].push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace blog::andp

@@ -1,0 +1,133 @@
+#include "blog/andp/join.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace blog::andp {
+namespace {
+
+/// Indices of `a`'s and `b`'s shared columns, plus `b`'s private columns.
+struct JoinPlan {
+  std::vector<std::pair<std::size_t, std::size_t>> shared;  // (a idx, b idx)
+  std::vector<std::size_t> b_private;
+};
+
+JoinPlan plan(const Relation& a, const Relation& b) {
+  JoinPlan p;
+  for (std::size_t j = 0; j < b.schema.size(); ++j) {
+    const auto ai = a.column(b.schema[j]);
+    if (ai >= 0) {
+      p.shared.emplace_back(static_cast<std::size_t>(ai), j);
+    } else {
+      p.b_private.push_back(j);
+    }
+  }
+  return p;
+}
+
+std::vector<Symbol> joined_schema(const Relation& a, const Relation& b,
+                                  const JoinPlan& p) {
+  std::vector<Symbol> s = a.schema;
+  for (const std::size_t j : p.b_private) s.push_back(b.schema[j]);
+  return s;
+}
+
+std::string key_of(const std::vector<std::string>& row,
+                   const std::vector<std::size_t>& cols) {
+  std::string k;
+  for (const std::size_t c : cols) {
+    k += row[c];
+    k.push_back('\x1f');
+  }
+  return k;
+}
+
+}  // namespace
+
+std::ptrdiff_t Relation::column(Symbol name) const {
+  const auto it = std::find(schema.begin(), schema.end(), name);
+  return it == schema.end() ? -1 : it - schema.begin();
+}
+
+Relation nested_loop_join(const Relation& a, const Relation& b, JoinStats* stats) {
+  const JoinPlan p = plan(a, b);
+  Relation out;
+  out.schema = joined_schema(a, b, p);
+  for (const auto& ra : a.rows) {
+    for (const auto& rb : b.rows) {
+      if (stats) ++stats->comparisons;
+      bool match = true;
+      for (const auto& [ai, bi] : p.shared) match &= ra[ai] == rb[bi];
+      if (!match) continue;
+      auto row = ra;
+      for (const std::size_t j : p.b_private) row.push_back(rb[j]);
+      out.rows.push_back(std::move(row));
+    }
+  }
+  if (stats) stats->output_rows += out.rows.size();
+  return out;
+}
+
+Relation hash_join(const Relation& a, const Relation& b, JoinStats* stats) {
+  const JoinPlan p = plan(a, b);
+  std::vector<std::size_t> acols, bcols;
+  for (const auto& [ai, bi] : p.shared) {
+    acols.push_back(ai);
+    bcols.push_back(bi);
+  }
+  std::unordered_map<std::string, std::vector<std::size_t>> index;
+  for (std::size_t r = 0; r < b.rows.size(); ++r) {
+    index[key_of(b.rows[r], bcols)].push_back(r);
+    if (stats) ++stats->probes;
+  }
+  Relation out;
+  out.schema = joined_schema(a, b, p);
+  for (const auto& ra : a.rows) {
+    if (stats) ++stats->probes;
+    const auto it = index.find(key_of(ra, acols));
+    if (it == index.end()) continue;
+    for (const std::size_t r : it->second) {
+      auto row = ra;
+      for (const std::size_t j : p.b_private) row.push_back(b.rows[r][j]);
+      out.rows.push_back(std::move(row));
+    }
+  }
+  if (stats) stats->output_rows += out.rows.size();
+  return out;
+}
+
+Relation semi_join_reduce(const Relation& a, const Relation& b, JoinStats* stats) {
+  const JoinPlan p = plan(a, b);
+  std::vector<std::size_t> acols, bcols;
+  for (const auto& [ai, bi] : p.shared) {
+    acols.push_back(ai);
+    bcols.push_back(bi);
+  }
+  Relation out;
+  out.schema = a.schema;
+  if (acols.empty()) {  // no shared columns: the reduction is a no-op
+    out.rows = b.rows.empty() ? decltype(out.rows){} : a.rows;
+    return out;
+  }
+  // The SPD marking pass: mark the join keys present in b, keep a's rows
+  // whose key is marked.
+  std::unordered_set<std::string> marked;
+  for (const auto& rb : b.rows) {
+    marked.insert(key_of(rb, bcols));
+    if (stats) ++stats->probes;
+  }
+  for (const auto& ra : a.rows) {
+    if (stats) ++stats->probes;
+    if (marked.contains(key_of(ra, acols))) out.rows.push_back(ra);
+  }
+  return out;
+}
+
+Relation semi_join_then_join(const Relation& a, const Relation& b, JoinStats* stats) {
+  const Relation ar = semi_join_reduce(a, b, stats);
+  const Relation br = semi_join_reduce(b, a, stats);
+  return hash_join(ar, br, stats);
+}
+
+}  // namespace blog::andp

@@ -1,0 +1,35 @@
+#include "blog/db/clause.hpp"
+
+#include "blog/term/writer.hpp"
+
+namespace blog::db {
+
+Clause::Clause(term::Store store, term::TermRef head,
+               std::vector<term::TermRef> body)
+    : store_(std::move(store)), head_(head), body_(std::move(body)) {
+  pred_ = pred_of(store_, head_);
+  cells_ = store_.reachable_cells(head_);
+  for (const auto g : body_) cells_ += store_.reachable_cells(g);
+}
+
+std::string Clause::to_string() const {
+  std::string s = term::to_string(store_, head_);
+  if (!body_.empty()) {
+    s += " :- ";
+    for (std::size_t i = 0; i < body_.size(); ++i) {
+      if (i) s += ", ";
+      s += term::to_string(store_, body_[i]);
+    }
+  }
+  s += ".";
+  return s;
+}
+
+Pred pred_of(const term::Store& s, term::TermRef t) {
+  t = s.deref(t);
+  if (s.is_atom(t)) return Pred{s.atom_name(t), 0};
+  if (s.is_struct(t)) return Pred{s.functor(t), s.arity(t)};
+  return Pred{Symbol{}, 0};
+}
+
+}  // namespace blog::db

@@ -1,0 +1,116 @@
+#include "blog/db/program.hpp"
+
+#include "blog/term/reader.hpp"
+
+namespace blog::db {
+namespace {
+
+Symbol clause_neck() {
+  static const Symbol s = intern(":-");
+  return s;
+}
+
+/// Flatten a `,`-tree into a goal list.
+void flatten_conj(const term::Store& s, term::TermRef t,
+                  std::vector<term::TermRef>& out) {
+  t = s.deref(t);
+  if (s.is_struct(t) && s.functor(t) == term::comma_symbol() && s.arity(t) == 2) {
+    flatten_conj(s, s.arg(t, 0), out);
+    flatten_conj(s, s.arg(t, 1), out);
+    return;
+  }
+  out.push_back(t);
+}
+
+}  // namespace
+
+ClauseId Program::add_clause(Clause c) {
+  const auto id = static_cast<ClauseId>(clauses_.size());
+  index_[c.pred()].push_back(id);
+  clauses_.push_back(std::move(c));
+  return id;
+}
+
+void Program::consult_string(std::string_view text) {
+  term::Store scratch;
+  term::Reader reader(text, scratch);
+  while (auto rt = reader.next()) {
+    const term::TermRef t = scratch.deref(rt->term);
+    term::TermRef head = t;
+    std::vector<term::TermRef> body;
+    if (scratch.is_struct(t) && scratch.functor(t) == clause_neck() &&
+        scratch.arity(t) == 2) {
+      head = scratch.arg(t, 0);
+      flatten_conj(scratch, scratch.arg(t, 1), body);
+    }
+    // Re-import head and body into the clause's private store so the
+    // scratch store can be reused.
+    term::Store cs;
+    std::unordered_map<term::TermRef, term::TermRef> vmap;
+    const term::TermRef h = cs.import(scratch, head, vmap);
+    std::vector<term::TermRef> b(body.size());
+    for (std::size_t i = 0; i < body.size(); ++i)
+      b[i] = cs.import(scratch, body[i], vmap);
+    add_clause(Clause(std::move(cs), h, std::move(b)));
+  }
+}
+
+const std::vector<ClauseId>& Program::candidates(const Pred& p) const {
+  auto it = index_.find(p);
+  return it == index_.end() ? empty_ : it->second;
+}
+
+std::vector<ClauseId> Program::candidates_indexed(const Pred& p,
+                                                  const term::Store& s,
+                                                  term::TermRef goal) const {
+  const auto& all = candidates(p);
+  goal = s.deref(goal);
+  if (!s.is_struct(goal)) return all;
+  const term::TermRef a0 = s.deref(s.arg(goal, 0));
+  if (s.is_var(a0)) return all;
+
+  std::vector<ClauseId> out;
+  out.reserve(all.size());
+  for (const ClauseId id : all) {
+    const Clause& c = clauses_[id];
+    const term::Store& cs = c.store();
+    const term::TermRef h = cs.deref(c.head());
+    if (!cs.is_struct(h)) continue;
+    const term::TermRef h0 = cs.deref(cs.arg(h, 0));
+    // Keep the clause unless the first args are distinct non-variable
+    // principal functors.
+    if (cs.is_var(h0)) {
+      out.push_back(id);
+      continue;
+    }
+    bool compatible = false;
+    if (s.is_atom(a0) && cs.is_atom(h0)) {
+      compatible = s.atom_name(a0) == cs.atom_name(h0);
+    } else if (s.is_int(a0) && cs.is_int(h0)) {
+      compatible = s.int_value(a0) == cs.int_value(h0);
+    } else if (s.is_struct(a0) && cs.is_struct(h0)) {
+      compatible = s.functor(a0) == cs.functor(h0) && s.arity(a0) == cs.arity(h0);
+    }
+    if (compatible) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<Pred> Program::predicates() const {
+  std::vector<Pred> out;
+  out.reserve(index_.size());
+  for (const auto& [p, ids] : index_) out.push_back(p);
+  return out;
+}
+
+std::size_t Program::pointer_count() const {
+  std::size_t n = 0;
+  for (const Clause& c : clauses_) {
+    for (const auto g : c.body()) {
+      n += candidates(pred_of(c.store(), g)).size();
+    }
+  }
+  return n;
+}
+
+}  // namespace blog::db

@@ -1,0 +1,76 @@
+#include "blog/db/weights.hpp"
+
+namespace blog::db {
+
+double WeightStore::weight(const PointerKey& k) const {
+  std::lock_guard lock(mu_);
+  if (auto it = session_.find(k); it != session_.end()) return it->second;
+  if (auto it = global_.find(k); it != global_.end()) return it->second;
+  return params_.unknown();
+}
+
+WeightKind WeightStore::classify(double w) const {
+  if (w >= params_.infinity()) return WeightKind::Infinite;
+  if (w == params_.unknown()) return WeightKind::Unknown;
+  return WeightKind::Known;
+}
+
+WeightKind WeightStore::kind(const PointerKey& k) const { return classify(weight(k)); }
+
+void WeightStore::set_session(const PointerKey& k, double w) {
+  std::lock_guard lock(mu_);
+  session_[k] = w;
+}
+
+double WeightStore::global_weight(const PointerKey& k) const {
+  std::lock_guard lock(mu_);
+  if (auto it = global_.find(k); it != global_.end()) return it->second;
+  return params_.unknown();
+}
+
+void WeightStore::begin_session() {
+  std::lock_guard lock(mu_);
+  session_.clear();
+}
+
+void WeightStore::end_session() {
+  std::lock_guard lock(mu_);
+  for (const auto& [k, s] : session_) {
+    auto git = global_.find(k);
+    const bool s_inf = s >= params_.infinity();
+    if (s_inf) {
+      // Conservative: never override a known global weight with infinity.
+      if (git == global_.end()) global_.emplace(k, s);
+      continue;
+    }
+    if (git == global_.end()) {
+      global_.emplace(k, s);
+    } else if (git->second >= params_.infinity()) {
+      // A success demotes a recorded infinity outright: the arc is provably
+      // on a successful chain now.
+      git->second = s;
+    } else {
+      git->second = (1.0 - params_.blend) * git->second + params_.blend * s;
+    }
+  }
+  session_.clear();
+}
+
+std::size_t WeightStore::session_size() const {
+  std::lock_guard lock(mu_);
+  return session_.size();
+}
+
+std::size_t WeightStore::global_size() const {
+  std::lock_guard lock(mu_);
+  return global_.size();
+}
+
+std::unordered_map<PointerKey, double, PointerKeyHash> WeightStore::snapshot() const {
+  std::lock_guard lock(mu_);
+  auto out = global_;
+  for (const auto& [k, w] : session_) out[k] = w;
+  return out;
+}
+
+}  // namespace blog::db

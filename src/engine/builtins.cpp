@@ -1,0 +1,114 @@
+#include "blog/engine/builtins.hpp"
+
+namespace blog::engine {
+
+std::optional<std::int64_t> eval_arith(const term::Store& s, term::TermRef t) {
+  t = s.deref(t);
+  if (s.is_int(t)) return s.int_value(t);
+  if (!s.is_struct(t)) return std::nullopt;
+  const std::string& f = symbol_name(s.functor(t));
+  const auto ar = s.arity(t);
+  if (ar == 1) {
+    const auto a = eval_arith(s, s.arg(t, 0));
+    if (!a) return std::nullopt;
+    if (f == "-") return -*a;
+    if (f == "+") return *a;
+    if (f == "abs") return *a < 0 ? -*a : *a;
+    return std::nullopt;
+  }
+  if (ar != 2) return std::nullopt;
+  const auto a = eval_arith(s, s.arg(t, 0));
+  const auto b = eval_arith(s, s.arg(t, 1));
+  if (!a || !b) return std::nullopt;
+  if (f == "+") return *a + *b;
+  if (f == "-") return *a - *b;
+  if (f == "*") return *a * *b;
+  if (f == "//") return *b == 0 ? std::optional<std::int64_t>{} : *a / *b;
+  if (f == "mod") {
+    if (*b == 0) return std::nullopt;
+    std::int64_t m = *a % *b;
+    if ((m ^ *b) < 0 && m != 0) m += *b;  // Prolog mod follows divisor sign
+    return m;
+  }
+  if (f == "min") return std::min(*a, *b);
+  if (f == "max") return std::max(*a, *b);
+  return std::nullopt;
+}
+
+StandardBuiltins::StandardBuiltins()
+    : true_(intern("true")), fail_(intern("fail")), unify_(intern("=")),
+      nunify_(intern("\\=")), eq_(intern("==")), neq_(intern("\\==")),
+      is_(intern("is")), lt_(intern("<")), gt_(intern(">")), le_(intern("=<")),
+      ge_(intern(">=")), aeq_(intern("=:=")), ane_(intern("=\\=")),
+      var_(intern("var")), nonvar_(intern("nonvar")), atom_(intern("atom")),
+      integer_(intern("integer")), ground_(intern("ground")) {}
+
+bool StandardBuiltins::is_builtin(const db::Pred& p) const {
+  if (p.arity == 0) return p.name == true_ || p.name == fail_;
+  if (p.arity == 1) {
+    return p.name == var_ || p.name == nonvar_ || p.name == atom_ ||
+           p.name == integer_ || p.name == ground_;
+  }
+  if (p.arity == 2) {
+    return p.name == unify_ || p.name == nunify_ || p.name == eq_ ||
+           p.name == neq_ || p.name == is_ || p.name == lt_ || p.name == gt_ ||
+           p.name == le_ || p.name == ge_ || p.name == aeq_ || p.name == ane_;
+  }
+  return false;
+}
+
+StandardBuiltins::Outcome StandardBuiltins::eval(term::Store& s, term::TermRef goal,
+                                                 term::Trail& trail) {
+  goal = s.deref(goal);
+  const db::Pred p = db::pred_of(s, goal);
+  if (!is_builtin(p)) return Outcome::NotBuiltin;
+
+  auto truth = [](bool b) { return b ? Outcome::True : Outcome::Fail; };
+
+  if (p.arity == 0) return truth(p.name == true_);
+
+  if (p.arity == 1) {
+    const term::TermRef a = s.deref(s.arg(goal, 0));
+    if (p.name == var_) return truth(s.is_var(a));
+    if (p.name == nonvar_) return truth(!s.is_var(a));
+    if (p.name == atom_) return truth(s.is_atom(a));
+    if (p.name == integer_) return truth(s.is_int(a));
+    if (p.name == ground_) return truth(term::is_ground(s, a));
+    return Outcome::Fail;
+  }
+
+  const term::TermRef a = s.arg(goal, 0);
+  const term::TermRef b = s.arg(goal, 1);
+
+  if (p.name == unify_) return truth(term::unify(s, a, b, trail));
+  if (p.name == nunify_) {
+    // Negation as failure of unification; sound for ground pairs, the usual
+    // Prolog caveat applies otherwise.
+    const std::size_t mark = trail.mark();
+    const bool ok = term::unify(s, a, b, trail);
+    trail.undo_to(mark, s);
+    return truth(!ok);
+  }
+  if (p.name == eq_) return truth(term::Store::equal(s, a, s, b));
+  if (p.name == neq_) return truth(!term::Store::equal(s, a, s, b));
+
+  if (p.name == is_) {
+    const auto v = eval_arith(s, b);
+    if (!v) return Outcome::Fail;
+    const term::TermRef lit = s.make_int(*v);
+    return truth(term::unify(s, a, lit, trail));
+  }
+
+  const auto va = eval_arith(s, a);
+  const auto vb = eval_arith(s, b);
+  if (!va || !vb) return Outcome::Fail;
+  if (p.name == lt_) return truth(*va < *vb);
+  if (p.name == gt_) return truth(*va > *vb);
+  if (p.name == le_) return truth(*va <= *vb);
+  if (p.name == ge_) return truth(*va >= *vb);
+  if (p.name == aeq_) return truth(*va == *vb);
+  if (p.name == ane_) return truth(*va != *vb);
+  return Outcome::Fail;
+}
+
+}  // namespace blog::engine

@@ -1,0 +1,86 @@
+#include "blog/engine/interpreter.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "blog/term/reader.hpp"
+
+namespace blog::engine {
+namespace {
+
+void flatten_conj(const term::Store& s, term::TermRef t,
+                  std::vector<term::TermRef>& out) {
+  t = s.deref(t);
+  if (s.is_struct(t) && s.functor(t) == term::comma_symbol() && s.arity(t) == 2) {
+    flatten_conj(s, s.arg(t, 0), out);
+    flatten_conj(s, s.arg(t, 1), out);
+    return;
+  }
+  out.push_back(t);
+}
+
+}  // namespace
+
+Interpreter::Interpreter(db::WeightParams weight_params)
+    : weights_(weight_params) {}
+
+void Interpreter::consult_string(std::string_view text) {
+  program_.consult_string(text);
+}
+
+void Interpreter::consult_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  consult_string(ss.str());
+}
+
+search::Query Interpreter::parse_query(std::string_view text) const {
+  search::Query q;
+  const term::ReadTerm rt = term::parse_term(text, q.store);
+  flatten_conj(q.store, rt.term, q.goals);
+
+  // Answer template: Name1 = V1, Name2 = V2, ... for the named variables.
+  const Symbol eq = intern("=");
+  std::vector<term::TermRef> pairs;
+  for (const auto& [name, var] : rt.variables) {
+    const term::TermRef args[2] = {q.store.make_atom(name), var};
+    pairs.push_back(q.store.make_struct(eq, args));
+  }
+  if (pairs.empty()) {
+    q.answer = rt.term;
+  } else {
+    term::TermRef acc = pairs.back();
+    for (std::size_t i = pairs.size() - 1; i-- > 0;) {
+      const term::TermRef args[2] = {pairs[i], acc};
+      acc = q.store.make_struct(term::comma_symbol(), args);
+    }
+    q.answer = acc;
+  }
+  return q;
+}
+
+search::SearchResult Interpreter::solve(const search::Query& q,
+                                        const search::SearchOptions& opts,
+                                        search::SearchObserver* obs) {
+  search::SearchEngine eng(program_, weights_, &builtins_);
+  return eng.solve(q, opts, obs);
+}
+
+search::SearchResult Interpreter::solve(std::string_view query_text,
+                                        const search::SearchOptions& opts,
+                                        search::SearchObserver* obs) {
+  return solve(parse_query(query_text), opts, obs);
+}
+
+std::vector<std::string> solution_texts(const search::SearchResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.solutions.size());
+  for (const auto& s : r.solutions) out.push_back(s.text);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace blog::engine

@@ -1,0 +1,29 @@
+#include "blog/machine/event.hpp"
+
+#include <cassert>
+
+namespace blog::machine {
+
+void EventQueue::schedule(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  q_.push(Ev{t, seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (q_.empty()) return false;
+  // Moving out of a priority_queue requires a const_cast dance; copy the
+  // small members and move the closure.
+  Ev ev = std::move(const_cast<Ev&>(q_.top()));
+  q_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace blog::machine

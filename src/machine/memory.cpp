@@ -1,0 +1,22 @@
+#include "blog/machine/memory.hpp"
+
+namespace blog::machine {
+
+bool LocalMemory::access(spd::BlockId id) {
+  if (auto it = map_.find(id); it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (capacity_ == 0) return false;
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(id);
+  map_[id] = lru_.begin();
+  return false;
+}
+
+}  // namespace blog::machine

@@ -1,0 +1,30 @@
+#include "blog/machine/network.hpp"
+
+namespace blog::machine {
+namespace {
+
+unsigned ceil_log2(unsigned n) {
+  unsigned lv = 0, m = 1;
+  while (m < n) {
+    m *= 2;
+    ++lv;
+  }
+  return lv;
+}
+
+}  // namespace
+
+std::uint64_t BatcherModel::comparators() const {
+  if (inputs < 2) return 0;
+  const std::uint64_t p = ceil_log2(inputs);
+  const std::uint64_t n = 1ull << p;  // padded to a power of two
+  return n / 4 * p * (p + 1);
+}
+
+unsigned BatcherModel::depth() const {
+  if (inputs < 2) return 0;
+  const unsigned p = ceil_log2(inputs);
+  return p * (p + 1) / 2;
+}
+
+}  // namespace blog::machine

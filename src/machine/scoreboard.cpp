@@ -1,0 +1,48 @@
+#include "blog/machine/scoreboard.hpp"
+
+#include <algorithm>
+
+namespace blog::machine {
+
+const char* unit_name(Unit u) {
+  switch (u) {
+    case Unit::Unify: return "unify";
+    case Unit::Copy: return "copy";
+    case Unit::Weight: return "weight";
+    case Unit::Dispatch: return "dispatch";
+  }
+  return "?";
+}
+
+Scoreboard::Scoreboard(const ScoreboardConfig& cfg) {
+  auto init = [&](Unit k, unsigned n) {
+    free_at_[static_cast<std::size_t>(k)].assign(std::max(1u, n), 0.0);
+  };
+  init(Unit::Unify, cfg.unify_units);
+  init(Unit::Copy, cfg.copy_units);
+  init(Unit::Weight, cfg.weight_units);
+  init(Unit::Dispatch, cfg.dispatch_units);
+}
+
+Scoreboard::Slot Scoreboard::reserve(Unit kind, SimTime ready, SimTime duration) {
+  auto& units = free_at_[static_cast<std::size_t>(kind)];
+  auto it = std::min_element(units.begin(), units.end());
+  const SimTime start = std::max(ready, *it);
+  const SimTime finish = start + duration;
+  *it = finish;
+  auto& st = stats_[static_cast<std::size_t>(kind)];
+  st.busy += duration;
+  st.stall += start - ready;
+  ++st.ops;
+  return Slot{start, finish};
+}
+
+SimTime Scoreboard::horizon() const {
+  SimTime h = 0.0;
+  for (const auto& units : free_at_) {
+    for (const SimTime t : units) h = std::max(h, t);
+  }
+  return h;
+}
+
+}  // namespace blog::machine

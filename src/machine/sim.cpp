@@ -1,0 +1,292 @@
+#include "blog/machine/sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "blog/search/update.hpp"
+
+namespace blog::machine {
+
+double MachineReport::utilization() const {
+  if (makespan <= 0.0 || processors.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : processors) sum += p.unit_busy;
+  // Normalize by the dominant unit count (one op stream per processor would
+  // be 1.0 with a single unit of each kind kept saturated).
+  return sum / (makespan * static_cast<double>(processors.size()));
+}
+
+double MachineReport::copy_share() const {
+  double busy = 0.0;
+  for (const auto& p : processors) busy += p.unit_busy;
+  return busy > 0.0 ? copy_cycles / busy : 0.0;
+}
+
+MachineSim::MachineSim(const db::Program& program, db::WeightStore& weights,
+                       search::BuiltinEvaluator* builtins, MachineConfig config)
+    : program_(program), weights_(weights), builtins_(builtins),
+      config_(std::move(config)) {}
+
+SessionReport MachineSim::run_session(const std::vector<search::Query>& queries) {
+  SessionReport rep;
+  weights_.begin_session();
+  for (const auto& q : queries) {
+    const auto r = run(q);
+    rep.query_makespans.push_back(r.makespan);
+    rep.query_nodes.push_back(r.nodes_expanded);
+    rep.total += r.makespan;
+  }
+  weights_.end_session();
+  if (config_.use_spd) {
+    spd::SpdArray spds(spd::build_blocks(program_, weights_), config_.spd);
+    rep.flush_time = spds.flush_weights(weights_);
+    rep.total += rep.flush_time;
+  }
+  return rep;
+}
+
+namespace {
+
+struct PoolEntry {
+  double bound;
+  std::uint64_t seq;
+  search::Node node;
+  unsigned origin;  // processor that produced the chain
+};
+struct PoolCmp {
+  bool operator()(const PoolEntry& a, const PoolEntry& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.seq > b.seq;
+  }
+};
+using Pool = std::priority_queue<PoolEntry, std::vector<PoolEntry>, PoolCmp>;
+
+struct Processor {
+  Pool local;
+  unsigned idle_tasks = 0;
+  std::unique_ptr<Scoreboard> sb;
+  std::unique_ptr<LocalMemory> mem;
+  ProcessorReport rep;
+};
+
+}  // namespace
+
+MachineReport MachineSim::run(const search::Query& q) {
+  MachineConfig cfg = config_;
+  cfg.minnet.leaves = std::max(1u, cfg.processors);
+
+  search::Expander expander(program_, weights_, builtins_, cfg.expander);
+  std::unique_ptr<spd::SpdArray> spds;
+  if (cfg.use_spd)
+    spds = std::make_unique<spd::SpdArray>(spd::build_blocks(program_, weights_),
+                                           cfg.spd);
+
+  EventQueue eq;
+  MachineReport rep;
+  rep.processors.resize(cfg.processors);
+  std::vector<Processor> procs(cfg.processors);
+  for (auto& p : procs) {
+    p.idle_tasks = cfg.tasks_per_processor;
+    p.sb = std::make_unique<Scoreboard>(cfg.units);
+    p.mem = std::make_unique<LocalMemory>(cfg.local_memory_blocks);
+  }
+
+  Pool global;
+  std::uint64_t seq = 0;
+  bool stopped = false;
+  std::uint64_t outstanding = 1;  // chains alive anywhere
+  SimTime makespan = 0.0;
+
+  global.push(PoolEntry{0.0, seq++, expander.make_root(q), 0});
+
+  // Forward declaration dance: dispatch schedules expansions which schedule
+  // dispatch again.
+  std::function<void(unsigned)> dispatch;
+
+  auto note_time = [&](SimTime t) { makespan = std::max(makespan, t); };
+
+  auto wake_idle_processors = [&] {
+    for (unsigned pi = 0; pi < cfg.processors; ++pi) {
+      if (procs[pi].idle_tasks > 0) {
+        const unsigned p = pi;
+        eq.schedule(eq.now(), [&, p] { dispatch(p); });
+      }
+    }
+  };
+
+  // Deliver the results of an expansion performed by processor `pi`.
+  auto deliver = [&](unsigned pi, search::ExpandOutput&& out) {
+    Processor& p = procs[pi];
+    switch (out.outcome) {
+      case search::NodeOutcome::Solution: {
+        search::Node& leaf = out.final_node;
+        if (cfg.update_weights)
+          search::update_on_success(weights_, leaf.chain.get());
+        ++rep.solutions_found;
+        rep.solutions.push_back(search::solution_text(leaf.store, leaf.answer));
+        --outstanding;
+        if (rep.solutions_found >= cfg.max_solutions) stopped = true;
+        break;
+      }
+      case search::NodeOutcome::Failure:
+        ++rep.failures;
+        if (cfg.update_weights)
+          search::update_on_failure(weights_, out.final_node.chain.get());
+        --outstanding;
+        break;
+      case search::NodeOutcome::DepthLimit:
+        --outstanding;
+        break;
+      case search::NodeOutcome::Expanded: {
+        outstanding += out.children.size() - 1;
+        bool spilled = false;
+        for (auto& c : out.children) {
+          if (p.local.size() < cfg.local_pool_capacity) {
+            p.local.push(PoolEntry{c.bound, seq++, std::move(c), pi});
+          } else {
+            global.push(PoolEntry{c.bound, seq++, std::move(c), pi});
+            ++p.rep.spills;
+            spilled = true;
+          }
+        }
+        if (spilled) wake_idle_processors();
+        break;
+      }
+    }
+    ++p.idle_tasks;
+    dispatch(pi);
+  };
+
+  // Start the expansion of `e` on processor `pi` at the current sim time.
+  auto start_expansion = [&](unsigned pi, PoolEntry&& e) {
+    Processor& p = procs[pi];
+    const SimTime t0 = eq.now();
+
+    if (rep.nodes_expanded >= cfg.max_nodes) stopped = true;
+    ++rep.nodes_expanded;
+    ++p.rep.expanded;
+
+    // Perform the real resolution step now; charge its cost on the
+    // simulated timeline.
+    const std::size_t parent_words = e.node.store.size();
+    auto out = std::make_shared<search::ExpandOutput>();
+    search::ExpandStats stats;
+    expander.expand(std::move(e.node), *out, &stats);
+
+    // --- disk: fetch the clause blocks this expansion touched ------------
+    SimTime ready = t0;
+    if (spds) {
+      std::vector<spd::BlockId> missing;
+      for (const auto& c : out->children) {
+        const spd::BlockId blk = c.chain->arc.key.callee;
+        if (!p.mem->access(blk)) missing.push_back(blk);
+      }
+      if (!missing.empty()) {
+        const auto page = spds->page_in(missing, cfg.prefetch_radius);
+        for (const spd::BlockId b : page.blocks) (void)p.mem->access(b);
+        ready += page.elapsed;
+        p.rep.disk_wait += page.elapsed;
+        rep.disk_wait += page.elapsed;
+      }
+    }
+
+    // --- unify on the unify unit -----------------------------------------
+    const SimTime unify_cost =
+        cfg.unify_cost_per_cell * static_cast<double>(stats.unify_cells);
+    const auto unify_slot = p.sb->reserve(Unit::Unify, ready, unify_cost);
+    rep.unify_cycles += unify_cost;
+    SimTime done = unify_slot.finish;
+
+    // --- copy children states (multi-write aware) -------------------------
+    if (!out->children.empty()) {
+      // The parent state is replicated into every child (multi-write writes
+      // `write_width` copies per pass); each child then gets its private
+      // renamed clause body appended.
+      std::size_t extra = 0;
+      for (const auto& c : out->children)
+        extra += c.store.size() > parent_words ? c.store.size() - parent_words : 0;
+      const SimTime copy_cost =
+          cfg.copy.cost_copies(parent_words, out->children.size()) +
+          cfg.copy.cost(extra);
+      const auto copy_slot = p.sb->reserve(Unit::Copy, done, copy_cost);
+      rep.copy_cycles += copy_cost;
+      done = copy_slot.finish;
+    }
+
+    // --- weight update on solution/failure --------------------------------
+    if (out->outcome == search::NodeOutcome::Solution ||
+        out->outcome == search::NodeOutcome::Failure) {
+      const auto wslot = p.sb->reserve(Unit::Weight, done, cfg.weight_update_cost);
+      done = wslot.finish;
+    }
+
+    note_time(done);
+    eq.schedule(done, [&, pi, out] { deliver(pi, std::move(*out)); });
+  };
+
+  dispatch = [&](unsigned pi) {
+    Processor& p = procs[pi];
+    while (p.idle_tasks > 0 && !stopped) {
+      const bool have_local = !p.local.empty();
+      const bool have_global = !global.empty();
+      if (!have_local && !have_global) return;
+
+      bool take_global = false;
+      if (!have_local) {
+        take_global = true;
+      } else if (have_global) {
+        take_global = global.top().bound < p.local.top().bound - cfg.d_threshold;
+      }
+
+      SimTime start = eq.now();
+      PoolEntry e = [&] {
+        if (take_global) {
+          PoolEntry x = std::move(const_cast<PoolEntry&>(global.top()));
+          global.pop();
+          ++p.rep.net_takes;
+          ++rep.minnet_grants;
+          start += cfg.minnet.latency();
+          if (x.origin != pi) {
+            ++p.rep.migrations;
+            start += cfg.interconnect.migrate_cost(x.node.store.size());
+          }
+          return x;
+        }
+        PoolEntry x = std::move(const_cast<PoolEntry&>(p.local.top()));
+        p.local.pop();
+        ++p.rep.local_takes;
+        return x;
+      }();
+
+      // Dispatch occupies the dispatch unit briefly.
+      const auto dslot = p.sb->reserve(Unit::Dispatch, start, cfg.dispatch_cost);
+      --p.idle_tasks;
+      note_time(dslot.finish);
+      eq.schedule(dslot.finish, [&, pi, ee = std::make_shared<PoolEntry>(
+                                          std::move(e))]() mutable {
+        start_expansion(pi, std::move(*ee));
+      });
+    }
+  };
+
+  eq.schedule(0.0, [&] { wake_idle_processors(); });
+  eq.run();
+
+  // Collect per-processor unit statistics.
+  for (unsigned pi = 0; pi < cfg.processors; ++pi) {
+    Processor& p = procs[pi];
+    for (std::size_t u = 0; u < kUnitKinds; ++u) {
+      const auto& st = p.sb->stats(static_cast<Unit>(u));
+      p.rep.units[u] = st;
+      p.rep.unit_busy += st.busy;
+      p.rep.unit_stall += st.stall;
+    }
+    rep.processors[pi] = p.rep;
+  }
+  rep.makespan = makespan;
+  rep.complete = !stopped && outstanding == 0;
+  std::sort(rep.solutions.begin(), rep.solutions.end());
+  return rep;
+}
+
+}  // namespace blog::machine

@@ -1,0 +1,144 @@
+#include "blog/parallel/engine.hpp"
+
+#include <algorithm>
+
+#include "blog/search/frontier.hpp"
+#include "blog/search/update.hpp"
+
+namespace blog::parallel {
+
+ParallelEngine::ParallelEngine(const db::Program& program, db::WeightStore& weights,
+                               search::BuiltinEvaluator* builtins,
+                               ParallelOptions opts)
+    : program_(program), weights_(weights), builtins_(builtins), opts_(opts) {}
+
+void ParallelEngine::worker_loop(const search::Expander& expander,
+                                 GlobalFrontier& net, WorkerStats& ws,
+                                 std::vector<search::Solution>& solutions,
+                                 std::mutex& sol_mu,
+                                 std::atomic<std::int64_t>& node_budget,
+                                 std::atomic<std::uint64_t>& solutions_left) {
+  search::BestFirstFrontier local;
+  search::ExpandOutput out;
+
+  for (;;) {
+    if (net.stopped()) break;
+    // --- acquire a chain -------------------------------------------------
+    std::optional<search::Node> taken;
+    if (local.empty()) {
+      taken = net.pop_blocking();
+      if (!taken) break;  // terminated or stopped
+      ++ws.network_takes;
+    } else if (auto better =
+                   net.try_pop_if_better(local.min_bound(), opts_.d_threshold)) {
+      // The network minimum is more than D below our local minimum: the
+      // freed task acquires the chain through the network (§6).
+      taken = std::move(better);
+      ++ws.network_takes;
+    } else {
+      taken = local.pop();
+      ++ws.local_takes;
+    }
+
+    // --- budget ----------------------------------------------------------
+    if (node_budget.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      net.stop();
+      break;
+    }
+
+    // --- expand ----------------------------------------------------------
+    ++ws.expanded;
+    expander.expand(std::move(*taken), out, nullptr);
+
+    switch (out.outcome) {
+      case search::NodeOutcome::Solution: {
+        search::Node& leaf = out.final_node;
+        if (opts_.update_weights)
+          search::update_on_success(weights_, leaf.chain.get());
+        ++ws.solutions;
+        {
+          std::lock_guard lock(sol_mu);
+          search::Solution sol;
+          sol.text = search::solution_text(leaf.store, leaf.answer);
+          sol.bound = leaf.bound;
+          sol.depth = leaf.depth;
+          sol.answer = leaf.answer;
+          sol.store = std::move(leaf.store);
+          solutions.push_back(std::move(sol));
+        }
+        net.on_expanded(0);
+        if (solutions_left.fetch_sub(1, std::memory_order_acq_rel) == 1)
+          net.stop();
+        break;
+      }
+      case search::NodeOutcome::Expanded: {
+        // Keep the best children locally up to capacity; spill the rest to
+        // the network so idle processors find work.
+        std::size_t kept = 0;
+        for (auto& c : out.children) {
+          if (local.size() < opts_.local_capacity) {
+            local.push(std::move(c));
+            ++kept;
+          } else {
+            net.push(std::move(c));
+            ++ws.spills;
+          }
+        }
+        (void)kept;
+        net.on_expanded(out.children.size());
+        break;
+      }
+      case search::NodeOutcome::Failure:
+        ++ws.failures;
+        if (opts_.update_weights)
+          search::update_on_failure(weights_, out.final_node.chain.get());
+        net.on_expanded(0);
+        break;
+      case search::NodeOutcome::DepthLimit:
+        net.on_expanded(0);
+        break;
+    }
+  }
+
+  // Local leftovers die with the worker (stop or termination): account for
+  // them so other workers' pop_blocking can conclude.
+  while (!local.empty()) {
+    (void)local.pop();
+    net.on_expanded(0);
+  }
+}
+
+ParallelResult ParallelEngine::solve(const search::Query& q) {
+  search::Expander expander(program_, weights_, builtins_, opts_.expander);
+  GlobalFrontier net(1);
+  net.push(expander.make_root(q));
+
+  ParallelResult result;
+  result.workers.resize(opts_.workers);
+  std::vector<search::Solution> solutions;
+  std::mutex sol_mu;
+  std::atomic<std::int64_t> node_budget{static_cast<std::int64_t>(
+      std::min<std::size_t>(opts_.max_nodes, std::numeric_limits<std::int64_t>::max()))};
+  std::atomic<std::uint64_t> solutions_left{
+      opts_.max_solutions == std::numeric_limits<std::size_t>::max()
+          ? std::numeric_limits<std::uint64_t>::max()
+          : opts_.max_solutions};
+
+  std::vector<std::thread> threads;
+  threads.reserve(opts_.workers);
+  for (unsigned w = 0; w < opts_.workers; ++w) {
+    threads.emplace_back([&, w] {
+      worker_loop(expander, net, result.workers[w], solutions, sol_mu,
+                  node_budget, solutions_left);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  result.solutions = std::move(solutions);
+  result.network = net.stats();
+  result.exhausted = !net.stopped();
+  for (const auto& ws : result.workers) result.nodes_expanded += ws.expanded;
+  return result;
+}
+
+}  // namespace blog::parallel

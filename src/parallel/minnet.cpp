@@ -1,0 +1,82 @@
+#include "blog/parallel/minnet.hpp"
+
+#include <algorithm>
+
+namespace blog::parallel {
+
+void GlobalFrontier::push(search::Node n) {
+  {
+    std::lock_guard lock(mu_);
+    heap_.push_back(Entry{n.bound, seq_++, std::move(n)});
+    std::push_heap(heap_.begin(), heap_.end(), Cmp{});
+    ++stats_.pushes;
+  }
+  cv_.notify_one();
+}
+
+search::Node GlobalFrontier::pop_locked() {
+  std::pop_heap(heap_.begin(), heap_.end(), Cmp{});
+  search::Node n = std::move(heap_.back().node);
+  heap_.pop_back();
+  ++stats_.pops;
+  return n;
+}
+
+std::optional<double> GlobalFrontier::min_bound() const {
+  std::lock_guard lock(mu_);
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().bound;
+}
+
+std::optional<search::Node> GlobalFrontier::try_pop_if_better(double local_min,
+                                                              double d) {
+  std::lock_guard lock(mu_);
+  if (stop_ || heap_.empty()) return std::nullopt;
+  if (heap_.front().bound >= local_min - d) return std::nullopt;
+  return pop_locked();
+}
+
+std::optional<search::Node> GlobalFrontier::pop_blocking() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return stop_ || !heap_.empty() || inflight_ == 0; });
+  if (stop_ || heap_.empty()) return std::nullopt;
+  ++stats_.grants;
+  return pop_locked();
+}
+
+void GlobalFrontier::on_expanded(std::size_t children) {
+  bool finished = false;
+  {
+    std::lock_guard lock(mu_);
+    inflight_ += static_cast<std::int64_t>(children) - 1;
+    finished = inflight_ == 0;
+  }
+  // Births were already pushed (or kept local); if the count hit zero the
+  // whole tree is consumed — wake all waiters so they can exit.
+  if (finished) cv_.notify_all();
+}
+
+void GlobalFrontier::stop() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool GlobalFrontier::stopped() const {
+  std::lock_guard lock(mu_);
+  return stop_;
+}
+
+bool GlobalFrontier::done() const {
+  std::lock_guard lock(mu_);
+  return done_locked();
+}
+
+GlobalFrontier::Stats GlobalFrontier::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace blog::parallel

@@ -1,0 +1,96 @@
+#include "blog/search/engine.hpp"
+
+#include <algorithm>
+
+#include "blog/term/writer.hpp"
+
+namespace blog::search {
+
+SearchEngine::SearchEngine(const db::Program& program, db::WeightStore& weights,
+                           BuiltinEvaluator* builtins)
+    : program_(program), weights_(weights), builtins_(builtins) {}
+
+std::string solution_text(const term::Store& s, term::TermRef answer) {
+  if (answer == term::kNullTerm) return "true";
+  return term::to_string(s, answer);
+}
+
+SearchResult SearchEngine::solve(const Query& q, const SearchOptions& opts,
+                                 SearchObserver* observer) {
+  Expander expander(program_, weights_, builtins_, opts.expander);
+  auto frontier = make_frontier(opts.strategy);
+  frontier->push(expander.make_root(q));
+
+  SearchResult result;
+  double incumbent = std::numeric_limits<double>::infinity();
+
+  ExpandOutput out;
+  while (!frontier->empty()) {
+    if (result.stats.nodes_expanded >= opts.max_nodes) return result;
+    Node n = frontier->pop();
+    if (observer && observer->on_pop) observer->on_pop(n);
+
+    if (opts.prune_with_incumbent && n.bound > incumbent + opts.prune_margin) {
+      ++result.stats.pruned;
+      if (observer && observer->on_failure) observer->on_failure(n);
+      continue;
+    }
+
+    ++result.stats.nodes_expanded;
+    expander.expand(std::move(n), out, &result.stats.expand);
+
+    switch (out.outcome) {
+      case NodeOutcome::Solution: {
+        Node& leaf = out.final_node;
+        if (observer && observer->on_solution) observer->on_solution(leaf);
+        if (opts.update_weights) update_on_success(weights_, leaf.chain.get());
+        ++result.stats.solutions;
+        Solution sol;
+        sol.text = solution_text(leaf.store, leaf.answer);
+        sol.bound = leaf.bound;
+        sol.depth = leaf.depth;
+        sol.answer = leaf.answer;
+        sol.store = std::move(leaf.store);
+        const double sol_bound = sol.bound;
+        result.solutions.push_back(std::move(sol));
+        if (opts.prune_with_incumbent) {
+          incumbent = std::min(incumbent, sol_bound);
+          result.stats.pruned +=
+              frontier->prune_above(incumbent + opts.prune_margin);
+        }
+        if (result.solutions.size() >= opts.max_solutions) return result;
+        break;
+      }
+      case NodeOutcome::Expanded: {
+        result.stats.children_generated += out.children.size();
+        if (observer && observer->on_expand)
+          observer->on_expand(out.final_node, out.children);
+        // Depth-first wants Prolog order: children are generated
+        // first-clause first; a LIFO frontier needs them pushed in reverse.
+        if (opts.strategy == Strategy::DepthFirst) {
+          for (auto it = out.children.rbegin(); it != out.children.rend(); ++it)
+            frontier->push(std::move(*it));
+        } else {
+          for (auto& c : out.children) frontier->push(std::move(c));
+        }
+        result.stats.max_frontier =
+            std::max(result.stats.max_frontier, frontier->size());
+        break;
+      }
+      case NodeOutcome::Failure: {
+        ++result.stats.failures;
+        if (observer && observer->on_failure) observer->on_failure(out.final_node);
+        if (opts.update_weights)
+          update_on_failure(weights_, out.final_node.chain.get());
+        break;
+      }
+      case NodeOutcome::DepthLimit:
+        ++result.stats.depth_cutoffs;
+        break;
+    }
+  }
+  result.exhausted = true;
+  return result;
+}
+
+}  // namespace blog::search

@@ -1,0 +1,198 @@
+#include "blog/search/node.hpp"
+#include <algorithm>
+#include <limits>
+
+namespace blog::search {
+
+std::uint32_t chain_length(const Chain* c) {
+  std::uint32_t n = 0;
+  for (; c != nullptr; c = c->parent.get()) ++n;
+  return n;
+}
+
+Expander::Expander(const db::Program& program, const db::WeightStore& weights,
+                   BuiltinEvaluator* builtins, ExpanderOptions opts)
+    : program_(program), weights_(weights), builtins_(builtins), opts_(opts) {}
+
+std::uint64_t Expander::next_id() const {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Node Expander::make_root(const Query& q) const {
+  Node root;
+  std::unordered_map<term::TermRef, term::TermRef> vmap;
+  // The answer template must share variables with the goals, so import it
+  // first through the same variable map.
+  if (q.answer != term::kNullTerm)
+    root.answer = root.store.import(q.store, q.answer, vmap);
+  root.goals.reserve(q.goals.size());
+  for (std::size_t i = 0; i < q.goals.size(); ++i) {
+    Goal g;
+    g.term = root.store.import(q.store, q.goals[i], vmap);
+    g.src_clause = db::kQueryClause;
+    g.src_literal = static_cast<std::uint32_t>(i);
+    root.goals.push_back(g);
+  }
+  root.id = next_id();
+  return root;
+}
+
+void Expander::select_goal(Node& n) const {
+  if (opts_.goal_order == GoalOrder::Leftmost || n.goals.size() < 2) return;
+
+  // Only goals before the first builtin are candidates: hoisting a goal
+  // past an `is`/comparison would evaluate it with unbound inputs.
+  std::size_t limit = n.goals.size();
+  if (builtins_ != nullptr) {
+    for (std::size_t i = 0; i < n.goals.size(); ++i) {
+      if (builtins_->is_builtin(db::pred_of(n.store, n.goals[i].term))) {
+        limit = i;
+        break;
+      }
+    }
+  }
+  if (limit < 2) return;
+
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Goal& g = n.goals[i];
+    const db::Pred pred = db::pred_of(n.store, g.term);
+    const std::vector<db::ClauseId> cands =
+        opts_.first_arg_indexing
+            ? program_.candidates_indexed(pred, n.store, g.term)
+            : program_.candidates(pred);
+    double score;
+    if (opts_.goal_order == GoalOrder::SmallestFanout) {
+      score = static_cast<double>(cands.size());
+    } else {  // CheapestPointer
+      score = std::numeric_limits<double>::infinity();
+      for (const db::ClauseId cid : cands) {
+        score = std::min(
+            score, weights_.weight(db::PointerKey{g.src_clause, g.src_literal, cid}));
+      }
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  if (best != 0) {
+    std::rotate(n.goals.begin(), n.goals.begin() + static_cast<std::ptrdiff_t>(best),
+                n.goals.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  }
+}
+
+Node Expander::make_child(const Node& parent, const db::Clause& /*clause*/,
+                          term::TermRef /*renamed_head*/,
+                          const std::vector<term::TermRef>& renamed_body,
+                          const Arc& arc, ExpandStats* stats) const {
+  Node child;
+  std::unordered_map<term::TermRef, term::TermRef> vmap;
+  if (parent.answer != term::kNullTerm)
+    child.answer = child.store.import(parent.store, parent.answer, vmap);
+
+  // New goal list: the clause body (renamed, already unified against the
+  // goal inside the parent store), then the parent's remaining goals.
+  child.goals.reserve(renamed_body.size() + parent.goals.size() - 1);
+  for (std::size_t i = 0; i < renamed_body.size(); ++i) {
+    Goal g;
+    g.term = child.store.import(parent.store, renamed_body[i], vmap);
+    g.src_clause = arc.key.callee;
+    g.src_literal = static_cast<std::uint32_t>(i);
+    child.goals.push_back(g);
+  }
+  for (std::size_t i = 1; i < parent.goals.size(); ++i) {
+    Goal g = parent.goals[i];
+    g.term = child.store.import(parent.store, parent.goals[i].term, vmap);
+    child.goals.push_back(g);
+  }
+
+  child.bound = parent.bound + arc.weight;
+  child.depth = parent.depth + 1;
+  child.chain = std::make_shared<Chain>(Chain{arc, parent.chain});
+  child.id = next_id();
+  child.parent_id = parent.id;
+  if (stats) stats->cells_copied += child.store.size();
+  return child;
+}
+
+void Expander::expand(Node n, ExpandOutput& out, ExpandStats* stats) const {
+  out.children.clear();
+  // Consume leading builtin goals in place (they are deterministic).
+  term::Trail trail;
+  while (!n.goals.empty() && builtins_ != nullptr) {
+    const auto outcome = builtins_->eval(n.store, n.goals.front().term, trail);
+    if (outcome == BuiltinEvaluator::Outcome::NotBuiltin) break;
+    if (stats) ++stats->builtin_calls;
+    if (outcome == BuiltinEvaluator::Outcome::Fail) {
+      out.outcome = NodeOutcome::Failure;
+      out.final_node = std::move(n);
+      return;
+    }
+    n.goals.erase(n.goals.begin());
+  }
+  if (n.goals.empty()) {
+    out.outcome = NodeOutcome::Solution;
+    out.final_node = std::move(n);
+    return;
+  }
+  if (n.depth >= opts_.max_depth) {
+    out.outcome = NodeOutcome::DepthLimit;
+    out.final_node = std::move(n);
+    return;
+  }
+
+  select_goal(n);
+  const Goal& goal = n.goals.front();
+  const db::Pred pred = db::pred_of(n.store, goal.term);
+  const std::vector<db::ClauseId> cands =
+      opts_.first_arg_indexing
+          ? program_.candidates_indexed(pred, n.store, goal.term)
+          : program_.candidates(pred);
+
+  bool any = false;
+  for (const db::ClauseId cid : cands) {
+    const db::Clause& clause = program_.clause(cid);
+    // Rename the clause into the parent store, attempt head unification.
+    std::unordered_map<term::TermRef, term::TermRef> vmap;
+    const term::TermRef head = n.store.import(clause.store(), clause.head(), vmap);
+    std::vector<term::TermRef> body(clause.body().size());
+    for (std::size_t i = 0; i < body.size(); ++i)
+      body[i] = n.store.import(clause.store(), clause.body()[i], vmap);
+
+    const std::size_t mark = trail.mark();
+    term::UnifyStats ustats;
+    const bool ok = term::unify(n.store, goal.term, head, trail,
+                                {.occurs_check = opts_.occurs_check}, &ustats);
+    if (stats) {
+      ++stats->unify_attempts;
+      stats->unify_cells += ustats.cells_visited;
+      if (ok) ++stats->unify_successes;
+    }
+    if (ok) {
+      Arc arc;
+      arc.key = db::PointerKey{goal.src_clause, goal.src_literal, cid};
+      if (opts_.conditional_weights) {
+        arc.key.context =
+            n.chain ? n.chain->arc.key.callee : db::kQueryClause;
+      }
+      if (opts_.use_weights) {
+        arc.weight = weights_.weight(arc.key);
+        arc.kind_at_use = weights_.classify(arc.weight);
+      } else {
+        arc.weight = 1.0;
+        arc.kind_at_use = db::WeightKind::Known;
+      }
+      out.children.push_back(make_child(n, clause, head, body, arc, stats));
+      any = true;
+    }
+    trail.undo_to(mark, n.store);
+  }
+  out.outcome = any ? NodeOutcome::Expanded : NodeOutcome::Failure;
+  // n's bindings have been undone above; keep the post-builtin state for
+  // observers regardless of outcome.
+  out.final_node = std::move(n);
+}
+
+}  // namespace blog::search

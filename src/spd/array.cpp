@@ -1,0 +1,210 @@
+#include "blog/spd/array.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace blog::spd {
+
+SpdArray::SpdArray(std::vector<Block> blocks, SpdConfig config)
+    : all_(std::move(blocks)) {
+  const std::size_t nsp = std::max<std::size_t>(1, config.sps);
+  const std::size_t per_track = std::max<std::size_t>(1, config.blocks_per_track);
+
+  // Round-robin over SPs, filling tracks of `per_track` records. Track t of
+  // every SP together forms cylinder t.
+  std::vector<std::vector<std::vector<Block>>> layout(nsp);
+  std::size_t i = 0;
+  for (const Block& b : all_) {
+    const std::size_t sp = i % nsp;
+    auto& tracks = layout[sp];
+    if (tracks.empty() || tracks.back().size() >= per_track)
+      tracks.emplace_back();
+    tracks.back().push_back(b);
+    sp_of_.emplace(b.id, sp);
+    ++i;
+  }
+  for (auto& tracks : layout) {
+    cylinders_ = std::max(cylinders_, tracks.size());
+    sps_.emplace_back(std::move(tracks), config.timing);
+  }
+  for (const Block& b : all_) by_id_.emplace(b.id, &b);
+  mode_ = config.mode;
+}
+
+std::vector<BlockId> SpdArray::bfs_ball(const std::vector<BlockId>& seeds,
+                                        std::uint32_t radius) const {
+  std::vector<BlockId> out;
+  std::unordered_set<BlockId> seen;
+  std::deque<std::pair<BlockId, std::uint32_t>> q;
+  for (const BlockId s : seeds) {
+    if (by_id_.contains(s) && seen.insert(s).second) {
+      out.push_back(s);
+      q.emplace_back(s, 0);
+    }
+  }
+  while (!q.empty()) {
+    const auto [id, d] = q.front();
+    q.pop_front();
+    if (d >= radius) continue;
+    for (const DiskPointer& p : by_id_.at(id)->pointers) {
+      if (by_id_.contains(p.target) && seen.insert(p.target).second) {
+        out.push_back(p.target);
+        q.emplace_back(p.target, d + 1);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SimTime SpdArray::flush_weights(const db::WeightStore& ws) {
+  SimTime elapsed = 0.0;
+  for (auto& sp : sps_) {
+    SimTime busy = 0.0;
+    for (std::size_t t = 0; t < sp.track_count(); ++t) {
+      busy += sp.load_track(t);
+      // Mark every block in the track, then rewrite its pointer weights.
+      for (const Block& b : sp.track(t)) busy += sp.mark_block(b.id);
+      busy += sp.update_weights_in_marked([&](const Block& b, const DiskPointer& p) {
+        return ws.global_weight(db::PointerKey{b.clause, p.literal, p.target});
+      });
+      sp.clear_marks();
+    }
+    elapsed = std::max(elapsed, busy);  // SPs sweep their surfaces in parallel
+  }
+  return elapsed;
+}
+
+PageResult SpdArray::page_in(const std::vector<BlockId>& seeds,
+                             std::uint32_t radius) {
+  return mode_ == SpdMode::SIMD ? page_in_simd(seeds, radius)
+                                : page_in_mimd(seeds, radius);
+}
+
+PageResult SpdArray::page_in_simd(const std::vector<BlockId>& seeds,
+                                  std::uint32_t radius) {
+  PageResult res;
+  // Each page-in starts with a tag-clear broadcast; stale marks from a
+  // previous extraction would otherwise suppress re-discovery.
+  for (auto& sp : sps_) sp.clear_marks();
+  std::unordered_set<BlockId> collected;
+  // Frontier for the current BFS depth.
+  std::vector<BlockId> frontier;
+  for (const BlockId s : seeds) {
+    if (sp_of_.contains(s) && collected.insert(s).second) {
+      frontier.push_back(s);
+      res.blocks.push_back(s);
+    }
+  }
+
+  for (std::uint32_t depth = 0; depth < radius && !frontier.empty(); ++depth) {
+    // Group the frontier by cylinder; sweep each needed cylinder once.
+    std::map<std::size_t, std::vector<BlockId>> by_cyl;
+    for (const BlockId id : frontier) {
+      const std::size_t sp = sp_of_.at(id);
+      by_cyl[sps_[sp].track_of(id)].push_back(id);
+    }
+    std::vector<BlockId> next;
+    for (auto& [cyl, ids] : by_cyl) {
+      ++res.deferred_rounds;
+      // All SPs load the cylinder simultaneously: cost = max over SPs.
+      SimTime load = 0.0;
+      for (auto& sp : sps_) {
+        if (cyl < sp.track_count()) load = std::max(load, sp.load_track(cyl));
+      }
+      res.elapsed += load;
+      res.track_loads += 1;  // one cylinder sweep
+
+      // Mark the frontier blocks sitting in this cylinder.
+      SimTime ops = 0.0;
+      for (const BlockId id : ids) ops += sps_[sp_of_.at(id)].mark_block(id);
+
+      // One synchronous pointer sweep across all SPs.
+      std::vector<BlockId> deferred, newly;
+      for (auto& sp : sps_) {
+        SimTime t = sp.follow_pointers(std::nullopt, deferred, newly);
+        ops = std::max(ops, t);  // SPs sweep in lock-step
+      }
+      res.elapsed += ops;
+
+      // In-cache marks found this sweep extend the ball.
+      for (const BlockId id : newly) {
+        if (collected.insert(id).second) {
+          res.blocks.push_back(id);
+          next.push_back(id);
+        }
+      }
+      // Deferred pointers: same-cylinder cross-SP targets are resolved by
+      // the inter-SP communication hardware within the sweep; the rest wait
+      // for their own cylinder (they join the next frontier directly —
+      // their expansion happens when their cylinder is swept).
+      for (const BlockId id : deferred) {
+        if (!sp_of_.contains(id)) continue;
+        const std::size_t tsp = sp_of_.at(id);
+        if (sps_[tsp].track_of(id) == cyl) ++res.cross_sp_transfers;
+        if (collected.insert(id).second) {
+          res.blocks.push_back(id);
+          next.push_back(id);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(res.blocks.begin(), res.blocks.end());
+  return res;
+}
+
+PageResult SpdArray::page_in_mimd(const std::vector<BlockId>& seeds,
+                                  std::uint32_t radius) {
+  PageResult res;
+  for (auto& sp : sps_) sp.clear_marks();
+  std::unordered_set<BlockId> collected;
+  std::deque<std::pair<BlockId, std::uint32_t>> q;
+  for (const BlockId s : seeds) {
+    if (sp_of_.contains(s) && collected.insert(s).second) {
+      res.blocks.push_back(s);
+      q.emplace_back(s, 0);
+    }
+  }
+  // Each SP accumulates its own busy time; they run concurrently, so the
+  // elapsed time is the maximum over SPs. Cross-SP handoffs are queued work
+  // (their latency is covered by the receiving SP's own timeline).
+  std::vector<SimTime> busy(sps_.size(), 0.0);
+  std::uint64_t loads_before = 0;
+  for (const auto& sp : sps_) loads_before += sp.stats().track_loads;
+  while (!q.empty()) {
+    const auto [id, d] = q.front();
+    q.pop_front();
+    const std::size_t spi = sp_of_.at(id);
+    SearchProcessor& sp = sps_[spi];
+    const std::size_t track = sp.track_of(id);
+    busy[spi] += sp.load_track(track);
+    busy[spi] += sp.mark_block(id);
+    if (d >= radius) continue;
+    std::vector<BlockId> deferred, newly;
+    busy[spi] += sp.follow_pointers(std::nullopt, deferred, newly);
+    for (const BlockId t : newly) {
+      if (collected.insert(t).second) {
+        res.blocks.push_back(t);
+        q.emplace_back(t, d + 1);
+      }
+    }
+    for (const BlockId t : deferred) {
+      if (!sp_of_.contains(t)) continue;
+      if (sp_of_.at(t) != spi) ++res.cross_sp_transfers;
+      if (collected.insert(t).second) {
+        res.blocks.push_back(t);
+        q.emplace_back(t, d + 1);
+      }
+    }
+  }
+  std::uint64_t loads_after = 0;
+  for (const auto& sp : sps_) loads_after += sp.stats().track_loads;
+  res.track_loads = loads_after - loads_before;
+  res.elapsed = busy.empty() ? 0.0 : *std::max_element(busy.begin(), busy.end());
+  std::sort(res.blocks.begin(), res.blocks.end());
+  return res;
+}
+
+}  // namespace blog::spd

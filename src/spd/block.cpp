@@ -1,0 +1,31 @@
+#include "blog/spd/block.hpp"
+
+namespace blog::spd {
+
+std::vector<Block> build_blocks(const db::Program& program,
+                                const db::WeightStore& ws) {
+  std::vector<Block> blocks(program.size());
+  for (db::ClauseId cid = 0; cid < program.size(); ++cid) {
+    const db::Clause& c = program.clause(cid);
+    Block& b = blocks[cid];
+    b.id = cid;  // block ids coincide with clause ids in the base image
+    b.clause = cid;
+    b.pred = c.pred().name;
+    b.arity = c.pred().arity;
+    b.data_words = static_cast<std::uint32_t>(c.term_cells());
+    for (std::uint32_t lit = 0; lit < c.body().size(); ++lit) {
+      const db::Pred p = db::pred_of(c.store(), c.body()[lit]);
+      for (const db::ClauseId target : program.candidates(p)) {
+        DiskPointer ptr;
+        ptr.name = p.name;
+        ptr.target = target;
+        ptr.literal = lit;
+        ptr.weight = ws.weight(db::PointerKey{cid, lit, target});
+        b.pointers.push_back(ptr);
+      }
+    }
+  }
+  return blocks;
+}
+
+}  // namespace blog::spd

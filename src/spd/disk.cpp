@@ -1,0 +1,160 @@
+#include "blog/spd/disk.hpp"
+
+#include <cmath>
+
+namespace blog::spd {
+
+SearchProcessor::SearchProcessor(std::vector<std::vector<Block>> tracks,
+                                 DiskTiming timing)
+    : tracks_(std::move(tracks)), timing_(timing) {
+  garbage_.assign(tracks_.size(), 0);
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    for (const Block& b : tracks_[t]) location_.emplace(b.id, t);
+  }
+}
+
+SimTime SearchProcessor::load_track(std::size_t t) {
+  if (loaded_ && *loaded_ == t) {
+    ++stats_.cache_hits;
+    return 0.0;
+  }
+  const double distance = loaded_
+      ? std::abs(static_cast<double>(t) - static_cast<double>(head_pos_))
+      : static_cast<double>(t);
+  const SimTime dt = timing_.seek_per_track * distance + timing_.rotation;
+  loaded_ = t;
+  head_pos_ = t;
+  marks_.clear();  // cache overwritten: marks are physical tags on the cache
+  ++stats_.track_loads;
+  stats_.busy_time += dt;
+  return dt;
+}
+
+const Block* SearchProcessor::cached_block(BlockId id) const {
+  if (!loaded_) return nullptr;
+  for (const Block& b : tracks_[*loaded_]) {
+    if (b.id == id) return &b;
+  }
+  return nullptr;
+}
+
+SimTime SearchProcessor::mark_matching(Symbol pred, std::uint32_t arity) {
+  if (!loaded_) return 0.0;
+  const auto& blocks = tracks_[*loaded_];
+  SimTime dt = timing_.cache_op_per_block * static_cast<double>(blocks.size());
+  for (const Block& b : blocks) {
+    if (b.pred == pred && b.arity == arity) {
+      if (marks_.insert(b.id).second) ++stats_.blocks_marked;
+    }
+  }
+  stats_.busy_time += dt;
+  return dt;
+}
+
+SimTime SearchProcessor::mark_block(BlockId id) {
+  const Block* b = cached_block(id);
+  if (b == nullptr) return 0.0;
+  if (marks_.insert(id).second) ++stats_.blocks_marked;
+  stats_.busy_time += timing_.cache_op_per_block;
+  return timing_.cache_op_per_block;
+}
+
+SimTime SearchProcessor::follow_pointers(std::optional<Symbol> name,
+                                         std::vector<BlockId>& deferred,
+                                         std::vector<BlockId>& newly_marked) {
+  if (!loaded_) return 0.0;
+  SimTime dt = 0.0;
+  // Snapshot: one synchronous step, as the hardware would do in a sweep.
+  const std::vector<BlockId> frontier(marks_.begin(), marks_.end());
+  for (const BlockId id : frontier) {
+    const Block* b = cached_block(id);
+    if (b == nullptr) continue;
+    for (const DiskPointer& p : b->pointers) {
+      if (name && p.name != *name) continue;
+      ++stats_.pointer_follows;
+      dt += timing_.cache_op_per_block;
+      const auto loc = location_.find(p.target);
+      if (loc != location_.end() && loaded_ && loc->second == *loaded_) {
+        if (marks_.insert(p.target).second) {
+          ++stats_.blocks_marked;
+          newly_marked.push_back(p.target);
+        }
+      } else {
+        deferred.push_back(p.target);
+      }
+    }
+  }
+  stats_.busy_time += dt;
+  return dt;
+}
+
+SimTime SearchProcessor::update_weights_in_marked(
+    const std::function<double(const Block&, const DiskPointer&)>& f) {
+  if (!loaded_) return 0.0;
+  SimTime dt = 0.0;
+  for (Block& b : tracks_[*loaded_]) {
+    if (!marks_.contains(b.id)) continue;
+    for (DiskPointer& p : b.pointers) {
+      p.weight = f(b, p);
+      dt += timing_.transfer_per_word;
+    }
+  }
+  stats_.busy_time += dt;
+  return dt;
+}
+
+SimTime SearchProcessor::delete_marked() {
+  if (!loaded_) return 0.0;
+  auto& blocks = tracks_[*loaded_];
+  SimTime dt = 0.0;
+  std::erase_if(blocks, [&](const Block& b) {
+    if (!marks_.contains(b.id)) return false;
+    garbage_[*loaded_] += b.words();
+    location_.erase(b.id);
+    dt += timing_.cache_op_per_block;
+    return true;
+  });
+  marks_.clear();
+  stats_.busy_time += dt;
+  return dt;
+}
+
+SimTime SearchProcessor::insert_block(Block b) {
+  if (!loaded_) return 0.0;
+  const SimTime dt = timing_.transfer_per_word * static_cast<double>(b.words());
+  location_[b.id] = *loaded_;
+  tracks_[*loaded_].push_back(std::move(b));
+  stats_.busy_time += dt;
+  return dt;
+}
+
+std::uint32_t SearchProcessor::garbage_words(std::size_t t) const {
+  return t < garbage_.size() ? garbage_[t] : 0;
+}
+
+SimTime SearchProcessor::gc() {
+  if (!loaded_ || garbage_[*loaded_] == 0) return 0.0;
+  // Compaction rewrites every live record once.
+  std::uint32_t live = 0;
+  for (const Block& b : tracks_[*loaded_]) live += b.words();
+  const SimTime dt =
+      timing_.rotation + timing_.transfer_per_word * static_cast<double>(live);
+  garbage_[*loaded_] = 0;
+  stats_.busy_time += dt;
+  return dt;
+}
+
+SimTime SearchProcessor::output_marked(std::vector<BlockId>& out) const {
+  if (!loaded_) return 0.0;
+  SimTime dt = 0.0;
+  for (const Block& b : tracks_[*loaded_]) {
+    if (marks_.contains(b.id)) {
+      out.push_back(b.id);
+      dt += timing_.transfer_per_word * static_cast<double>(b.words());
+    }
+  }
+  stats_.busy_time += dt;
+  return dt;
+}
+
+}  // namespace blog::spd

@@ -1,0 +1,78 @@
+#include "blog/support/linsolve.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace blog {
+
+bool solve_square(Matrix a, std::vector<double> b, std::vector<double>& x) {
+  const std::size_t n = a.rows();
+  if (n != a.cols() || b.size() != n) return false;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > best) {
+        best = std::abs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= a(ri, c) * x[c];
+    x[ri] = s / a(ri, ri);
+  }
+  return true;
+}
+
+bool least_squares_min_norm(const Matrix& a, const std::vector<double>& b,
+                            std::vector<double>& x, double ridge) {
+  const std::size_t n = a.rows(), m = a.cols();
+  if (b.size() != n) return false;
+  // Gram matrix G = A Aᵀ + λI  (n×n, small: one row per chain equation).
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < m; ++k) s += a(i, k) * a(j, k);
+      g(i, j) = g(j, i) = s;
+    }
+    g(i, i) += ridge;
+  }
+  std::vector<double> y;
+  if (!solve_square(g, b, y)) return false;
+  x.assign(m, 0.0);
+  for (std::size_t k = 0; k < m; ++k) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += a(i, k) * y[i];
+    x[k] = s;
+  }
+  return true;
+}
+
+double residual_norm(const Matrix& a, const std::vector<double>& x,
+                     const std::vector<double>& b) {
+  double s2 = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double r = -b[i];
+    for (std::size_t k = 0; k < a.cols(); ++k) r += a(i, k) * x[k];
+    s2 += r * r;
+  }
+  return std::sqrt(s2);
+}
+
+}  // namespace blog

@@ -1,0 +1,53 @@
+#include "blog/support/symbol.hpp"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace blog {
+namespace {
+
+// Process-global intern pool. A deque keeps stable references for
+// symbol_name() while the map grows.
+struct Pool {
+  std::shared_mutex mu;
+  std::deque<std::string> names{""};  // index 0 = empty symbol
+  std::unordered_map<std::string_view, std::uint32_t> ids;
+};
+
+Pool& pool() {
+  static Pool* p = new Pool;  // intentionally leaked: symbols live forever
+  return *p;
+}
+
+}  // namespace
+
+Symbol intern(std::string_view name) {
+  if (name.empty()) return Symbol{};
+  Pool& p = pool();
+  {
+    std::shared_lock lock(p.mu);
+    if (auto it = p.ids.find(name); it != p.ids.end()) return Symbol{it->second};
+  }
+  std::unique_lock lock(p.mu);
+  if (auto it = p.ids.find(name); it != p.ids.end()) return Symbol{it->second};
+  const auto id = static_cast<std::uint32_t>(p.names.size());
+  p.names.emplace_back(name);
+  p.ids.emplace(std::string_view{p.names.back()}, id);
+  return Symbol{id};
+}
+
+const std::string& symbol_name(Symbol s) {
+  Pool& p = pool();
+  std::shared_lock lock(p.mu);
+  return p.names[s.id()];
+}
+
+std::size_t symbol_count() {
+  Pool& p = pool();
+  std::shared_lock lock(p.mu);
+  return p.names.size() - 1;
+}
+
+}  // namespace blog

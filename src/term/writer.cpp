@@ -1,0 +1,146 @@
+#include "blog/term/writer.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace blog::term {
+namespace {
+
+bool atom_needs_quotes(const std::string& name) {
+  if (name.empty()) return true;
+  if (name == "[]" || name == "!" || name == ";" || name == ",") return false;
+  if (std::islower(static_cast<unsigned char>(name[0]))) {
+    for (char c : name)
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return true;
+    return false;
+  }
+  static constexpr std::string_view kSyms = "+-*/\\^<>=~:.?@#&";
+  for (char c : name)
+    if (kSyms.find(c) == std::string_view::npos) return true;
+  return false;
+}
+
+struct Writer {
+  const Store& s;
+  const WriteOptions& opts;
+  std::ostringstream os;
+
+  void atom(Symbol sym) {
+    const std::string& name = symbol_name(sym);
+    if (opts.quoted && atom_needs_quotes(name)) {
+      os << '\'';
+      for (char c : name) {
+        if (c == '\'') os << "''";
+        else os << c;
+      }
+      os << '\'';
+    } else {
+      os << name;
+    }
+  }
+
+  void write(TermRef t, int max_prec) {
+    t = s.deref(t);
+    switch (s.tag(t)) {
+      case Tag::Var: {
+        const Symbol name = s.var_name(t);
+        if (!name.empty() && symbol_name(name) != "_") {
+          os << symbol_name(name);
+        } else {
+          os << "_G" << t;
+        }
+        return;
+      }
+      case Tag::Atom:
+        atom(s.atom_name(t));
+        return;
+      case Tag::Int:
+        os << s.int_value(t);
+        return;
+      case Tag::Struct:
+        break;
+    }
+
+    const Symbol f = s.functor(t);
+    const auto ar = s.arity(t);
+    const std::string& name = symbol_name(f);
+
+    // Lists.
+    if (f == cons_symbol() && ar == 2) {
+      os << '[';
+      write(s.arg(t, 0), 999);
+      TermRef tail = s.deref(s.arg(t, 1));
+      while (s.is_struct(tail) && s.functor(tail) == cons_symbol() &&
+             s.arity(tail) == 2) {
+        os << ',';
+        write(s.arg(tail, 0), 999);
+        tail = s.deref(s.arg(tail, 1));
+      }
+      if (!(s.is_atom(tail) && s.atom_name(tail) == nil_symbol())) {
+        os << '|';
+        write(tail, 999);
+      }
+      os << ']';
+      return;
+    }
+
+    // Binary operators we read back in.
+    struct Op { const char* name; int prec; int lmax; int rmax; };
+    static constexpr Op kOps[] = {
+        {":-", 1200, 1199, 1199}, {";", 1100, 1099, 1100},
+        {"->", 1050, 1049, 1050}, {",", 1000, 999, 1000},
+        {"=", 700, 699, 699},     {"\\=", 700, 699, 699},
+        {"==", 700, 699, 699},    {"is", 700, 699, 699},
+        {"<", 700, 699, 699},     {">", 700, 699, 699},
+        {"=<", 700, 699, 699},    {">=", 700, 699, 699},
+        {"=:=", 700, 699, 699},   {"=\\=", 700, 699, 699},
+        {"+", 500, 500, 499},     {"-", 500, 500, 499},
+        {"*", 400, 400, 399},     {"//", 400, 400, 399},
+        {"mod", 400, 400, 399},
+    };
+    if (ar == 2) {
+      for (const Op& op : kOps) {
+        if (name == op.name) {
+          const bool paren = op.prec > max_prec;
+          if (paren) os << '(';
+          write(s.arg(t, 0), op.lmax);
+          const bool alpha = std::isalpha(static_cast<unsigned char>(name[0]));
+          os << (name == "," ? "" : (alpha ? " " : ""));
+          if (name == ",") os << ',';
+          else if (alpha) os << name << ' ';
+          else os << name;
+          write(s.arg(t, 1), op.rmax);
+          if (paren) os << ')';
+          return;
+        }
+      }
+    }
+    if (ar == 1 && (name == "-" || name == "\\+")) {
+      const bool paren = 200 > max_prec;
+      if (paren) os << '(';
+      os << name;
+      if (name == "\\+") os << ' ';
+      write(s.arg(t, 0), 200);
+      if (paren) os << ')';
+      return;
+    }
+
+    atom(f);
+    os << '(';
+    for (std::uint32_t i = 0; i < ar; ++i) {
+      if (i) os << ',';
+      write(s.arg(t, i), 999);
+    }
+    os << ')';
+  }
+};
+
+}  // namespace
+
+std::string to_string(const Store& store, TermRef t, const WriteOptions& opts) {
+  Writer w{store, opts, {}};
+  w.write(t, 1200);
+  return std::move(w.os).str();
+}
+
+}  // namespace blog::term

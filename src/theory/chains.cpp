@@ -1,0 +1,50 @@
+#include "blog/theory/chains.hpp"
+
+#include <unordered_set>
+
+namespace blog::theory {
+namespace {
+
+std::vector<db::PointerKey> keys_of(const search::Chain* c) {
+  std::vector<db::PointerKey> keys;
+  for (; c != nullptr; c = c->parent.get()) keys.push_back(c->arc.key);
+  std::reverse(keys.begin(), keys.end());  // root→leaf
+  return keys;
+}
+
+}  // namespace
+
+TreeRecord enumerate_chains(engine::Interpreter& ip, std::string_view query_text,
+                            std::uint32_t max_depth) {
+  TreeRecord rec;
+  search::SearchObserver obs;
+  obs.on_solution = [&](const search::Node& n) {
+    rec.chains.push_back(ChainRecord{keys_of(n.chain.get()), true});
+    ++rec.solutions;
+  };
+  obs.on_failure = [&](const search::Node& n) {
+    rec.chains.push_back(ChainRecord{keys_of(n.chain.get()), false});
+    ++rec.failures;
+  };
+
+  search::SearchOptions opts;
+  opts.strategy = search::Strategy::DepthFirst;
+  opts.update_weights = false;
+  opts.expander.max_depth = max_depth;
+  const auto result = ip.solve(query_text, opts, &obs);
+  rec.nodes = result.stats.nodes_expanded;
+  return rec;
+}
+
+std::vector<db::PointerKey> distinct_arcs(const std::vector<ChainRecord>& chains) {
+  std::vector<db::PointerKey> out;
+  std::unordered_set<db::PointerKey, db::PointerKeyHash> seen;
+  for (const auto& c : chains) {
+    for (const auto& k : c.arcs) {
+      if (seen.insert(k).second) out.push_back(k);
+    }
+  }
+  return out;
+}
+
+}  // namespace blog::theory

@@ -1,0 +1,128 @@
+#include "blog/theory/weights.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace blog::theory {
+
+TheoreticalWeights solve_theoretical(const TreeRecord& tree) {
+  TheoreticalWeights out;
+
+  // Arcs on at least one successful chain must stay finite.
+  std::unordered_set<db::PointerKey, db::PointerKeyHash> on_success;
+  for (const auto& c : tree.chains) {
+    if (!c.success) continue;
+    for (const auto& k : c.arcs) on_success.insert(k);
+  }
+
+  // Classify every arc; failure-only arcs take weight infinity.
+  for (const auto& k : distinct_arcs(tree.chains)) {
+    if (!on_success.contains(k)) out.infinite.push_back(k);
+  }
+  std::unordered_set<db::PointerKey, db::PointerKeyHash> infinite_set(
+      out.infinite.begin(), out.infinite.end());
+
+  // A failed chain with no failure-only arc cannot get probability 0:
+  // the paper's pathological case ("there are no weights").
+  for (const auto& c : tree.chains) {
+    if (c.success) continue;
+    bool has_inf = false;
+    for (const auto& k : c.arcs) has_inf |= infinite_set.contains(k);
+    if (!has_inf) ++out.pathological_failures;
+  }
+
+  if (tree.solutions == 0) {
+    out.solvable = out.pathological_failures == 0;
+    return out;
+  }
+
+  // Index the finite unknowns.
+  std::vector<db::PointerKey> finite_arcs;
+  std::unordered_map<db::PointerKey, std::size_t, db::PointerKeyHash> index;
+  for (const auto& k : on_success) {
+    index.emplace(k, finite_arcs.size());
+    finite_arcs.push_back(k);
+  }
+
+  // One equation per successful chain: sum of its (finite) weights equals
+  // log2(S). An arc used twice in a chain contributes coefficient 2.
+  out.target_bound = std::log2(static_cast<double>(tree.solutions));
+  Matrix a(tree.solutions, finite_arcs.size());
+  std::vector<double> b(tree.solutions, out.target_bound);
+  std::size_t row = 0;
+  for (const auto& c : tree.chains) {
+    if (!c.success) continue;
+    for (const auto& k : c.arcs) a(row, index.at(k)) += 1.0;
+    ++row;
+  }
+
+  std::vector<double> x;
+  if (!least_squares_min_norm(a, b, x)) {
+    out.solvable = false;
+    return out;
+  }
+  out.residual = residual_norm(a, x, b);
+  for (std::size_t i = 0; i < finite_arcs.size(); ++i) out.finite[finite_arcs[i]] = x[i];
+  out.equations = tree.solutions;
+  out.unknowns = finite_arcs.size();
+  // Solvable when the equations are met and no pathological failure exists.
+  out.solvable = out.residual < 1e-6 && out.pathological_failures == 0;
+  return out;
+}
+
+WeightComparison compare_with_heuristic(const TheoreticalWeights& theory,
+                                        const db::WeightStore& heuristic) {
+  WeightComparison cmp;
+  std::vector<double> t, h;
+  for (const auto& [k, w] : theory.finite) {
+    t.push_back(w);
+    h.push_back(heuristic.weight(k));
+  }
+  cmp.arcs = t.size();
+  if (t.empty()) return cmp;
+
+  // Best-fit scale s = <t,h>/<t,t> (least squares through the origin).
+  double tt = 0.0, th = 0.0, hh = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    tt += t[i] * t[i];
+    th += t[i] * h[i];
+    hh += h[i] * h[i];
+  }
+  cmp.scale = tt > 0 ? th / tt : 0.0;
+  double err2 = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const double d = cmp.scale * t[i] - h[i];
+    err2 += d * d;
+  }
+  cmp.rel_error = hh > 0 ? std::sqrt(err2 / hh) : 0.0;
+
+  std::size_t agree = 0, pairs = 0;
+  // Differences below epsilon count as ties (the §5 update rules produce
+  // values like (N - 2N/3) that differ from N/3 only by rounding).
+  constexpr double kEps = 1e-9;
+  auto sgn = [](double d) { return d > kEps ? 1 : d < -kEps ? -1 : 0; };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      ++pairs;
+      const int st = sgn(t[i] - t[j]);
+      const int sh = sgn(h[i] - h[j]);
+      if (st == 0 || sh == 0 || st == sh) ++agree;
+    }
+  }
+  cmp.rank_agreement = pairs ? static_cast<double>(agree) / static_cast<double>(pairs) : 1.0;
+  return cmp;
+}
+
+double chain_bound(const TheoreticalWeights& w, const ChainRecord& chain) {
+  std::unordered_set<db::PointerKey, db::PointerKeyHash> infinite_set(
+      w.infinite.begin(), w.infinite.end());
+  double b = 0.0;
+  for (const auto& k : chain.arcs) {
+    if (infinite_set.contains(k)) return std::numeric_limits<double>::infinity();
+    if (auto it = w.finite.find(k); it != w.finite.end()) b += it->second;
+  }
+  return b;
+}
+
+}  // namespace blog::theory

@@ -1,0 +1,116 @@
+#include "blog/trace/tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "blog/term/writer.hpp"
+
+namespace blog::trace {
+namespace {
+
+std::string goal_label(const search::Node& n) {
+  if (n.goals.empty())
+    return "solution: " + search::solution_text(n.store, n.answer);
+  std::string s;
+  for (std::size_t i = 0; i < n.goals.size() && i < 3; ++i) {
+    if (i) s += ", ";
+    s += term::to_string(n.store, n.goals[i].term);
+  }
+  if (n.goals.size() > 3) s += ", ...";
+  return s;
+}
+
+}  // namespace
+
+void TreeRecorder::ensure(const search::Node& n) {
+  auto [it, fresh] = nodes_.try_emplace(n.id);
+  TreeNode& t = it->second;
+  if (fresh) {
+    t.id = n.id;
+    t.parent = n.parent_id;
+    t.bound = n.bound;
+    t.depth = n.depth;
+    t.label = goal_label(n);
+    if (n.parent_id != 0) {
+      nodes_[n.parent_id].children.push_back(n.id);
+    } else {
+      root_ = n.id;
+    }
+  }
+}
+
+search::SearchObserver TreeRecorder::observer() {
+  search::SearchObserver obs;
+  obs.on_pop = [this](const search::Node& n) { ensure(n); };
+  obs.on_expand = [this](const search::Node& parent,
+                         const std::vector<search::Node>& children) {
+    ensure(parent);
+    for (const auto& c : children) ensure(c);
+  };
+  obs.on_solution = [this](const search::Node& n) {
+    ensure(n);
+    TreeNode& t = nodes_[n.id];
+    t.kind = TreeNode::Kind::Solution;
+    t.label = goal_label(n);
+  };
+  obs.on_failure = [this](const search::Node& n) {
+    ensure(n);
+    nodes_[n.id].kind = TreeNode::Kind::Failure;
+  };
+  return obs;
+}
+
+std::string TreeRecorder::render_text() const {
+  std::ostringstream os;
+  // Render recursively; children in id order (= generation order).
+  auto rec = [&](auto&& self, std::uint64_t id, const std::string& indent,
+                 bool last) -> void {
+    const auto it = nodes_.find(id);
+    if (it == nodes_.end()) return;
+    const TreeNode& t = it->second;
+    os << indent;
+    if (id != root_) os << (last ? "`-- " : "|-- ");
+    os << t.label;
+    if (t.kind == TreeNode::Kind::Solution) os << "   [SOLUTION]";
+    if (t.kind == TreeNode::Kind::Failure) os << "   [fails]";
+    os << "   (bound " << t.bound << ")";
+    os << '\n';
+    auto kids = t.children;
+    std::sort(kids.begin(), kids.end());
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      const std::string next_indent =
+          indent + (id == root_ ? "" : (last ? "    " : "|   "));
+      self(self, kids[i], next_indent, i + 1 == kids.size());
+    }
+  };
+  if (root_ != 0) rec(rec, root_, "", true);
+  return std::move(os).str();
+}
+
+std::string TreeRecorder::render_dot() const {
+  std::ostringstream os;
+  os << "digraph ortree {\n  node [shape=box, fontname=monospace];\n";
+  std::vector<std::uint64_t> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, t] : nodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint64_t id : ids) {
+    const TreeNode& t = nodes_.at(id);
+    std::string label = t.label;
+    for (std::size_t p = label.find('"'); p != std::string::npos;
+         p = label.find('"', p + 2))
+      label.replace(p, 1, "\\\"");
+    os << "  n" << id << " [label=\"" << label << "\"";
+    if (t.kind == TreeNode::Kind::Solution) os << ", peripheries=2";
+    if (t.kind == TreeNode::Kind::Failure) os << ", style=dashed";
+    os << "];\n";
+  }
+  for (const std::uint64_t id : ids) {
+    for (const std::uint64_t c : nodes_.at(id).children)
+      os << "  n" << id << " -> n" << c << ";\n";
+  }
+  os << "}\n";
+  return std::move(os).str();
+}
+
+}  // namespace blog::trace

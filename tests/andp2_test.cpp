@@ -1,0 +1,139 @@
+// Second-wave AND-parallel tests: join algebra edge cases and executor
+// corner cases.
+#include <gtest/gtest.h>
+
+#include "blog/andp/exec.hpp"
+
+namespace blog::andp {
+namespace {
+
+using engine::Interpreter;
+
+Relation rel(std::vector<Symbol> schema,
+             std::vector<std::vector<std::string>> rows) {
+  return Relation{std::move(schema), std::move(rows)};
+}
+
+TEST(JoinEdge, EmptyLeftRelation) {
+  const auto r = rel({intern("X"), intern("Y")}, {});
+  const auto s = rel({intern("Y"), intern("Z")}, {{"1", "a"}});
+  EXPECT_TRUE(nested_loop_join(r, s, nullptr).rows.empty());
+  EXPECT_TRUE(hash_join(r, s, nullptr).rows.empty());
+  EXPECT_TRUE(semi_join_then_join(r, s, nullptr).rows.empty());
+}
+
+TEST(JoinEdge, EmptyRightRelation) {
+  const auto r = rel({intern("X"), intern("Y")}, {{"a", "1"}});
+  const auto s = rel({intern("Y"), intern("Z")}, {});
+  EXPECT_TRUE(hash_join(r, s, nullptr).rows.empty());
+  // Semi-join reduce against empty marks nothing.
+  EXPECT_TRUE(semi_join_reduce(r, s, nullptr).rows.empty());
+}
+
+TEST(JoinEdge, AllColumnsShared) {
+  const auto r = rel({intern("X"), intern("Y")}, {{"a", "1"}, {"b", "2"}});
+  const auto s = rel({intern("X"), intern("Y")}, {{"a", "1"}, {"c", "3"}});
+  const auto j = hash_join(r, s, nullptr);
+  EXPECT_EQ(j.schema.size(), 2u);  // no private columns on either side
+  ASSERT_EQ(j.rows.size(), 1u);
+  EXPECT_EQ(j.rows[0], (std::vector<std::string>{"a", "1"}));
+}
+
+TEST(JoinEdge, DuplicateRowsMultiply) {
+  const auto r = rel({intern("X")}, {{"k"}, {"k"}});
+  const auto s = rel({intern("X"), intern("Y")}, {{"k", "1"}, {"k", "2"}});
+  const auto j = hash_join(r, s, nullptr);
+  EXPECT_EQ(j.rows.size(), 4u);  // bag semantics, like repeated solutions
+}
+
+TEST(JoinEdge, ColumnLookup) {
+  const auto r = rel({intern("A"), intern("B")}, {});
+  EXPECT_EQ(r.column(intern("A")), 0);
+  EXPECT_EQ(r.column(intern("B")), 1);
+  EXPECT_EQ(r.column(intern("C")), -1);
+}
+
+TEST(JoinEdge, SeparatorSafeKeys) {
+  // Values containing the key separator must not collide: ("a\x1f","b")
+  // vs ("a","\x1fb") style confusion.
+  const auto r = rel({intern("X"), intern("Y")}, {{"a\x1f", "b"}});
+  const auto s = rel({intern("X"), intern("Y")}, {{"a", "\x1f b"}});
+  EXPECT_TRUE(hash_join(r, s, nullptr).rows.empty());
+}
+
+// --------------------------------------------------------------- executor --
+
+TEST(AndExec2, SingleGoalQueryWorks) {
+  Interpreter ip;
+  ip.consult_string("p(1). p(2).");
+  const auto res = solve_and_parallel(ip, "p(X)");
+  EXPECT_EQ(res.solutions, (std::vector<std::string>{"X=1", "X=2"}));
+  EXPECT_EQ(res.groups.size(), 1u);
+}
+
+TEST(AndExec2, GroundQueryYieldsTrue) {
+  Interpreter ip;
+  ip.consult_string("p(1). q(2).");
+  const auto res = solve_and_parallel(ip, "p(1), q(2)");
+  EXPECT_EQ(res.solutions, (std::vector<std::string>{"true"}));
+}
+
+TEST(AndExec2, ThreeWayJoinChain) {
+  Interpreter ip;
+  ip.consult_string(R"(
+    r(1,a). r(2,b).
+    s(a,x). s(b,y). s(c,z).
+    t(x,final1). t(y,final2).
+  )");
+  const auto res = solve_and_parallel(ip, "r(A,B), s(B,C), t(C,D)");
+  Interpreter seq;
+  seq.consult_string(R"(
+    r(1,a). r(2,b).
+    s(a,x). s(b,y). s(c,z).
+    t(x,final1). t(y,final2).
+  )");
+  EXPECT_EQ(res.solutions,
+            engine::solution_texts(seq.solve("r(A,B), s(B,C), t(C,D)")));
+  EXPECT_EQ(res.solutions.size(), 2u);
+}
+
+TEST(AndExec2, NonGroundGroupFallsBackAndStaysCorrect) {
+  // append with an open tail produces non-ground per-goal solutions; the
+  // join path must detect this and fall back to sequential resolution.
+  Interpreter ip;
+  ip.consult_string(R"(
+    append([],L,L).
+    append([H|T],L,[H|R]) :- append(T,L,R).
+    one(x).
+  )");
+  const auto res = solve_and_parallel(ip, "append(A,B,[1,2]), one(C)");
+  Interpreter seq;
+  seq.consult_string(R"(
+    append([],L,L).
+    append([H|T],L,[H|R]) :- append(T,L,R).
+    one(x).
+  )");
+  EXPECT_EQ(res.solutions,
+            engine::solution_texts(seq.solve("append(A,B,[1,2]), one(C)")));
+}
+
+TEST(AndExec2, SharedVarThroughBuiltinStaysSequential) {
+  Interpreter ip;
+  ip.consult_string("n(1). n(2). n(3).");
+  const auto res = solve_and_parallel(ip, "n(X), n(Y), X < Y");
+  Interpreter seq;
+  seq.consult_string("n(1). n(2). n(3).");
+  EXPECT_EQ(res.solutions,
+            engine::solution_texts(seq.solve("n(X), n(Y), X < Y")));
+  EXPECT_EQ(res.solutions.size(), 3u);
+}
+
+TEST(AndExec2, SpeedupNeverBelowOne) {
+  Interpreter ip;
+  ip.consult_string("p(1). q(2). r(3).");
+  const auto res = solve_and_parallel(ip, "p(A), q(B), r(C)");
+  EXPECT_GE(res.and_speedup(), 1.0);
+}
+
+}  // namespace
+}  // namespace blog::andp

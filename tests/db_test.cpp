@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "blog/db/program.hpp"
+#include "blog/db/weights.hpp"
+
+#include "blog/term/reader.hpp"
+
+namespace blog::db {
+namespace {
+
+// The paper's Figure 1 program.
+constexpr const char* kFamily = R"(
+gf(X,Z) :- f(X,Y), f(Y,Z).
+gf(X,Z) :- f(X,Y), m(Y,Z).
+f(curt,elain).  f(sam,larry).
+f(dan,pat).     f(larry,den).
+f(pat,john).    f(larry,doug).
+m(elain,john).  m(marian,elain).
+m(peg,den).     m(peg,doug).
+)";
+
+TEST(Program, ConsultCountsClauses) {
+  Program p;
+  p.consult_string(kFamily);
+  EXPECT_EQ(p.size(), 12u);
+}
+
+TEST(Program, FactsAndRulesClassified) {
+  Program p;
+  p.consult_string(kFamily);
+  std::size_t facts = 0, rules = 0;
+  for (const auto& c : p.clauses()) (c.is_fact() ? facts : rules)++;
+  EXPECT_EQ(facts, 10u);
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(Program, CandidatesInTextualOrder) {
+  Program p;
+  p.consult_string(kFamily);
+  const auto& gf = p.candidates(Pred{intern("gf"), 2});
+  ASSERT_EQ(gf.size(), 2u);
+  EXPECT_LT(gf[0], gf[1]);
+  EXPECT_EQ(p.candidates(Pred{intern("f"), 2}).size(), 6u);
+  EXPECT_EQ(p.candidates(Pred{intern("m"), 2}).size(), 4u);
+}
+
+TEST(Program, UnknownPredicateHasNoCandidates) {
+  Program p;
+  p.consult_string(kFamily);
+  EXPECT_TRUE(p.candidates(Pred{intern("nosuch"), 3}).empty());
+}
+
+TEST(Program, FirstArgIndexingFiltersConstants) {
+  Program p;
+  p.consult_string(kFamily);
+  term::Store s;
+  const auto rt = term::parse_term("f(larry,G)", s);
+  const auto cands = p.candidates_indexed(Pred{intern("f"), 2}, s, rt.term);
+  EXPECT_EQ(cands.size(), 2u);  // f(larry,den), f(larry,doug)
+}
+
+TEST(Program, FirstArgIndexingKeepsAllForVariable) {
+  Program p;
+  p.consult_string(kFamily);
+  term::Store s;
+  const auto rt = term::parse_term("f(X,G)", s);
+  const auto cands = p.candidates_indexed(Pred{intern("f"), 2}, s, rt.term);
+  EXPECT_EQ(cands.size(), 6u);
+}
+
+TEST(Program, ClauseToStringRoundtrips) {
+  Program p;
+  p.consult_string("gf(X,Z) :- f(X,Y), f(Y,Z).");
+  EXPECT_EQ(p.clause(0).to_string(), "gf(X,Z) :- f(X,Y), f(Y,Z).");
+}
+
+TEST(Program, PointerCountMatchesFigure4Model) {
+  // A :- B,C,D.  B :- E.  B :- F.  C :- G.  D :- H.
+  // Pointers: A's B-literal -> 2, C-literal -> 1, D-literal -> 1;
+  // B:-E / B:-F / C:-G / D:-H body literals have no facts, so 0 each.
+  Program p;
+  p.consult_string("a :- b, c, d. b :- e. b :- f. c :- g. d :- h.");
+  EXPECT_EQ(p.pointer_count(), 4u);
+}
+
+TEST(Program, TermCellsMeasuresClauseSize) {
+  Program p;
+  p.consult_string("f(a,b). g(X) :- f(X,Y), f(Y,X).");
+  EXPECT_EQ(p.clause(0).term_cells(), 3u);       // f,a,b
+  EXPECT_EQ(p.clause(1).term_cells(), 2u + 6u);  // g(X) + two f/2 goals
+}
+
+// ---------------------------------------------------------------- weights --
+
+TEST(WeightStore, UnknownByDefault) {
+  WeightStore ws({.n = 16, .a = 8});
+  const PointerKey k{0, 0, 1};
+  EXPECT_DOUBLE_EQ(ws.weight(k), 17.0);
+  EXPECT_EQ(ws.kind(k), WeightKind::Unknown);
+}
+
+TEST(WeightStore, InfinityIsAN) {
+  WeightStore ws({.n = 16, .a = 8});
+  EXPECT_DOUBLE_EQ(ws.params().infinity(), 128.0);
+  const PointerKey k{0, 0, 1};
+  ws.set_session(k, ws.params().infinity());
+  EXPECT_EQ(ws.kind(k), WeightKind::Infinite);
+}
+
+TEST(WeightStore, SessionOverlayShadowsGlobal) {
+  WeightStore ws;
+  const PointerKey k{1, 0, 2};
+  ws.set_session(k, 3.0);
+  ws.end_session();                       // 3.0 now global
+  EXPECT_DOUBLE_EQ(ws.weight(k), 3.0);
+  ws.set_session(k, 9.0);                 // strong local update
+  EXPECT_DOUBLE_EQ(ws.weight(k), 9.0);
+  EXPECT_DOUBLE_EQ(ws.global_weight(k), 3.0);
+}
+
+TEST(WeightStore, BeginSessionDiscardsOverlay) {
+  WeightStore ws;
+  const PointerKey k{1, 0, 2};
+  ws.set_session(k, 5.0);
+  ws.begin_session();
+  EXPECT_EQ(ws.kind(k), WeightKind::Unknown);
+}
+
+TEST(WeightStore, ConservativeMergeBlendsKnownWeights) {
+  WeightStore ws({.n = 16, .a = 8, .blend = 0.5});
+  const PointerKey k{1, 0, 2};
+  ws.set_session(k, 4.0);
+  ws.end_session();
+  EXPECT_DOUBLE_EQ(ws.global_weight(k), 4.0);
+  ws.set_session(k, 8.0);
+  ws.end_session();
+  EXPECT_DOUBLE_EQ(ws.global_weight(k), 6.0);  // (4+8)/2
+}
+
+TEST(WeightStore, InfinityNeverOverridesKnownGlobal) {
+  WeightStore ws({.n = 16, .a = 8});
+  const PointerKey k{1, 0, 2};
+  ws.set_session(k, 2.0);
+  ws.end_session();
+  ws.set_session(k, ws.params().infinity());
+  ws.end_session();
+  EXPECT_DOUBLE_EQ(ws.global_weight(k), 2.0);  // conservative rule
+}
+
+TEST(WeightStore, InfinityRecordedWhenGlobalAbsent) {
+  WeightStore ws({.n = 16, .a = 8});
+  const PointerKey k{1, 0, 2};
+  ws.set_session(k, ws.params().infinity());
+  ws.end_session();
+  EXPECT_EQ(ws.classify(ws.global_weight(k)), WeightKind::Infinite);
+}
+
+TEST(WeightStore, SuccessDemotesGlobalInfinity) {
+  WeightStore ws({.n = 16, .a = 8});
+  const PointerKey k{1, 0, 2};
+  ws.set_session(k, ws.params().infinity());
+  ws.end_session();
+  ws.set_session(k, 5.0);  // later session proves the arc succeeds
+  ws.end_session();
+  EXPECT_DOUBLE_EQ(ws.global_weight(k), 5.0);
+}
+
+TEST(WeightStore, SnapshotMergesOverlay) {
+  WeightStore ws;
+  const PointerKey k1{1, 0, 2}, k2{1, 1, 3};
+  ws.set_session(k1, 1.0);
+  ws.end_session();
+  ws.set_session(k2, 2.0);
+  const auto snap = ws.snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.at(k1), 1.0);
+  EXPECT_DOUBLE_EQ(snap.at(k2), 2.0);
+}
+
+TEST(WeightStore, DistinctKeysAreIndependent) {
+  WeightStore ws;
+  ws.set_session(PointerKey{1, 0, 2}, 1.0);
+  EXPECT_EQ(ws.kind(PointerKey{1, 1, 2}), WeightKind::Unknown);
+  EXPECT_EQ(ws.kind(PointerKey{1, 0, 3}), WeightKind::Unknown);
+  EXPECT_EQ(ws.kind(PointerKey{2, 0, 2}), WeightKind::Unknown);
+}
+
+TEST(PointerKeyTest, HashAndEquality) {
+  PointerKeyHash h;
+  const PointerKey a{1, 2, 3}, b{1, 2, 3}, c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(h(a), h(b));
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace blog::db

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "blog/engine/builtins.hpp"
+#include "blog/engine/interpreter.hpp"
+#include "blog/term/reader.hpp"
+
+namespace blog::engine {
+namespace {
+
+std::optional<std::int64_t> arith(std::string_view e) {
+  term::Store s;
+  return eval_arith(s, term::parse_term(e, s).term);
+}
+
+TEST(Arith, BasicOperators) {
+  EXPECT_EQ(arith("1+2"), 3);
+  EXPECT_EQ(arith("2*3+4"), 10);
+  EXPECT_EQ(arith("2*(3+4)"), 14);
+  EXPECT_EQ(arith("7//2"), 3);
+  EXPECT_EQ(arith("7 mod 2"), 1);
+  EXPECT_EQ(arith("-3 mod 5"), 2);  // Prolog mod tracks divisor sign
+  EXPECT_EQ(arith("abs(-9)"), 9);
+  EXPECT_EQ(arith("min(3,5)"), 3);
+  EXPECT_EQ(arith("max(3,5)"), 5);
+  EXPECT_EQ(arith("-(4)"), -4);
+}
+
+TEST(Arith, DivisionByZeroIsUndefined) {
+  EXPECT_EQ(arith("1//0"), std::nullopt);
+  EXPECT_EQ(arith("1 mod 0"), std::nullopt);
+}
+
+TEST(Arith, UnboundVariableIsUndefined) { EXPECT_EQ(arith("X+1"), std::nullopt); }
+
+TEST(Arith, NonArithmeticFunctorIsUndefined) {
+  EXPECT_EQ(arith("foo(1,2)"), std::nullopt);
+}
+
+class BuiltinsTest : public ::testing::Test {
+protected:
+  StandardBuiltins b;
+  term::Store s;
+  term::Trail tr;
+
+  StandardBuiltins::Outcome run(std::string_view goal) {
+    return b.eval(s, term::parse_term(goal, s).term, tr);
+  }
+};
+
+TEST_F(BuiltinsTest, TrueAndFail) {
+  EXPECT_EQ(run("true"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("fail"), StandardBuiltins::Outcome::Fail);
+}
+
+TEST_F(BuiltinsTest, UnifyBuiltin) {
+  EXPECT_EQ(run("X = a"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("a = b"), StandardBuiltins::Outcome::Fail);
+  EXPECT_EQ(run("f(X,b) = f(a,Y)"), StandardBuiltins::Outcome::True);
+}
+
+TEST_F(BuiltinsTest, DisunifyRollsBack) {
+  const auto rt = term::parse_term("X \\= Y", s);
+  EXPECT_EQ(b.eval(s, rt.term, tr), StandardBuiltins::Outcome::Fail);
+  // X and Y must remain unbound after the failed disunification probe.
+  for (const auto& [name, var] : rt.variables) EXPECT_TRUE(s.is_unbound(s.deref(var)));
+}
+
+TEST_F(BuiltinsTest, DisunifyGroundTerms) {
+  EXPECT_EQ(run("a \\= b"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("a \\= a"), StandardBuiltins::Outcome::Fail);
+}
+
+TEST_F(BuiltinsTest, StructuralEquality) {
+  EXPECT_EQ(run("f(a) == f(a)"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("f(a) == f(b)"), StandardBuiltins::Outcome::Fail);
+  EXPECT_EQ(run("X == Y"), StandardBuiltins::Outcome::Fail);  // distinct vars
+  EXPECT_EQ(run("f(a) \\== f(b)"), StandardBuiltins::Outcome::True);
+}
+
+TEST_F(BuiltinsTest, IsBindsResult) {
+  const auto rt = term::parse_term("X is 6*7", s);
+  ASSERT_EQ(b.eval(s, rt.term, tr), StandardBuiltins::Outcome::True);
+  const term::TermRef x = s.deref(rt.variables[0].second);
+  ASSERT_TRUE(s.is_int(x));
+  EXPECT_EQ(s.int_value(x), 42);
+}
+
+TEST_F(BuiltinsTest, IsChecksWhenBound) {
+  EXPECT_EQ(run("42 is 6*7"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("41 is 6*7"), StandardBuiltins::Outcome::Fail);
+  EXPECT_EQ(run("X is Y+1"), StandardBuiltins::Outcome::Fail);  // unbound rhs
+}
+
+TEST_F(BuiltinsTest, Comparisons) {
+  EXPECT_EQ(run("1 < 2"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("2 < 1"), StandardBuiltins::Outcome::Fail);
+  EXPECT_EQ(run("2 =< 2"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("3 >= 4"), StandardBuiltins::Outcome::Fail);
+  EXPECT_EQ(run("2+2 =:= 4"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("2+2 =\\= 5"), StandardBuiltins::Outcome::True);
+}
+
+TEST_F(BuiltinsTest, TypeTests) {
+  EXPECT_EQ(run("var(X)"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("nonvar(a)"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("atom(a)"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("atom(f(a))"), StandardBuiltins::Outcome::Fail);
+  EXPECT_EQ(run("integer(3)"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("ground(f(a,1))"), StandardBuiltins::Outcome::True);
+  EXPECT_EQ(run("ground(f(a,X))"), StandardBuiltins::Outcome::Fail);
+}
+
+TEST_F(BuiltinsTest, NonBuiltinIsReported) {
+  EXPECT_EQ(run("foo(a,b)"), StandardBuiltins::Outcome::NotBuiltin);
+}
+
+TEST_F(BuiltinsTest, IsBuiltinPredicate) {
+  EXPECT_TRUE(b.is_builtin(db::Pred{intern("is"), 2}));
+  EXPECT_TRUE(b.is_builtin(db::Pred{intern("true"), 0}));
+  EXPECT_FALSE(b.is_builtin(db::Pred{intern("is"), 3}));
+  EXPECT_FALSE(b.is_builtin(db::Pred{intern("member"), 2}));
+}
+
+// ------------------------------------------------------------ interpreter --
+
+TEST(Interpreter, ConsultAndSolve) {
+  Interpreter ip;
+  ip.consult_string("p(1). p(2).");
+  auto r = ip.solve("p(X)");
+  EXPECT_EQ(solution_texts(r), (std::vector<std::string>{"X=1", "X=2"}));
+}
+
+TEST(Interpreter, QueryWithoutVariablesPrintsGoal) {
+  Interpreter ip;
+  ip.consult_string("p(1).");
+  auto r = ip.solve("p(1)");
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(r.solutions[0].text, "p(1)");
+}
+
+TEST(Interpreter, AnswerTemplateOrdersVariablesByFirstUse) {
+  Interpreter ip;
+  ip.consult_string("edge(a,b).");
+  auto r = ip.solve("edge(X,Y)");
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(r.solutions[0].text, "X=a,Y=b");
+}
+
+TEST(Interpreter, ParseErrorPropagates) {
+  Interpreter ip;
+  EXPECT_THROW(ip.consult_string("f(a."), term::ParseError);
+}
+
+TEST(Interpreter, SolveManyQueriesAccumulatesWeights) {
+  Interpreter ip;
+  ip.consult_string("p(1). p(2). q(X) :- p(X), X > 1.");
+  (void)ip.solve("q(X)");
+  EXPECT_GT(ip.weights().session_size(), 0u);
+}
+
+TEST(Interpreter, UpdateWeightsCanBeDisabled) {
+  Interpreter ip;
+  ip.consult_string("p(1). p(2). q(X) :- p(X), X > 1.");
+  search::SearchOptions o;
+  o.update_weights = false;
+  (void)ip.solve("q(X)", o);
+  EXPECT_EQ(ip.weights().session_size(), 0u);
+}
+
+TEST(Interpreter, NQueens4HasTwoSolutions) {
+  Interpreter ip;
+  ip.consult_string(R"(
+    select(X,[X|T],T).
+    select(X,[H|T],[H|R]) :- select(X,T,R).
+    safe(_,[],_).
+    safe(Q,[Q1|Qs],D) :- Q =\= Q1, abs(Q-Q1) =\= D, D1 is D+1, safe(Q,Qs,D1).
+    queens([],[],Acc,Acc).
+    queens(Unplaced,[Q|Qs],Acc,Out) :-
+      select(Q,Unplaced,Rest), safe(Q,Acc,1), queens(Rest,Qs,[Q|Acc],Out).
+    queens4(Qs) :- queens([1,2,3,4],Qs,[],_).
+  )");
+  auto r = ip.solve("queens4(Qs)");
+  EXPECT_EQ(solution_texts(r),
+            (std::vector<std::string>{"Qs=[2,4,1,3]", "Qs=[3,1,4,2]"}));
+}
+
+TEST(Interpreter, PathFindingInDag) {
+  Interpreter ip;
+  ip.consult_string(R"(
+    edge(a,b). edge(a,c). edge(b,d). edge(c,d). edge(d,e).
+    path(X,X,[X]).
+    path(X,Z,[X|P]) :- edge(X,Y), path(Y,Z,P).
+  )");
+  auto r = ip.solve("path(a,e,P)");
+  EXPECT_EQ(solution_texts(r), (std::vector<std::string>{"P=[a,b,d,e]", "P=[a,c,d,e]"}));
+}
+
+TEST(Interpreter, MapColoringIsSatisfiable) {
+  Interpreter ip;
+  ip.consult_string(R"(
+    color(red). color(green). color(blue).
+    diff(X,Y) :- color(X), color(Y), X \= Y.
+    map3(A,B,C) :- diff(A,B), diff(B,C), diff(A,C).
+  )");
+  auto r = ip.solve("map3(A,B,C)");
+  EXPECT_EQ(r.solutions.size(), 6u);  // 3! proper colorings of a triangle
+}
+
+}  // namespace
+}  // namespace blog::engine

@@ -1,0 +1,233 @@
+// Tests for the paper's extension features: goal-selection policies (§2's
+// free choice of the next graph to search), conditional weights (§5 future
+// work), and the SPD write-side operations (§5 end-of-session write-back,
+// §6 garbage collection).
+#include <gtest/gtest.h>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/spd/array.hpp"
+#include "blog/workloads/workloads.hpp"
+
+namespace blog {
+namespace {
+
+using engine::Interpreter;
+
+// ------------------------------------------------------------ goal order --
+
+search::SearchOptions with_order(search::GoalOrder order) {
+  search::SearchOptions o;
+  o.expander.goal_order = order;
+  return o;
+}
+
+class GoalOrderSweep : public ::testing::TestWithParam<search::GoalOrder> {};
+
+TEST_P(GoalOrderSweep, SameSolutionsAnyOrder) {
+  Interpreter ref;
+  ref.consult_string(workloads::figure1_family());
+  const auto expected = engine::solution_texts(ref.solve("gf(sam,G)"));
+
+  Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+  const auto r = ip.solve("gf(sam,G)", with_order(GetParam()));
+  EXPECT_EQ(engine::solution_texts(r), expected);
+}
+
+TEST_P(GoalOrderSweep, ArithmeticStaysSequencedCorrectly) {
+  // len/2 computes through `is`; reordering must not hoist goals past the
+  // builtin prefix in a way that breaks instantiation.
+  Interpreter ip;
+  ip.consult_string(workloads::list_library());
+  const auto r = ip.solve("len([a,b,c],N), append(X,Y,[1,2])",
+                          with_order(GetParam()));
+  EXPECT_EQ(r.solutions.size(), 3u);  // N=3 × 3 splits of [1,2]
+  for (const auto& s : r.solutions) EXPECT_NE(s.text.find("N=3"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GoalOrderSweep,
+                         ::testing::Values(search::GoalOrder::Leftmost,
+                                           search::GoalOrder::SmallestFanout,
+                                           search::GoalOrder::CheapestPointer));
+
+TEST(GoalOrderTest, SmallestFanoutPicksDeterministicGoalFirst) {
+  // many(X) has 5 clauses, one(Y) has 1: first-fail should resolve one/1
+  // first, shrinking the tree.
+  Interpreter ip;
+  ip.consult_string("many(1). many(2). many(3). many(4). many(5). one(a).");
+  const auto leftmost =
+      ip.solve("many(X), one(Y)", with_order(search::GoalOrder::Leftmost));
+  Interpreter ip2;
+  ip2.consult_string("many(1). many(2). many(3). many(4). many(5). one(a).");
+  const auto ff =
+      ip2.solve("many(X), one(Y)", with_order(search::GoalOrder::SmallestFanout));
+  EXPECT_EQ(engine::solution_texts(leftmost), engine::solution_texts(ff));
+  EXPECT_LT(ff.stats.nodes_expanded, leftmost.stats.nodes_expanded);
+}
+
+TEST(GoalOrderTest, CheapestPointerFollowsWeights) {
+  Interpreter ip;
+  ip.consult_string("a(1). b(2).");
+  // Make b's pointer cheap, a's expensive: b resolves first.
+  ip.weights().set_session(db::PointerKey{db::kQueryClause, 1, 1}, 1.0);
+  ip.weights().set_session(db::PointerKey{db::kQueryClause, 0, 0}, 9.0);
+  const auto r =
+      ip.solve("a(X), b(Y)", with_order(search::GoalOrder::CheapestPointer));
+  EXPECT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(r.solutions[0].text, "X=1,Y=2");
+}
+
+// --------------------------------------------------- conditional weights --
+
+TEST(ConditionalWeights, ContextSeparatesCallPaths) {
+  // mid(X) :- a(X) succeeds when called from top1 (X=1) and fails from
+  // top2 (X=2). Unconditional weights whipsaw; conditional weights learn
+  // the two contexts independently.
+  const char* program = R"(
+    top1(X) :- p(X), mid(X).
+    top2(X) :- q(X), mid(X).
+    p(1). q(2).
+    mid(X) :- a(X).
+    mid(X) :- b(X).
+    a(1). b(2).
+  )";
+  Interpreter ip;
+  ip.consult_string(program);
+  search::SearchOptions opts;
+  opts.expander.conditional_weights = true;
+  (void)ip.solve("top1(X)", opts);
+  (void)ip.solve("top2(X)", opts);
+
+  // The weights for the mid->a pointer must now exist under two different
+  // contexts with different values (success on one path, infinity-free on
+  // the other).
+  const auto snap = ip.weights().snapshot();
+  std::size_t mid_a_contexts = 0;
+  for (const auto& [k, w] : snap) {
+    if (k.caller != db::kQueryClause && k.context != db::kNoContext)
+      ++mid_a_contexts;
+  }
+  EXPECT_GT(mid_a_contexts, 0u);
+}
+
+TEST(ConditionalWeights, SameSolutionsAsUnconditional) {
+  Interpreter a, b;
+  a.consult_string(workloads::figure1_family());
+  b.consult_string(workloads::figure1_family());
+  search::SearchOptions cond;
+  cond.expander.conditional_weights = true;
+  EXPECT_EQ(engine::solution_texts(a.solve("gf(X,Z)")),
+            engine::solution_texts(b.solve("gf(X,Z)", cond)));
+}
+
+TEST(ConditionalWeights, ChainsCarryContextKeys) {
+  Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+  search::SearchOptions opts;
+  opts.expander.conditional_weights = true;
+  (void)ip.solve("gf(sam,G)", opts);
+  // All recorded session weights should carry a context.
+  for (const auto& [k, w] : ip.weights().snapshot())
+    EXPECT_NE(k.context, db::kNoContext);
+}
+
+// ------------------------------------------------------- SPD write side --
+
+std::vector<spd::Block> family_blocks(db::WeightStore& ws) {
+  db::Program p;
+  p.consult_string(workloads::figure1_family());
+  return spd::build_blocks(p, ws);
+}
+
+TEST(SpdWrite, UpdateWeightsRewritesMarkedPointers) {
+  db::WeightStore ws;
+  auto blocks = family_blocks(ws);
+  spd::SearchProcessor sp({blocks}, {});
+  sp.load_track(0);
+  sp.mark_block(0);  // gf rule 1
+  const auto dt = sp.update_weights_in_marked(
+      [](const spd::Block&, const spd::DiskPointer&) { return 2.5; });
+  EXPECT_GT(dt, 0.0);
+  for (const auto& p : sp.track(0)[0].pointers) EXPECT_DOUBLE_EQ(p.weight, 2.5);
+  for (const auto& p : sp.track(0)[1].pointers) EXPECT_DOUBLE_EQ(p.weight, 17.0);
+}
+
+TEST(SpdWrite, DeleteMarkedCreatesGarbage) {
+  db::WeightStore ws;
+  auto blocks = family_blocks(ws);
+  spd::SearchProcessor sp({blocks}, {});
+  sp.load_track(0);
+  const auto words = sp.track(0)[2].words();
+  sp.mark_block(2);
+  sp.delete_marked();
+  EXPECT_EQ(sp.track(0).size(), 11u);
+  EXPECT_EQ(sp.garbage_words(0), words);
+  EXPECT_FALSE(sp.contains(2));
+}
+
+TEST(SpdWrite, GcReclaimsGarbage) {
+  db::WeightStore ws;
+  auto blocks = family_blocks(ws);
+  spd::SearchProcessor sp({blocks}, {});
+  sp.load_track(0);
+  sp.mark_block(2);
+  sp.mark_block(3);
+  sp.delete_marked();
+  EXPECT_GT(sp.garbage_words(0), 0u);
+  const auto dt = sp.gc();
+  EXPECT_GT(dt, 0.0);
+  EXPECT_EQ(sp.garbage_words(0), 0u);
+  EXPECT_DOUBLE_EQ(sp.gc(), 0.0);  // nothing left to compact
+}
+
+TEST(SpdWrite, InsertBlockBecomesVisible) {
+  db::WeightStore ws;
+  auto blocks = family_blocks(ws);
+  spd::SearchProcessor sp({blocks}, {});
+  sp.load_track(0);
+  spd::Block nb;
+  nb.id = 100;
+  nb.pred = intern("extra");
+  nb.data_words = 3;
+  sp.insert_block(nb);
+  EXPECT_TRUE(sp.contains(100));
+  sp.clear_marks();
+  sp.mark_matching(intern("extra"), 0);
+  EXPECT_EQ(sp.marks().size(), 1u);
+}
+
+TEST(SpdWrite, FlushWeightsWritesGlobalStore) {
+  db::Program p;
+  p.consult_string(workloads::figure1_family());
+  db::WeightStore ws;
+  ws.set_session(db::PointerKey{0, 0, 3}, 4.25);  // gf rule1 -> f(sam,larry)
+  ws.end_session();
+
+  spd::SpdConfig cfg;
+  cfg.sps = 2;
+  cfg.blocks_per_track = 4;
+  spd::SpdArray arr(spd::build_blocks(p, db::WeightStore{}), cfg);
+  const auto elapsed = arr.flush_weights(ws);
+  EXPECT_GT(elapsed, 0.0);
+
+  // Find the rewritten pointer on disk.
+  bool found = false;
+  for (std::size_t s = 0; s < arr.sp_count(); ++s) {
+    const auto& sp = arr.sp(s);
+    for (std::size_t t = 0; t < sp.track_count(); ++t) {
+      for (const auto& b : sp.track(t)) {
+        if (b.clause != 0) continue;
+        for (const auto& ptr : b.pointers) {
+          if (ptr.literal == 0 && ptr.target == 3) {
+            EXPECT_DOUBLE_EQ(ptr.weight, 4.25);
+            found = true;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace blog

@@ -1,0 +1,198 @@
+// Second-wave machine simulator tests: sessions on the machine, cost-model
+// monotonicity, and cross-configuration invariants.
+#include <gtest/gtest.h>
+
+#include "blog/machine/sim.hpp"
+#include "blog/workloads/workloads.hpp"
+
+namespace blog::machine {
+namespace {
+
+using engine::Interpreter;
+
+MachineConfig base_config() {
+  MachineConfig cfg;
+  cfg.processors = 2;
+  cfg.tasks_per_processor = 2;
+  cfg.max_nodes = 100'000;
+  return cfg;
+}
+
+TEST(MachineSession, RunSessionAdaptsAndFlushes) {
+  Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+  MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), base_config());
+  std::vector<search::Query> qs;
+  qs.push_back(ip.parse_query("gf(sam,G)"));
+  qs.push_back(ip.parse_query("gf(sam,G)"));
+  const auto rep = sim.run_session(qs);
+  ASSERT_EQ(rep.query_nodes.size(), 2u);
+  // Second identical query is no more expensive than the first.
+  EXPECT_LE(rep.query_nodes[1], rep.query_nodes[0]);
+  // The session merged into the global database and was flushed to disk.
+  EXPECT_EQ(ip.weights().session_size(), 0u);
+  EXPECT_GT(ip.weights().global_size(), 0u);
+  EXPECT_GT(rep.flush_time, 0.0);
+  EXPECT_GT(rep.total, rep.flush_time);
+}
+
+TEST(MachineSession, FlushSkippedWithoutSpd) {
+  Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+  auto cfg = base_config();
+  cfg.use_spd = false;
+  MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+  const auto rep = sim.run_session({ip.parse_query("gf(sam,G)")});
+  EXPECT_DOUBLE_EQ(rep.flush_time, 0.0);
+}
+
+TEST(MachineCosts, HigherUnifyCostRaisesMakespan) {
+  auto makespan = [](double unify_cost) {
+    Interpreter ip;
+    ip.consult_string(workloads::layered_dag(3, 2));
+    auto cfg = base_config();
+    cfg.update_weights = false;
+    cfg.unify_cost_per_cell = unify_cost;
+    MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    return sim.run(ip.parse_query("path(n0_0,Z,P)")).makespan;
+  };
+  EXPECT_LT(makespan(1.0), makespan(4.0));
+}
+
+TEST(MachineCosts, CheaperInterconnectNeverHurts) {
+  auto makespan = [](double setup) {
+    Interpreter ip;
+    ip.consult_string(workloads::layered_dag(3, 3));
+    auto cfg = base_config();
+    cfg.processors = 4;
+    cfg.update_weights = false;
+    cfg.local_pool_capacity = 2;
+    cfg.interconnect.setup = setup;
+    MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    return sim.run(ip.parse_query("path(n0_0,Z,P)")).makespan;
+  };
+  EXPECT_LE(makespan(1.0), makespan(500.0));
+}
+
+TEST(MachineCosts, LargerLocalMemoryReducesDiskWait) {
+  auto disk_wait = [](std::size_t blocks) {
+    Interpreter ip;
+    ip.consult_string(workloads::layered_dag(4, 3));
+    auto cfg = base_config();
+    cfg.update_weights = false;
+    cfg.local_memory_blocks = blocks;
+    MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    return sim.run(ip.parse_query("path(n0_0,Z,P)")).disk_wait;
+  };
+  EXPECT_LE(disk_wait(256), disk_wait(2));
+}
+
+TEST(MachineCosts, PrefetchRadiusTradesLatencyForCoverage) {
+  // A bigger Hamming radius pages more blocks per miss; with a reasonable
+  // local memory that means fewer misses later. Both runs must agree on
+  // solutions.
+  auto run = [](std::uint32_t radius) {
+    Interpreter ip;
+    ip.consult_string(workloads::layered_dag(3, 3));
+    auto cfg = base_config();
+    cfg.update_weights = false;
+    cfg.prefetch_radius = radius;
+    cfg.local_memory_blocks = 128;
+    MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    return sim.run(ip.parse_query("path(n0_0,Z,P)"));
+  };
+  const auto r0 = run(0);
+  const auto r2 = run(2);
+  EXPECT_EQ(r0.solutions, r2.solutions);
+}
+
+TEST(MachineInvariants, WorkConservedAcrossProcessorCounts) {
+  // Without weight updates the tree is fixed: every configuration must
+  // expand exactly the same number of nodes.
+  auto nodes = [](unsigned procs, unsigned tasks) {
+    Interpreter ip;
+    ip.consult_string(workloads::layered_dag(3, 3));
+    auto cfg = base_config();
+    cfg.processors = procs;
+    cfg.tasks_per_processor = tasks;
+    cfg.update_weights = false;
+    MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    return sim.run(ip.parse_query("path(n0_0,Z,P)")).nodes_expanded;
+  };
+  const auto ref = nodes(1, 1);
+  EXPECT_EQ(nodes(2, 2), ref);
+  EXPECT_EQ(nodes(8, 4), ref);
+}
+
+TEST(MachineInvariants, ProcessorReportsSumToTotals) {
+  Interpreter ip;
+  ip.consult_string(workloads::layered_dag(3, 3));
+  auto cfg = base_config();
+  cfg.processors = 4;
+  cfg.update_weights = false;
+  MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+  const auto rep = sim.run(ip.parse_query("path(n0_0,Z,P)"));
+  std::uint64_t expanded = 0;
+  SimTime disk = 0.0;
+  for (const auto& p : rep.processors) {
+    expanded += p.expanded;
+    disk += p.disk_wait;
+    EXPECT_EQ(p.local_takes + p.net_takes, p.expanded);
+  }
+  EXPECT_EQ(expanded, rep.nodes_expanded);
+  EXPECT_DOUBLE_EQ(disk, rep.disk_wait);
+}
+
+TEST(MachineInvariants, MakespanAtLeastCriticalUnitTime) {
+  Interpreter ip;
+  ip.consult_string(workloads::layered_dag(3, 2));
+  auto cfg = base_config();
+  cfg.update_weights = false;
+  MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+  const auto rep = sim.run(ip.parse_query("path(n0_0,Z,P)"));
+  for (const auto& p : rep.processors) {
+    for (const auto& u : p.units) EXPECT_LE(u.busy, rep.makespan + 1e-9);
+  }
+}
+
+TEST(MachineInvariants, ZeroCostConfigStillTerminates) {
+  Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+  auto cfg = base_config();
+  cfg.unify_cost_per_cell = 0.0;
+  cfg.dispatch_cost = 0.0;
+  cfg.weight_update_cost = 0.0;
+  cfg.copy.cycle_per_word = 0.0;
+  cfg.minnet.per_level = 0.0;
+  cfg.interconnect.setup = 0.0;
+  cfg.interconnect.per_word = 0.0;
+  cfg.use_spd = false;
+  MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+  const auto rep = sim.run(ip.parse_query("gf(sam,G)"));
+  EXPECT_TRUE(rep.complete);
+  EXPECT_EQ(rep.solutions.size(), 2u);
+  EXPECT_DOUBLE_EQ(rep.makespan, 0.0);
+}
+
+class MachineProcSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MachineProcSweep, SolutionSetInvariantUnderParallelism) {
+  Interpreter ref;
+  ref.consult_string(workloads::layered_dag(3, 2));
+  const auto expected =
+      engine::solution_texts(ref.solve("path(n0_0,Z,P)", {.update_weights = false}));
+
+  Interpreter ip;
+  ip.consult_string(workloads::layered_dag(3, 2));
+  auto cfg = base_config();
+  cfg.processors = GetParam();
+  cfg.update_weights = false;
+  MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+  EXPECT_EQ(sim.run(ip.parse_query("path(n0_0,Z,P)")).solutions, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, MachineProcSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace blog::machine

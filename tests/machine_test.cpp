@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "blog/machine/sim.hpp"
+
+namespace blog::machine {
+namespace {
+
+using engine::Interpreter;
+
+constexpr const char* kFamily = R"(
+gf(X,Z) :- f(X,Y), f(Y,Z).
+gf(X,Z) :- f(X,Y), m(Y,Z).
+f(curt,elain).  f(sam,larry).
+f(dan,pat).     f(larry,den).
+f(pat,john).    f(larry,doug).
+m(elain,john).  m(marian,elain).
+m(peg,den).     m(peg,doug).
+)";
+
+std::string layered_dag(int layers, int width) {
+  std::string s;
+  for (int l = 0; l < layers; ++l)
+    for (int a = 0; a < width; ++a)
+      for (int b = 0; b < width; ++b)
+        s += "edge(n" + std::to_string(l) + "_" + std::to_string(a) + ",n" +
+             std::to_string(l + 1) + "_" + std::to_string(b) + ").\n";
+  s += "path(X,X,[X]).\npath(X,Z,[X|P]) :- edge(X,Y), path(Y,Z,P).\n";
+  return s;
+}
+
+// ------------------------------------------------------------ event queue --
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule(3.0, [&] { order.push_back(3); });
+  eq.schedule(1.0, [&] { order.push_back(1); });
+  eq.schedule(2.0, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesRunInScheduleOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) eq.schedule(1.0, [&order, i] { order.push_back(i); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue eq;
+  int fired = 0;
+  eq.schedule(1.0, [&] {
+    ++fired;
+    eq.schedule(2.0, [&] { ++fired; });
+  });
+  eq.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eq.executed(), 2u);
+}
+
+// ------------------------------------------------------------- scoreboard --
+
+TEST(ScoreboardTest, SerializesOnSingleUnit) {
+  Scoreboard sb(ScoreboardConfig{});
+  const auto a = sb.reserve(Unit::Unify, 0.0, 10.0);
+  const auto b = sb.reserve(Unit::Unify, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(b.start, 10.0);  // structural hazard
+  EXPECT_DOUBLE_EQ(sb.stats(Unit::Unify).stall, 10.0);
+}
+
+TEST(ScoreboardTest, ParallelUnitsAvoidHazard) {
+  ScoreboardConfig cfg;
+  cfg.unify_units = 2;
+  Scoreboard sb(cfg);
+  const auto a = sb.reserve(Unit::Unify, 0.0, 10.0);
+  const auto b = sb.reserve(Unit::Unify, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(b.start, 0.0);
+  EXPECT_DOUBLE_EQ(sb.stats(Unit::Unify).stall, 0.0);
+}
+
+TEST(ScoreboardTest, DistinctKindsIndependent) {
+  Scoreboard sb(ScoreboardConfig{});
+  sb.reserve(Unit::Unify, 0.0, 100.0);
+  const auto c = sb.reserve(Unit::Copy, 0.0, 5.0);
+  EXPECT_DOUBLE_EQ(c.start, 0.0);
+  EXPECT_DOUBLE_EQ(sb.horizon(), 100.0);
+}
+
+// ----------------------------------------------------------------- memory --
+
+TEST(LocalMemoryTest, LruEviction) {
+  LocalMemory m(2);
+  EXPECT_FALSE(m.access(1));
+  EXPECT_FALSE(m.access(2));
+  EXPECT_TRUE(m.access(1));   // 1 most recent
+  EXPECT_FALSE(m.access(3));  // evicts 2
+  EXPECT_FALSE(m.access(2));
+  EXPECT_EQ(m.hits(), 1u);
+  EXPECT_EQ(m.misses(), 4u);
+}
+
+TEST(CopyModelTest, MultiWriteDividesCopyCost) {
+  CopyModel w1{.write_width = 1};
+  CopyModel w4{.write_width = 4};
+  EXPECT_DOUBLE_EQ(w1.cost_copies(100, 4), 400.0);  // 4 passes of 100 words
+  EXPECT_DOUBLE_EQ(w4.cost_copies(100, 4), 100.0);  // one multi-write pass
+  EXPECT_DOUBLE_EQ(w1.cost(100), 100.0);
+  EXPECT_DOUBLE_EQ(w4.cost(100), 25.0);
+}
+
+// ---------------------------------------------------------------- network --
+
+TEST(MinNetModelTest, TreeLatencyAndComparators) {
+  MinNetModel m{.leaves = 8, .per_level = 2.0};
+  EXPECT_EQ(m.levels(), 3u);
+  EXPECT_DOUBLE_EQ(m.latency(), 6.0);
+  EXPECT_EQ(m.comparators(), 7u);
+}
+
+TEST(BatcherModelTest, ComparatorCountsGrowFast) {
+  EXPECT_EQ(BatcherModel{.inputs = 4}.comparators(), 6u);
+  EXPECT_EQ(BatcherModel{.inputs = 8}.comparators(), 24u);
+  EXPECT_EQ(BatcherModel{.inputs = 64}.comparators(), 672u);
+  // The §6 argument: a min tree is linear, Batcher is n log² n.
+  EXPECT_LT((MinNetModel{.leaves = 64}.comparators()),
+            (BatcherModel{.inputs = 64}.comparators()));
+}
+
+// -------------------------------------------------------------- full sim --
+
+MachineConfig small_config(unsigned procs, unsigned tasks = 2) {
+  MachineConfig cfg;
+  cfg.processors = procs;
+  cfg.tasks_per_processor = tasks;
+  cfg.max_nodes = 100'000;
+  return cfg;
+}
+
+TEST(MachineSimTest, FindsTheFigure1Solutions) {
+  Interpreter ip;
+  ip.consult_string(kFamily);
+  MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), small_config(2));
+  const auto rep = sim.run(ip.parse_query("gf(sam,G)"));
+  EXPECT_EQ(rep.solutions, (std::vector<std::string>{"G=den", "G=doug"}));
+  EXPECT_TRUE(rep.complete);
+  EXPECT_GT(rep.makespan, 0.0);
+}
+
+TEST(MachineSimTest, DeterministicAcrossRuns) {
+  auto once = [] {
+    Interpreter ip;
+    ip.consult_string(kFamily);
+    MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), small_config(4));
+    return sim.run(ip.parse_query("gf(X,Z)")).makespan;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(MachineSimTest, SolutionsMatchSequentialEngine) {
+  Interpreter ip;
+  ip.consult_string(layered_dag(3, 2));
+  auto seq = ip.solve("path(n0_0,Z,P)", {.update_weights = false});
+  const auto expected = engine::solution_texts(seq);
+
+  Interpreter ip2;
+  ip2.consult_string(layered_dag(3, 2));
+  auto cfg = small_config(4);
+  cfg.update_weights = false;
+  MachineSim sim(ip2.program(), ip2.weights(), &ip2.builtins(), cfg);
+  const auto rep = sim.run(ip2.parse_query("path(n0_0,Z,P)"));
+  EXPECT_EQ(rep.solutions, expected);
+  EXPECT_TRUE(rep.complete);
+}
+
+TEST(MachineSimTest, MoreProcessorsShortenMakespan) {
+  auto makespan = [](unsigned procs) {
+    Interpreter ip;
+    ip.consult_string(layered_dag(4, 3));
+    auto cfg = small_config(procs, 2);
+    cfg.update_weights = false;
+    MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    return sim.run(ip.parse_query("path(n0_0,Z,P)")).makespan;
+  };
+  const double m1 = makespan(1);
+  const double m4 = makespan(4);
+  const double m16 = makespan(16);
+  EXPECT_LT(m4, m1);
+  EXPECT_LE(m16, m4 * 1.1);  // keeps scaling (or at least not regressing)
+  EXPECT_GT(m1 / m4, 1.5);   // real speedup, not noise
+}
+
+TEST(MachineSimTest, MoreTasksHideDiskLatency) {
+  auto run = [](unsigned tasks) {
+    Interpreter ip;
+    ip.consult_string(layered_dag(4, 3));
+    MachineConfig cfg;
+    cfg.processors = 2;
+    cfg.tasks_per_processor = tasks;
+    cfg.update_weights = false;
+    cfg.local_memory_blocks = 4;  // force misses
+    MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    return sim.run(ip.parse_query("path(n0_0,Z,P)"));
+  };
+  const auto m1 = run(1);
+  const auto m8 = run(8);
+  EXPECT_LT(m8.makespan, m1.makespan);  // multitasking overlaps disk waits
+  EXPECT_GT(m1.disk_wait, 0.0);
+}
+
+TEST(MachineSimTest, MultiWriteMemoryReducesCopyCycles) {
+  auto run = [](unsigned width) {
+    Interpreter ip;
+    ip.consult_string(layered_dag(3, 3));
+    auto cfg = small_config(2);
+    cfg.update_weights = false;
+    cfg.copy.write_width = width;
+    MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    return sim.run(ip.parse_query("path(n0_0,Z,P)"));
+  };
+  const auto w1 = run(1);
+  const auto w8 = run(8);
+  EXPECT_LT(w8.copy_cycles, w1.copy_cycles);
+  EXPECT_LE(w8.makespan, w1.makespan);
+  EXPECT_EQ(w1.solutions_found, w8.solutions_found);
+}
+
+TEST(MachineSimTest, CopyingIsASignificantShare) {
+  // §6: "a multitasked processor will spend a lot of time copying data".
+  Interpreter ip;
+  ip.consult_string(layered_dag(3, 3));
+  auto cfg = small_config(2);
+  cfg.update_weights = false;
+  MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+  const auto rep = sim.run(ip.parse_query("path(n0_0,Z,P)"));
+  EXPECT_GT(rep.copy_share(), 0.2);
+}
+
+TEST(MachineSimTest, MaxSolutionsStopsMachine) {
+  Interpreter ip;
+  ip.consult_string(layered_dag(3, 3));
+  auto cfg = small_config(2);
+  cfg.max_solutions = 3;
+  cfg.update_weights = false;
+  MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+  const auto rep = sim.run(ip.parse_query("path(n0_0,Z,P)"));
+  EXPECT_GE(rep.solutions_found, 3u);
+  EXPECT_FALSE(rep.complete);
+}
+
+TEST(MachineSimTest, NodeBudgetBoundsInfinitePrograms) {
+  Interpreter ip;
+  ip.consult_string("nat(z). nat(s(X)) :- nat(X).");
+  auto cfg = small_config(2);
+  cfg.max_nodes = 200;
+  MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+  const auto rep = sim.run(ip.parse_query("nat(X)"));
+  EXPECT_LE(rep.nodes_expanded, 200u + cfg.processors * cfg.tasks_per_processor);
+  EXPECT_FALSE(rep.complete);
+}
+
+TEST(MachineSimTest, DThresholdCutsMigrations) {
+  auto migrations = [](double d) {
+    Interpreter ip;
+    ip.consult_string(layered_dag(4, 3));
+    auto cfg = small_config(4, 2);
+    cfg.update_weights = false;
+    cfg.d_threshold = d;
+    MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+    const auto rep = sim.run(ip.parse_query("path(n0_0,Z,P)"));
+    std::uint64_t m = 0;
+    for (const auto& p : rep.processors) m += p.migrations;
+    return m;
+  };
+  EXPECT_LE(migrations(1e9), migrations(0.0));
+}
+
+TEST(MachineSimTest, UtilizationIsPositiveAndBounded) {
+  Interpreter ip;
+  ip.consult_string(layered_dag(3, 3));
+  auto cfg = small_config(4);
+  cfg.update_weights = false;
+  MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+  const auto rep = sim.run(ip.parse_query("path(n0_0,Z,P)"));
+  EXPECT_GT(rep.utilization(), 0.0);
+  EXPECT_LE(rep.utilization(), static_cast<double>(kUnitKinds));
+}
+
+TEST(MachineSimTest, SpdCanBeDisabled) {
+  Interpreter ip;
+  ip.consult_string(kFamily);
+  auto cfg = small_config(2);
+  cfg.use_spd = false;
+  MachineSim sim(ip.program(), ip.weights(), &ip.builtins(), cfg);
+  const auto rep = sim.run(ip.parse_query("gf(sam,G)"));
+  EXPECT_DOUBLE_EQ(rep.disk_wait, 0.0);
+  EXPECT_EQ(rep.solutions.size(), 2u);
+}
+
+}  // namespace
+}  // namespace blog::machine

@@ -1,0 +1,111 @@
+// Second-wave SPD tests: timing-model properties and layout corner cases.
+#include <gtest/gtest.h>
+
+#include "blog/spd/array.hpp"
+#include "blog/workloads/workloads.hpp"
+
+namespace blog::spd {
+namespace {
+
+std::vector<Block> family_blocks() {
+  db::Program p;
+  p.consult_string(workloads::figure1_family());
+  db::WeightStore ws;
+  return build_blocks(p, ws);
+}
+
+TEST(SpdTiming, SeekCostProportionalToDistance) {
+  auto blocks = family_blocks();
+  std::vector<std::vector<Block>> tracks;
+  for (std::size_t i = 0; i < 4; ++i)
+    tracks.push_back({blocks[3 * i], blocks[3 * i + 1], blocks[3 * i + 2]});
+  DiskTiming t;
+  SearchProcessor sp(std::move(tracks), t);
+  sp.load_track(0);
+  const auto near = sp.load_track(1);
+  sp.load_track(0);
+  const auto far = sp.load_track(3);
+  EXPECT_DOUBLE_EQ(near, t.seek_per_track + t.rotation);
+  EXPECT_DOUBLE_EQ(far, 3 * t.seek_per_track + t.rotation);
+}
+
+TEST(SpdTiming, BusyTimeAccumulatesMonotonically) {
+  auto blocks = family_blocks();
+  SearchProcessor sp({blocks}, {});
+  const auto b0 = sp.stats().busy_time;
+  sp.load_track(0);
+  const auto b1 = sp.stats().busy_time;
+  sp.mark_matching(intern("f"), 2);
+  const auto b2 = sp.stats().busy_time;
+  EXPECT_LT(b0, b1);
+  EXPECT_LT(b1, b2);
+}
+
+TEST(SpdLayout, SingleBlockPerTrack) {
+  SpdConfig cfg;
+  cfg.sps = 2;
+  cfg.blocks_per_track = 1;
+  SpdArray arr(family_blocks(), cfg);
+  EXPECT_EQ(arr.cylinder_count(), 6u);  // 12 blocks / 2 SPs, 1 per track
+  const auto page = arr.page_in({0}, 1);
+  EXPECT_EQ(page.blocks, arr.bfs_ball({0}, 1));
+}
+
+TEST(SpdLayout, MoreSpsThanBlocks) {
+  SpdConfig cfg;
+  cfg.sps = 64;
+  cfg.blocks_per_track = 4;
+  SpdArray arr(family_blocks(), cfg);
+  const auto page = arr.page_in({0, 1}, 2);
+  EXPECT_EQ(page.blocks, arr.bfs_ball({0, 1}, 2));
+}
+
+TEST(SpdLayout, EmptyDatabase) {
+  SpdConfig cfg;
+  SpdArray arr({}, cfg);
+  const auto page = arr.page_in({0}, 3);
+  EXPECT_TRUE(page.blocks.empty());
+  EXPECT_DOUBLE_EQ(page.elapsed, 0.0);
+}
+
+TEST(SpdWeights, BuildReflectsSessionOverlay) {
+  db::Program p;
+  p.consult_string(workloads::figure1_family());
+  db::WeightStore ws;
+  ws.set_session(db::PointerKey{0, 0, 2}, 1.25);
+  const auto blocks = build_blocks(p, ws);
+  bool found = false;
+  for (const auto& ptr : blocks[0].pointers) {
+    if (ptr.literal == 0 && ptr.target == 2) {
+      EXPECT_DOUBLE_EQ(ptr.weight, 1.25);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpdModesAgree, SameBallDifferentCost) {
+  db::Program p;
+  Rng rng(77);
+  p.consult_string(workloads::random_family(rng, 5, 4));
+  db::WeightStore ws;
+  const auto blocks = build_blocks(p, ws);
+
+  SpdConfig simd;
+  simd.sps = 4;
+  simd.blocks_per_track = 4;
+  simd.mode = SpdMode::SIMD;
+  SpdArray a(blocks, simd);
+  SpdConfig mimd = simd;
+  mimd.mode = SpdMode::MIMD;
+  SpdArray b(blocks, mimd);
+
+  const auto pa = a.page_in({0}, 2);
+  const auto pb = b.page_in({0}, 2);
+  EXPECT_EQ(pa.blocks, pb.blocks);
+  EXPECT_GT(pa.elapsed, 0.0);
+  EXPECT_GT(pb.elapsed, 0.0);
+}
+
+}  // namespace
+}  // namespace blog::spd

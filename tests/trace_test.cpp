@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/trace/tree.hpp"
+#include "blog/workloads/workloads.hpp"
+
+namespace blog::trace {
+namespace {
+
+using engine::Interpreter;
+
+TEST(TraceTest, RecordsFigure3Tree) {
+  Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+  TreeRecorder rec;
+  auto obs = rec.observer();
+  search::SearchOptions opts;
+  opts.strategy = search::Strategy::DepthFirst;
+  (void)ip.solve("gf(sam,G)", opts, &obs);
+
+  // 7 nodes were expanded (see FIG1); the recorder sees them all.
+  EXPECT_EQ(rec.size(), 7u);
+  std::size_t solutions = 0, failures = 0;
+  for (const auto& [id, n] : rec.nodes()) {
+    solutions += n.kind == TreeNode::Kind::Solution;
+    failures += n.kind == TreeNode::Kind::Failure;
+  }
+  EXPECT_EQ(solutions, 2u);
+  EXPECT_EQ(failures, 1u);
+}
+
+TEST(TraceTest, TextRenderingContainsTreeStructure) {
+  Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+  TreeRecorder rec;
+  auto obs = rec.observer();
+  (void)ip.solve("gf(sam,G)", {}, &obs);
+  const std::string text = rec.render_text();
+  EXPECT_NE(text.find("gf(sam,G)"), std::string::npos);
+  EXPECT_NE(text.find("[SOLUTION]"), std::string::npos);
+  EXPECT_NE(text.find("[fails]"), std::string::npos);
+  EXPECT_NE(text.find("`--"), std::string::npos);
+}
+
+TEST(TraceTest, DotRenderingIsWellFormed) {
+  Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+  TreeRecorder rec;
+  auto obs = rec.observer();
+  (void)ip.solve("gf(sam,G)", {}, &obs);
+  const std::string dot = rec.render_dot();
+  EXPECT_EQ(dot.find("digraph ortree {"), 0u);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);  // solutions
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);   // failures
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(TraceTest, ParentChildLinksAreConsistent) {
+  Interpreter ip;
+  ip.consult_string(workloads::layered_dag(2, 2));
+  TreeRecorder rec;
+  auto obs = rec.observer();
+  (void)ip.solve("path(n0_0,Z,P)", {}, &obs);
+  for (const auto& [id, n] : rec.nodes()) {
+    for (const auto c : n.children) {
+      ASSERT_TRUE(rec.nodes().contains(c));
+      EXPECT_EQ(rec.nodes().at(c).parent, id);
+      EXPECT_GE(rec.nodes().at(c).bound, n.bound);  // bound monotonicity
+    }
+  }
+}
+
+TEST(TraceTest, EmptySearchRendersEmpty) {
+  TreeRecorder rec;
+  EXPECT_EQ(rec.render_text(), "");
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+}  // namespace
+}  // namespace blog::trace

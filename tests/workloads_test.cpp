@@ -1,0 +1,97 @@
+// Workload-generator tests: every generated program must parse, have the
+// advertised shape, and behave deterministically for a seed.
+#include <gtest/gtest.h>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/workloads/workloads.hpp"
+
+namespace blog::workloads {
+namespace {
+
+using engine::Interpreter;
+
+TEST(Workloads, Figure1FamilyShape) {
+  Interpreter ip;
+  ip.consult_string(figure1_family());
+  EXPECT_EQ(ip.program().size(), 12u);
+  EXPECT_EQ(ip.solve("gf(sam,G)").solutions.size(), 2u);
+}
+
+TEST(Workloads, Figure4PropositionalSolves) {
+  Interpreter ip;
+  ip.consult_string(figure4_propositional());
+  EXPECT_EQ(ip.program().size(), 9u);
+  EXPECT_EQ(ip.solve("a").solutions.size(), 2u);  // b:-e and b:-f both work
+}
+
+TEST(Workloads, RandomFamilyDeterministicPerSeed) {
+  Rng a(5), b(5), c(6);
+  EXPECT_EQ(random_family(a, 4, 3), random_family(b, 4, 3));
+  EXPECT_NE(random_family(a, 4, 3), random_family(c, 4, 3));
+}
+
+TEST(Workloads, RandomFamilyHasGrandparents) {
+  Rng rng(9);
+  Interpreter ip;
+  ip.consult_string(random_family(rng, 4, 4));
+  EXPECT_GT(ip.solve("gf(X,G)").solutions.size(), 0u);
+}
+
+TEST(Workloads, LayeredDagPathCount) {
+  Interpreter ip;
+  ip.consult_string(layered_dag(3, 2));
+  // Paths from n0_0 to any layer-3 node: 2^3 = 8; to a fixed node: 4.
+  EXPECT_EQ(ip.solve("path(n0_0,n3_0,P)").solutions.size(), 4u);
+}
+
+TEST(Workloads, RandomDagIsAcyclic) {
+  Rng rng(13);
+  Interpreter ip;
+  ip.consult_string(random_dag(rng, 12, 2));
+  search::SearchOptions o;
+  o.expander.max_depth = 64;
+  const auto r = ip.solve("path(v0,Z,P)", o);
+  EXPECT_TRUE(r.exhausted);  // acyclic => search terminates without cutoffs
+  EXPECT_EQ(r.stats.depth_cutoffs, 0u);
+}
+
+TEST(Workloads, MapColoringRingIsSatisfiableWith3Colors) {
+  Rng rng(21);
+  Interpreter ip;
+  ip.consult_string(map_coloring(rng, 6, 3, 0));  // even ring: 2-colorable
+  const auto r = ip.solve("coloring(A,B,C,D,E,F)");
+  EXPECT_GT(r.solutions.size(), 0u);
+}
+
+TEST(Workloads, QueensKnownCounts) {
+  for (const auto& [n, expected] : std::vector<std::pair<int, std::size_t>>{
+           {4, 2}, {5, 10}, {6, 4}}) {
+    Interpreter ip;
+    ip.consult_string(queens(n));
+    search::SearchOptions o;
+    o.expander.max_depth = 256;
+    EXPECT_EQ(ip.solve("queens" + std::to_string(n) + "(Qs)", o).solutions.size(),
+              expected)
+        << n << "-queens";
+  }
+}
+
+TEST(Workloads, NeedleTreeHasExactlyOneSolution) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    Interpreter ip;
+    ip.consult_string(needle_tree(rng, 7, 3));
+    const auto r = ip.solve("goal0");
+    EXPECT_EQ(r.solutions.size(), 1u) << "seed " << seed;
+    EXPECT_GT(r.stats.failures, 0u);
+  }
+}
+
+TEST(Workloads, ListLibraryConsultsCleanly) {
+  Interpreter ip;
+  ip.consult_string(list_library());
+  EXPECT_EQ(ip.program().size(), 9u);
+}
+
+}  // namespace
+}  // namespace blog::workloads
