@@ -1,0 +1,124 @@
+// Machine-readable perf tracking: runs the micro/parallel headline
+// workloads and emits BENCH_micro.json / BENCH_parallel.json with
+// nodes/sec and cells_copied per expansion, so the perf trajectory of the
+// engine is recorded PR over PR.
+//
+//   ./bench_json [output-dir]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/parallel/engine.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Entry {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t cells_copied = 0;
+  std::size_t solutions = 0;
+  double secs = 0.0;
+
+  [[nodiscard]] double nodes_per_sec() const {
+    return secs > 0.0 ? static_cast<double>(nodes) / secs : 0.0;
+  }
+  [[nodiscard]] double cells_per_expansion() const {
+    return nodes > 0 ? static_cast<double>(cells_copied) /
+                           static_cast<double>(nodes)
+                     : 0.0;
+  }
+};
+
+void write_json(const std::string& path, const std::vector<Entry>& entries) {
+  std::ofstream out(path);
+  out << "{\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    out << "  \"" << e.name << "\": {"
+        << "\"nodes\": " << e.nodes << ", \"solutions\": " << e.solutions
+        << ", \"seconds\": " << e.secs
+        << ", \"nodes_per_sec\": " << e.nodes_per_sec()
+        << ", \"cells_copied\": " << e.cells_copied
+        << ", \"cells_copied_per_expansion\": " << e.cells_per_expansion()
+        << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+Entry run_sequential(const std::string& name, const std::string& program,
+                     const std::string& query, search::Strategy strategy) {
+  engine::Interpreter ip;
+  ip.consult_string(program);
+  search::SearchOptions o;
+  o.strategy = strategy;
+  o.update_weights = false;
+  const auto t0 = Clock::now();
+  const auto r = ip.solve(query, o);
+  Entry e;
+  e.name = name;
+  e.secs = seconds_since(t0);
+  e.nodes = r.stats.nodes_expanded;
+  e.cells_copied = r.stats.expand.cells_copied;
+  e.solutions = r.solutions.size();
+  return e;
+}
+
+Entry run_parallel(const std::string& name, const std::string& program,
+                   const std::string& query, unsigned workers) {
+  engine::Interpreter ip;
+  ip.consult_string(program);
+  parallel::ParallelOptions po;
+  po.workers = workers;
+  po.update_weights = false;
+  parallel::ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(), po);
+  const auto t0 = Clock::now();
+  const auto r = pe.solve(ip.parse_query(query));
+  Entry e;
+  e.name = name;
+  e.secs = seconds_since(t0);
+  e.nodes = r.nodes_expanded;
+  for (const auto& w : r.workers) e.cells_copied += w.cells_copied;
+  e.solutions = r.solutions.size();
+  return e;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? std::string(argv[1]) + "/" : "";
+  const std::string append =
+      "append([],L,L). append([H|T],L,[H|R]) :- append(T,L,R).";
+  const std::string dag = workloads::layered_dag(5, 3);
+
+  std::vector<Entry> micro;
+  micro.push_back(run_sequential("deep_recursion_dfs", workloads::nat_program(),
+                                 workloads::deep_nat_query(400),
+                                 search::Strategy::DepthFirst));
+  micro.push_back(run_sequential(
+      "append_all_splits_dfs", append,
+      "append(X,Y,[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16])",
+      search::Strategy::DepthFirst));
+  micro.push_back(run_sequential("dag_paths_bestfirst", dag, "path(n0_0,Z,P)",
+                                 search::Strategy::BestFirst));
+  micro.push_back(run_sequential("family_bestfirst", workloads::figure1_family(),
+                                 "gf(sam,G)", search::Strategy::BestFirst));
+  write_json(dir + "BENCH_micro.json", micro);
+
+  std::vector<Entry> par;
+  for (const unsigned w : {1u, 2u, 4u, 8u})
+    par.push_back(
+        run_parallel("dag_w" + std::to_string(w), dag, "path(n0_0,Z,P)", w));
+  write_json(dir + "BENCH_parallel.json", par);
+  return 0;
+}

@@ -84,6 +84,30 @@ void BM_ExpandFamilyGoal(benchmark::State& state) {
 }
 BENCHMARK(BM_ExpandFamilyGoal);
 
+// The refactor's headline workload: deep recursion run depth-first. The
+// in-place engine trails bindings instead of copying per-child stores, so
+// cells_copied stays near zero here (only the answer is compacted out).
+void BM_DeepRecursionDFS(benchmark::State& state) {
+  const std::string q =
+      workloads::deep_nat_query(static_cast<int>(state.range(0)));
+  std::size_t nodes = 0, copied = 0;
+  for (auto _ : state) {
+    engine::Interpreter ip;
+    ip.consult_string(workloads::nat_program());
+    search::SearchOptions o;
+    o.strategy = search::Strategy::DepthFirst;
+    o.update_weights = false;
+    const auto r = ip.solve(q, o);
+    nodes += r.stats.nodes_expanded;
+    copied += r.stats.expand.cells_copied;
+    benchmark::DoNotOptimize(r.solutions.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(nodes));
+  state.counters["cells_copied_per_expansion"] =
+      nodes > 0 ? static_cast<double>(copied) / static_cast<double>(nodes) : 0;
+}
+BENCHMARK(BM_DeepRecursionDFS)->Arg(64)->Arg(256);
+
 void BM_SolveFig1AllSolutions(benchmark::State& state) {
   for (auto _ : state) {
     engine::Interpreter ip;

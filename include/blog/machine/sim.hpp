@@ -21,11 +21,20 @@
 
 namespace blog::machine {
 
+/// What the Copy unit is charged for. `EveryExpansion` is §6's naive
+/// copying machine: every child replicates the parent state. `OnMigration`
+/// is the trail-based engine the software now implements: chains kept on
+/// their processor run destructively (no copy cycles); only children
+/// spilled through the minimum-seeking network pay for a deep copy, plus
+/// the interconnect charge when a take crosses processors.
+enum class CopyAccounting { EveryExpansion, OnMigration };
+
 struct MachineConfig {
   unsigned processors = 4;
   unsigned tasks_per_processor = 4;     // M concurrent tasks per processor
   double d_threshold = 0.0;             // §6's D, in bound units
   std::size_t local_pool_capacity = 8;  // chains parked in processor memory
+  CopyAccounting copy_accounting = CopyAccounting::OnMigration;
 
   // Micro-operation costs (cycles).
   double unify_cost_per_cell = 1.0;

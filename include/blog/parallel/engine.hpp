@@ -1,11 +1,14 @@
 // Thread-parallel B-LOG search (§6's machine behaviour on real threads).
 //
-// Each worker is a "processor" with a local best-first frontier. Freed
-// workers consult the global frontier (the minimum-seeking network): if the
-// network minimum is more than D below the local minimum the chain migrates
-// through the network, otherwise the processor continues on its own minimum
-// chain. Initially the root's children are spread through the network so
-// the tree is searched "breadth-first to get all processors working".
+// Each worker is a "processor" running chains *in place* in a worker-local
+// store (a search::Runner): expanding a chain trails its bindings and
+// parks the untried alternatives as lightweight pending choices, so no
+// state is copied while work stays on the processor. Deep copies happen
+// only at migration points — choices spilled to the global frontier (the
+// minimum-seeking network) when the local pool overflows, and whole local
+// pools flushed through the network (batched, one lock) when §6's
+// D-threshold says the network minimum is more than D below the local
+// minimum and the freed worker should acquire the remote chain instead.
 #pragma once
 
 #include <thread>
@@ -27,11 +30,13 @@ struct ParallelOptions {
 
 struct WorkerStats {
   std::uint64_t expanded = 0;
-  std::uint64_t local_takes = 0;
+  std::uint64_t local_takes = 0;     // in-place activations (no copying)
   std::uint64_t network_takes = 0;   // chains migrated through the net
-  std::uint64_t spills = 0;          // children pushed to the network
+  std::uint64_t spills = 0;          // detached choices pushed to the network
+  std::uint64_t spill_batches = 0;   // lock acquisitions those spills cost
   std::uint64_t solutions = 0;
   std::uint64_t failures = 0;
+  std::uint64_t cells_copied = 0;    // cells deep-copied at migration points
 };
 
 struct ParallelResult {

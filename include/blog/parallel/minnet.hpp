@@ -24,7 +24,11 @@ public:
 
   /// Add a chain to the global pool. Does not change the in-flight count
   /// (the chain already existed somewhere).
-  void push(search::Node n);
+  void push(search::DetachedNode n);
+
+  /// Add a batch of chains under one lock acquisition — used by workers
+  /// spilling several detached choices at once, cutting lock traffic.
+  void push_batch(std::vector<search::DetachedNode> ns);
 
   /// Lowest bound currently queued globally.
   [[nodiscard]] std::optional<double> min_bound() const;
@@ -71,6 +75,7 @@ private:
   [[nodiscard]] bool done_locked() const {
     return stop_ || (inflight_ == 0 && heap_.empty());
   }
+  void push_locked(search::DetachedNode n);
   search::Node pop_locked();
 
   mutable std::mutex mu_;

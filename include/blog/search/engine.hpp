@@ -28,14 +28,6 @@ struct SearchOptions {
   ExpanderOptions expander;
 };
 
-struct Solution {
-  term::Store store;
-  term::TermRef answer = term::kNullTerm;
-  double bound = 0.0;
-  std::uint32_t depth = 0;
-  std::string text;  // rendered answer term
-};
-
 struct SearchStats {
   std::size_t nodes_expanded = 0;
   std::size_t children_generated = 0;
@@ -66,12 +58,22 @@ public:
   SearchEngine(const db::Program& program, db::WeightStore& weights,
                BuiltinEvaluator* builtins);
 
+  /// Solve `q`. The default path runs chains in place in one worker-local
+  /// store (trail rollback between alternatives, depth-first bursts
+  /// between frontier pops) and deep-copies state only for frontier spills
+  /// and solutions. When an observer is attached, the engine falls back to
+  /// the legacy materializing path so every hook still receives full
+  /// nodes.
   SearchResult solve(const Query& q, const SearchOptions& opts,
                      SearchObserver* observer = nullptr);
 
   [[nodiscard]] db::WeightStore& weights() { return weights_; }
 
 private:
+  SearchResult solve_inplace(const Query& q, const SearchOptions& opts);
+  SearchResult solve_detached(const Query& q, const SearchOptions& opts,
+                              SearchObserver* observer);
+
   const db::Program& program_;
   db::WeightStore& weights_;
   BuiltinEvaluator* builtins_;

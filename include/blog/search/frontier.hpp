@@ -23,8 +23,11 @@ public:
   virtual Node pop() = 0;
   [[nodiscard]] virtual bool empty() const = 0;
   [[nodiscard]] virtual std::size_t size() const = 0;
-  /// Smallest bound currently in the frontier (BestFirst: exact; others:
-  /// scans). Meaningful only when non-empty.
+  /// Smallest bound currently in the frontier. O(1) on BestFirst (heap
+  /// top) — the only frontier whose min_bound sits on a hot path (the
+  /// in-place engine's burst admissibility test). The LIFO/FIFO frontiers
+  /// scan: no engine path queries their minimum, so they do not pay for a
+  /// running mirror on every push/pop. Meaningful only when non-empty.
   [[nodiscard]] virtual double min_bound() const = 0;
   /// Drop all nodes with bound > cutoff; returns how many were pruned.
   virtual std::size_t prune_above(double cutoff) = 0;
@@ -38,7 +41,7 @@ public:
   Node pop() override;
   [[nodiscard]] bool empty() const override { return stack_.empty(); }
   [[nodiscard]] std::size_t size() const override { return stack_.size(); }
-  [[nodiscard]] double min_bound() const override;
+  [[nodiscard]] double min_bound() const override;  // O(n); cold (see base)
   std::size_t prune_above(double cutoff) override;
 
 private:
@@ -52,7 +55,7 @@ public:
   Node pop() override;
   [[nodiscard]] bool empty() const override { return q_.empty(); }
   [[nodiscard]] std::size_t size() const override { return q_.size(); }
-  [[nodiscard]] double min_bound() const override;
+  [[nodiscard]] double min_bound() const override;  // O(n); cold (see base)
   std::size_t prune_above(double cutoff) override;
 
 private:

@@ -1,7 +1,12 @@
 // OR-tree nodes and the resolution (expansion) step.
 //
-// A node is a full copy of the computation state — its own term store, the
-// remaining goal list, and the instantiated answer template. The arcs from
+// A `DetachedNode` is a full, independent copy of the computation state —
+// its own term store, the remaining goal list, and the instantiated answer
+// template. Detached nodes are the unit of *migration*: they are what the
+// global frontier / minimum-seeking network exchanges between workers and
+// what observers see. Within a worker, execution is trail-based and
+// in-place (see runner.hpp); a detached copy is materialized only when a
+// subtree is spilled, migrated, or recorded as a solution. The arcs from
 // the root are kept as a shared immutable chain so that bounds and §5
 // weight updates can walk leaf→root cheaply.
 #pragma once
@@ -9,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "blog/db/program.hpp"
@@ -44,8 +50,9 @@ using ChainPtr = std::shared_ptr<const Chain>;
 /// Length of a chain (number of arcs root→here).
 std::uint32_t chain_length(const Chain* c);
 
-/// Search-tree node. Value type: freely movable, copyable for observers.
-struct Node {
+/// Search-tree node owning its full state (the migration unit). Value
+/// type: freely movable, copyable for observers.
+struct DetachedNode {
   term::Store store;
   std::vector<Goal> goals;          // goals[0] is resolved next
   term::TermRef answer = term::kNullTerm;  // instantiated query template
@@ -56,6 +63,20 @@ struct Node {
   std::uint64_t parent_id = 0;
 
   [[nodiscard]] bool is_leaf_solution() const { return goals.empty(); }
+};
+
+/// Historical name; frontiers, observers and the machine simulator all
+/// traffic in detached nodes.
+using Node = DetachedNode;
+
+/// A recorded answer: the instantiated template compacted into its own
+/// store, plus the rendered text.
+struct Solution {
+  term::Store store;
+  term::TermRef answer = term::kNullTerm;
+  double bound = 0.0;
+  std::uint32_t depth = 0;
+  std::string text;  // rendered answer term
 };
 
 /// A query ready to run: goal terms plus the answer template, in one store.
@@ -80,8 +101,13 @@ struct ExpandStats {
   std::size_t unify_attempts = 0;
   std::size_t unify_successes = 0;
   std::size_t unify_cells = 0;    // cells visited by unification (work proxy)
-  std::size_t cells_copied = 0;   // child state sizes (machine copy cost)
+  // Cells deep-copied into independent states. In-place (trail) execution
+  // copies nothing per expansion; this counts only detach points — spills
+  // to a frontier, migrations through the network, recorded solutions —
+  // plus, on the legacy materializing path, whole child states.
+  std::size_t cells_copied = 0;
   std::size_t builtin_calls = 0;
+  std::size_t detaches = 0;       // independent states materialized
 };
 
 enum class NodeOutcome {
@@ -128,26 +154,42 @@ public:
            BuiltinEvaluator* builtins, ExpanderOptions opts = {});
 
   /// Build the root node of a query.
-  [[nodiscard]] Node make_root(const Query& q) const;
+  [[nodiscard]] DetachedNode make_root(const Query& q) const;
 
-  /// Resolve `n`'s first goal. Builtin goals are evaluated in-place,
+  /// Materializing resolution step: resolve `n`'s first goal, deep-copying
+  /// every child into its own store. Builtin goals are evaluated in-place,
   /// consuming goals until a non-builtin is at the front; a builtin failure
-  /// yields `Failure`. `out.children` is cleared first.
-  void expand(Node n, ExpandOutput& out, ExpandStats* stats = nullptr) const;
+  /// yields `Failure`. `out.children` is cleared first. Used by the machine
+  /// simulator and observer-instrumented runs; the production engines run
+  /// in place through a `Runner` instead (runner.hpp).
+  void expand(DetachedNode n, ExpandOutput& out,
+              ExpandStats* stats = nullptr) const;
 
   [[nodiscard]] const db::Program& program() const { return program_; }
   [[nodiscard]] const db::WeightStore& weights() const { return weights_; }
   [[nodiscard]] const ExpanderOptions& options() const { return opts_; }
+  [[nodiscard]] BuiltinEvaluator* builtins() const { return builtins_; }
 
   /// Next fresh node id (shared by all consumers of this expander).
   std::uint64_t next_id() const;
 
+  // --- shared resolution primitives (used by expand() and Runner) --------
+  /// Apply the goal-order policy: rotate the chosen goal to the front.
+  /// Only the prefix before the first builtin is eligible.
+  void select_goal(const term::Store& store, std::vector<Goal>& goals) const;
+  /// Candidate clauses for `goal` under the indexing option.
+  [[nodiscard]] std::vector<db::ClauseId> candidates_for(
+      const term::Store& store, const Goal& goal) const;
+  /// Arc for resolving `goal` with `clause`, reading the weight now
+  /// (decision time) per the §5 model.
+  [[nodiscard]] Arc make_arc(const Goal& goal, db::ClauseId clause,
+                             const Chain* parent_chain) const;
+
 private:
-  void select_goal(Node& n) const;
-  Node make_child(const Node& parent, const db::Clause& clause,
-                  term::TermRef renamed_head,
-                  const std::vector<term::TermRef>& renamed_body,
-                  const Arc& arc, ExpandStats* stats) const;
+  DetachedNode make_child(const DetachedNode& parent, const db::Clause& clause,
+                          term::TermRef renamed_head,
+                          const std::vector<term::TermRef>& renamed_body,
+                          const Arc& arc, ExpandStats* stats) const;
 
   const db::Program& program_;
   const db::WeightStore& weights_;

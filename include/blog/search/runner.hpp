@@ -1,0 +1,146 @@
+// In-place (trail-based) node execution.
+//
+// A `Runner` executes a derivation destructively inside one worker-local
+// term store. Resolving a goal binds variables through the trail and
+// records the untried alternatives as lightweight `PendingChoice`s — a
+// clause id, a shallow goal list, a bound and a store/trail checkpoint.
+// Nothing is deep-copied per expansion; backtracking to a choice rolls the
+// trail back and truncates the arena to the checkpoint.
+//
+// A full, independent `DetachedNode` (an owned compacted store) is
+// materialized only when a choice leaves the worker: spilled to a shared
+// frontier, migrated through the minimum-seeking network, or recorded as a
+// solution. This is the copy-on-migration scheme of mature OR-parallel
+// systems; the paper's §6 machine likewise copies state only between
+// processors' local memories.
+#pragma once
+
+#include <unordered_map>
+
+#include "blog/search/node.hpp"
+
+namespace blog::search {
+
+/// One untried alternative (OR-branch) of an in-place derivation: apply
+/// clause `clause` to the first goal of `goals`. Everything here is either
+/// metadata or a reference into the owning Runner's store — creating a
+/// PendingChoice copies no term cells, and the parent goal list is shared
+/// by all siblings of one expansion.
+struct PendingChoice {
+  std::shared_ptr<const std::vector<Goal>> goals;  // parent goal list
+  db::ClauseId clause = 0;      // alternative clause to apply
+  Arc arc;                      // weight read at decision time (§5)
+  double bound = 0.0;           // child bound = parent bound + arc weight
+  std::uint32_t depth = 0;      // child depth
+  ChainPtr chain;               // child chain (arc consed on the parent's)
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;
+  term::Checkpoint cp;          // parent state to restore before applying
+};
+
+/// Destructive executor for one derivation lineage. The engine drives it:
+/// load a (root or migrated) node, expand the current state, then either
+/// activate a pending choice in place or detach choices for a frontier.
+class Runner {
+public:
+  explicit Runner(const Expander& expander);
+
+  // --- loading -----------------------------------------------------------
+  /// Start a fresh derivation from the query (the root node). Pending
+  /// choices must have been consumed, detached or dropped first.
+  void load_root(const Query& q);
+  /// Adopt a detached (migrated) node as the current state. The node's
+  /// compacted store is taken over by move — migrating in costs nothing.
+  void load(DetachedNode n);
+
+  // --- current state -----------------------------------------------------
+  /// The current node, minus the store it lives in.
+  struct State {
+    std::vector<Goal> goals;
+    double bound = 0.0;
+    std::uint32_t depth = 0;
+    ChainPtr chain;
+    std::uint64_t id = 0;
+    std::uint64_t parent_id = 0;
+  };
+  [[nodiscard]] bool has_state() const { return has_state_; }
+  [[nodiscard]] const State& state() const { return state_; }
+  [[nodiscard]] const term::Store& store() const { return store_; }
+  [[nodiscard]] term::TermRef answer() const { return answer_; }
+
+  struct StepResult {
+    NodeOutcome outcome = NodeOutcome::Failure;
+    std::size_t children = 0;  // pending choices pushed (Expanded only)
+  };
+
+  /// Expand the current state in place: consume leading builtins, then try
+  /// every candidate clause for the selected goal (unify + rollback) and
+  /// push the successes as pending choices, in reverse clause order so the
+  /// stack top is the first clause (Prolog order). Unification effort is
+  /// counted in `stats`; no `cells_copied` accrue here. On a terminal
+  /// outcome the state keeps its post-builtin goals/chain for reporting
+  /// and `has_state()` turns false.
+  StepResult expand(ExpandStats* stats = nullptr);
+
+  // --- pending choices ---------------------------------------------------
+  [[nodiscard]] std::size_t pending() const { return stack_.size(); }
+  [[nodiscard]] const PendingChoice& pending_at(std::size_t i) const {
+    return stack_[i];  // 0 = shallowest (bottom), pending()-1 = top
+  }
+  [[nodiscard]] double top_bound() const { return stack_.back().bound; }
+  /// Smallest bound among pending choices (linear scan; the stack is
+  /// short-lived and capacity-bounded in every engine).
+  [[nodiscard]] double min_pending_bound() const;
+
+  /// Roll back to the top choice's checkpoint and apply its clause in
+  /// place. The redo unification is guaranteed to succeed (the state is
+  /// bit-identical to the one it was filtered against) and is not counted
+  /// in ExpandStats.
+  void activate_top();
+
+  /// Drop the top choice without activating it (pruned / drained).
+  void drop_top() { stack_.pop_back(); }
+  /// Drop every pending choice with bound > cutoff; returns the count
+  /// (incumbent pruning). No store traffic: checkpoints simply go unused.
+  std::size_t prune_pending(double cutoff);
+
+  /// Materialize pending choice `index` as an independent node and remove
+  /// it from the stack. Only valid for choices checkpointed at the current
+  /// store/trail level — i.e. freshly created siblings of the last
+  /// expansion — so no live bindings need to be unwound.
+  DetachedNode detach_sibling(std::size_t index, ExpandStats* stats = nullptr);
+
+  /// Materialize every pending choice (top first, unwinding the trail
+  /// monotonically) and leave the runner empty. The current in-place state
+  /// is abandoned: used when the whole local workload migrates.
+  std::vector<DetachedNode> detach_all(ExpandStats* stats = nullptr);
+
+  /// Compact the current (goal-free) state's answer into an independent
+  /// solution record.
+  Solution extract_solution(ExpandStats* stats = nullptr);
+
+private:
+  /// Roll back to `c`'s checkpoint and re-apply its clause in place (the
+  /// shared preamble of activation and materialization).
+  void reapply(const PendingChoice& c);
+  void apply(PendingChoice&& c);
+  DetachedNode materialize(PendingChoice&& c, ExpandStats* stats);
+  [[nodiscard]] std::vector<db::ClauseId> candidates(const Goal& goal) const;
+  term::TermRef rename_clause(const db::Clause& clause,
+                              std::vector<term::TermRef>& body);
+
+  const Expander& ex_;
+  term::Store store_;
+  term::Trail trail_;
+  std::vector<PendingChoice> stack_;
+  State state_;
+  term::TermRef answer_ = term::kNullTerm;
+  bool has_state_ = false;
+
+  // scratch (reused across steps to avoid allocation churn)
+  std::unordered_map<term::TermRef, term::TermRef> vmap_;
+  std::vector<term::TermRef> body_;
+  std::vector<PendingChoice> fresh_;
+};
+
+}  // namespace blog::search

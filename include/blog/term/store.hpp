@@ -1,11 +1,14 @@
 // Term representation.
 //
 // Terms live in a `Store` arena and are referred to by 32-bit indices
-// (`TermRef`). Each OR-tree search node owns its own Store — the "copying"
-// style of OR-parallel systems — so nodes are fully independent and can be
-// expanded on any thread without structure sharing (the paper itself notes
-// that "most structure sharing schemes are difficult to implement in
-// parallel", §6).
+// (`TermRef`). A worker runs a whole derivation destructively inside one
+// Store, undoing bindings through the trail and truncating the arena back
+// to a `Watermark` when it backtracks past a choice point. Independent
+// deep copies (`compact_into`) are made only when a subtree migrates to
+// another processor or a solution is recorded — the copy-on-migration
+// style of OR-parallel systems (the paper notes that "most structure
+// sharing schemes are difficult to implement in parallel", §6, and its
+// machine copies state between processors' local memories).
 #pragma once
 
 #include <cstdint>
@@ -85,12 +88,44 @@ public:
 
   [[nodiscard]] std::size_t size() const { return cells_.size(); }
 
+  // --- checkpoint / rollback ---------------------------------------------
+  /// Arena high-water mark. Cells and argument slots allocated after a
+  /// watermark can be discarded wholesale with `truncate` once every
+  /// binding made since has been undone through the trail.
+  struct Watermark {
+    std::uint32_t cells = 0;
+    std::uint32_t args = 0;
+
+    friend bool operator==(const Watermark&, const Watermark&) = default;
+  };
+  [[nodiscard]] Watermark watermark() const {
+    return {static_cast<std::uint32_t>(cells_.size()),
+            static_cast<std::uint32_t>(args_.size())};
+  }
+  /// Drop every cell/arg allocated after `m`. The caller must first undo
+  /// (via the trail) any binding of a pre-`m` variable made after `m`;
+  /// cells above the watermark need no undo, they simply disappear.
+  void truncate(const Watermark& m);
+  /// Drop everything (fresh arena, capacity retained).
+  void clear() {
+    cells_.clear();
+    args_.clear();
+  }
+
   /// Deep-copy `t` (in `src`) into this store, dereferencing bindings along
   /// the way. Unbound source variables map to fresh variables here;
   /// `var_map` makes the mapping stable across multiple copies (clause
   /// renaming, answer extraction).
   TermRef import(const Store& src, TermRef t,
                  std::unordered_map<TermRef, TermRef>& var_map);
+
+  /// Export exactly the cells reachable from `roots` into `dst` (one term
+  /// per root appended to `out`), dereferencing bindings along the way and
+  /// sharing variables across roots through one map. This is the
+  /// copy-on-migration primitive: the result is an independent, compacted
+  /// state no matter how large this (trail-managed) arena has grown.
+  void compact_into(Store& dst, std::span<const TermRef> roots,
+                    std::vector<TermRef>& out) const;
 
   /// Structural equality of two (possibly cross-store) terms after deref.
   /// Unbound variables are equal only when `lhs`/`rhs` resolve to the same

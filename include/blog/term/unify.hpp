@@ -9,18 +9,41 @@
 namespace blog::term {
 
 /// Record of variable bindings made by unification, so they can be undone
-/// (Prolog backtracking within a node during clause filtering).
+/// (Prolog backtracking, and rollback of in-place node execution to an
+/// earlier choice point).
 class Trail {
 public:
   void push(TermRef var) { entries_.push_back(var); }
   [[nodiscard]] std::size_t mark() const { return entries_.size(); }
   /// Undo all bindings made since `mark`.
   void undo_to(std::size_t mark, Store& store);
+  /// Forget all entries without undoing — used when the store they refer
+  /// to is being discarded wholesale.
+  void clear() { entries_.clear(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
 private:
   std::vector<TermRef> entries_;
 };
+
+/// A point in a (store, trail) pair that execution can be rolled back to:
+/// the arena watermark plus the trail length at the time it was taken.
+/// Rolling back first undoes every binding trailed since (restoring the
+/// pre-checkpoint variables) and then truncates the arena, discarding all
+/// cells allocated since in O(1).
+struct Checkpoint {
+  Store::Watermark store;
+  std::size_t trail = 0;
+};
+
+[[nodiscard]] inline Checkpoint checkpoint(const Store& s, const Trail& t) {
+  return Checkpoint{s.watermark(), t.mark()};
+}
+
+inline void rollback(Store& s, Trail& t, const Checkpoint& cp) {
+  t.undo_to(cp.trail, s);
+  s.truncate(cp.store);
+}
 
 struct UnifyOptions {
   bool occurs_check = false;

@@ -26,6 +26,13 @@ std::string random_family(Rng& rng, int generations, int couples_per_gen);
 /// width^layers.
 std::string layered_dag(int layers, int width);
 
+/// The deep-recursion pair: `nat_program()` is "nat(z). nat(s(X)) :-
+/// nat(X)." and `deep_nat_query(depth)` is the ground query
+/// nat(s^depth(z)) — one solution, depth+2 expansions, the headline
+/// workload for state-copying cost.
+std::string nat_program();
+std::string deep_nat_query(int depth);
+
 /// Random sparse DAG: `nodes` vertices, each with `out_degree` random edges
 /// to higher-numbered vertices, plus path/3.
 std::string random_dag(Rng& rng, int nodes, int out_degree);

@@ -1,6 +1,7 @@
 #include "blog/machine/sim.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 
 #include "blog/search/update.hpp"
@@ -139,17 +140,40 @@ MachineReport MachineSim::run(const search::Query& q) {
         break;
       case search::NodeOutcome::Expanded: {
         outstanding += out.children.size() - 1;
-        bool spilled = false;
+        std::size_t spilled_words = 0;
+        std::vector<search::Node> spilled;
         for (auto& c : out.children) {
           if (p.local.size() < cfg.local_pool_capacity) {
             p.local.push(PoolEntry{c.bound, seq++, std::move(c), pi});
           } else {
-            global.push(PoolEntry{c.bound, seq++, std::move(c), pi});
+            spilled_words += c.store.size();
+            spilled.push_back(std::move(c));
             ++p.rep.spills;
-            spilled = true;
           }
         }
-        if (spilled) wake_idle_processors();
+        if (spilled.empty()) break;
+        if (cfg.copy_accounting == CopyAccounting::OnMigration) {
+          // Copy-on-migration: only the states leaving the processor are
+          // written out, batched through the (multi-write) copy unit. The
+          // chains become visible to other processors when the copy-out
+          // completes, not before — migration latency is on the critical
+          // path it creates.
+          const SimTime copy_cost = cfg.copy.cost(spilled_words);
+          const auto slot = p.sb->reserve(Unit::Copy, eq.now(), copy_cost);
+          rep.copy_cycles += copy_cost;
+          note_time(slot.finish);
+          auto batch =
+              std::make_shared<std::vector<search::Node>>(std::move(spilled));
+          eq.schedule(slot.finish, [&, pi, batch] {
+            for (auto& c : *batch)
+              global.push(PoolEntry{c.bound, seq++, std::move(c), pi});
+            wake_idle_processors();
+          });
+        } else {
+          for (auto& c : spilled)
+            global.push(PoolEntry{c.bound, seq++, std::move(c), pi});
+          wake_idle_processors();
+        }
         break;
       }
     }
@@ -198,10 +222,14 @@ MachineReport MachineSim::run(const search::Query& q) {
     SimTime done = unify_slot.finish;
 
     // --- copy children states (multi-write aware) -------------------------
-    if (!out->children.empty()) {
-      // The parent state is replicated into every child (multi-write writes
-      // `write_width` copies per pass); each child then gets its private
-      // renamed clause body appended.
+    if (cfg.copy_accounting == CopyAccounting::EveryExpansion &&
+        !out->children.empty()) {
+      // §6's naive copying machine: the parent state is replicated into
+      // every child (multi-write writes `write_width` copies per pass);
+      // each child then gets its private renamed clause body appended.
+      // Under OnMigration accounting, children kept in the local pool run
+      // destructively over the trail and cost nothing here — the spill
+      // copies are charged at delivery time instead.
       std::size_t extra = 0;
       for (const auto& c : out->children)
         extra += c.store.size() > parent_words ? c.store.size() - parent_words : 0;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "blog/search/frontier.hpp"
+#include "blog/search/runner.hpp"
 #include "blog/search/update.hpp"
 
 namespace blog::parallel {
@@ -18,25 +18,42 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
                                  std::mutex& sol_mu,
                                  std::atomic<std::int64_t>& node_budget,
                                  std::atomic<std::uint64_t>& solutions_left) {
-  search::BestFirstFrontier local;
-  search::ExpandOutput out;
+  search::Runner runner(expander);
+  search::ExpandStats estats;
+
+  // Spill a detached choice batch through the network in one lock.
+  std::vector<search::DetachedNode> spill;
+  const auto flush_spills = [&] {
+    if (spill.empty()) return;
+    ws.spills += spill.size();
+    ++ws.spill_batches;
+    net.push_batch(std::move(spill));
+    spill.clear();
+  };
 
   for (;;) {
     if (net.stopped()) break;
+
     // --- acquire a chain -------------------------------------------------
-    std::optional<search::Node> taken;
-    if (local.empty()) {
-      taken = net.pop_blocking();
+    if (runner.pending() == 0) {
+      auto taken = net.pop_blocking();
       if (!taken) break;  // terminated or stopped
+      runner.load(std::move(*taken));
       ++ws.network_takes;
-    } else if (auto better =
-                   net.try_pop_if_better(local.min_bound(), opts_.d_threshold)) {
+    } else if (auto better = net.try_pop_if_better(runner.min_pending_bound(),
+                                                   opts_.d_threshold)) {
       // The network minimum is more than D below our local minimum: the
-      // freed task acquires the chain through the network (§6).
-      taken = std::move(better);
+      // freed task acquires the chain through the network (§6). The whole
+      // local pool migrates out with it — copy-on-migration, batched.
+      const std::size_t before = estats.cells_copied;
+      spill = runner.detach_all(&estats);
+      ws.cells_copied += estats.cells_copied - before;
+      flush_spills();
+      runner.load(std::move(*better));
       ++ws.network_takes;
     } else {
-      taken = local.pop();
+      // Continue in place on the local pool (trail rollback, no copying).
+      runner.activate_top();
       ++ws.local_takes;
     }
 
@@ -46,24 +63,20 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
       break;
     }
 
-    // --- expand ----------------------------------------------------------
+    // --- expand in place -------------------------------------------------
     ++ws.expanded;
-    expander.expand(std::move(*taken), out, nullptr);
+    const search::Runner::StepResult step = runner.expand(&estats);
 
-    switch (out.outcome) {
+    switch (step.outcome) {
       case search::NodeOutcome::Solution: {
-        search::Node& leaf = out.final_node;
         if (opts_.update_weights)
-          search::update_on_success(weights_, leaf.chain.get());
+          search::update_on_success(weights_, runner.state().chain.get());
         ++ws.solutions;
+        const std::size_t before = estats.cells_copied;
+        search::Solution sol = runner.extract_solution(&estats);
+        ws.cells_copied += estats.cells_copied - before;
         {
           std::lock_guard lock(sol_mu);
-          search::Solution sol;
-          sol.text = search::solution_text(leaf.store, leaf.answer);
-          sol.bound = leaf.bound;
-          sol.depth = leaf.depth;
-          sol.answer = leaf.answer;
-          sol.store = std::move(leaf.store);
           solutions.push_back(std::move(sol));
         }
         net.on_expanded(0);
@@ -72,26 +85,25 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
         break;
       }
       case search::NodeOutcome::Expanded: {
-        // Keep the best children locally up to capacity; spill the rest to
-        // the network so idle processors find work.
-        std::size_t kept = 0;
-        for (auto& c : out.children) {
-          if (local.size() < opts_.local_capacity) {
-            local.push(std::move(c));
-            ++kept;
-          } else {
-            net.push(std::move(c));
-            ++ws.spills;
-          }
-        }
-        (void)kept;
-        net.on_expanded(out.children.size());
+        // Keep the best-ordered prefix of children locally up to capacity;
+        // detach and spill the rest so idle processors find work. Freshly
+        // created siblings share the current checkpoint, so detaching them
+        // costs no trail unwinding.
+        // The new block sits above `base`; its bottom entry is the last
+        // clause, which is what overflows first (clause-order prefix kept).
+        const std::size_t base = runner.pending() - step.children;
+        const std::size_t before = estats.cells_copied;
+        while (runner.pending() > opts_.local_capacity)
+          spill.push_back(runner.detach_sibling(base, &estats));
+        ws.cells_copied += estats.cells_copied - before;
+        flush_spills();
+        net.on_expanded(step.children);
         break;
       }
       case search::NodeOutcome::Failure:
         ++ws.failures;
         if (opts_.update_weights)
-          search::update_on_failure(weights_, out.final_node.chain.get());
+          search::update_on_failure(weights_, runner.state().chain.get());
         net.on_expanded(0);
         break;
       case search::NodeOutcome::DepthLimit:
@@ -102,8 +114,8 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
 
   // Local leftovers die with the worker (stop or termination): account for
   // them so other workers' pop_blocking can conclude.
-  while (!local.empty()) {
-    (void)local.pop();
+  while (runner.pending() > 0) {
+    runner.drop_top();
     net.on_expanded(0);
   }
 }

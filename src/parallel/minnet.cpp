@@ -4,14 +4,31 @@
 
 namespace blog::parallel {
 
-void GlobalFrontier::push(search::Node n) {
+void GlobalFrontier::push_locked(search::DetachedNode n) {
+  heap_.push_back(Entry{n.bound, seq_++, std::move(n)});
+  std::push_heap(heap_.begin(), heap_.end(), Cmp{});
+  ++stats_.pushes;
+}
+
+void GlobalFrontier::push(search::DetachedNode n) {
   {
     std::lock_guard lock(mu_);
-    heap_.push_back(Entry{n.bound, seq_++, std::move(n)});
-    std::push_heap(heap_.begin(), heap_.end(), Cmp{});
-    ++stats_.pushes;
+    push_locked(std::move(n));
   }
   cv_.notify_one();
+}
+
+void GlobalFrontier::push_batch(std::vector<search::DetachedNode> ns) {
+  if (ns.empty()) return;
+  const bool several = ns.size() > 1;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& n : ns) push_locked(std::move(n));
+  }
+  if (several)
+    cv_.notify_all();
+  else
+    cv_.notify_one();
 }
 
 search::Node GlobalFrontier::pop_locked() {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "blog/search/runner.hpp"
 #include "blog/term/writer.hpp"
 
 namespace blog::search {
@@ -17,6 +18,136 @@ std::string solution_text(const term::Store& s, term::TermRef answer) {
 
 SearchResult SearchEngine::solve(const Query& q, const SearchOptions& opts,
                                  SearchObserver* observer) {
+  if (observer != nullptr) return solve_detached(q, opts, observer);
+  return solve_inplace(q, opts);
+}
+
+// ---------------------------------------------------------------------------
+// In-place path: one Runner, one store. Pending choices stay trail-local;
+// only what crosses a frontier (or is an answer) gets deep-copied.
+//
+//  - DepthFirst     the whole search runs on the pending-choice stack;
+//                   nothing is ever detached, reproducing Prolog order.
+//  - BreadthFirst   every child is detached into the FIFO frontier
+//                   (breadth-first is inherently a copying traversal).
+//  - BestFirst      a depth-first burst: continue in place with the best
+//                   child while it is no worse than the frontier minimum,
+//                   detaching only the other siblings; otherwise detach all
+//                   and pop the frontier.
+// ---------------------------------------------------------------------------
+SearchResult SearchEngine::solve_inplace(const Query& q,
+                                         const SearchOptions& opts) {
+  Expander expander(program_, weights_, builtins_, opts.expander);
+  auto frontier = make_frontier(opts.strategy);
+  Runner runner(expander);
+  runner.load_root(q);
+
+  SearchResult result;
+  double incumbent = std::numeric_limits<double>::infinity();
+
+  const auto admitted = [&](double bound) {
+    return !opts.prune_with_incumbent || bound <= incumbent + opts.prune_margin;
+  };
+
+  while (true) {
+    // --- acquire a state -------------------------------------------------
+    if (!runner.has_state()) {
+      if (runner.pending() > 0) {
+        if (!admitted(runner.top_bound())) {
+          ++result.stats.pruned;
+          runner.drop_top();
+          continue;
+        }
+        runner.activate_top();
+      } else if (!frontier->empty()) {
+        DetachedNode n = frontier->pop();
+        if (!admitted(n.bound)) {
+          ++result.stats.pruned;
+          continue;
+        }
+        runner.load(std::move(n));
+      } else {
+        break;  // space exhausted
+      }
+    }
+    if (result.stats.nodes_expanded >= opts.max_nodes) return result;
+
+    // --- expand in place -------------------------------------------------
+    ++result.stats.nodes_expanded;
+    const Runner::StepResult step = runner.expand(&result.stats.expand);
+
+    switch (step.outcome) {
+      case NodeOutcome::Solution: {
+        if (opts.update_weights)
+          update_on_success(weights_, runner.state().chain.get());
+        ++result.stats.solutions;
+        Solution sol = runner.extract_solution(&result.stats.expand);
+        const double sol_bound = sol.bound;
+        result.solutions.push_back(std::move(sol));
+        if (opts.prune_with_incumbent) {
+          incumbent = std::min(incumbent, sol_bound);
+          const double cutoff = incumbent + opts.prune_margin;
+          result.stats.pruned += frontier->prune_above(cutoff);
+          result.stats.pruned += runner.prune_pending(cutoff);
+        }
+        if (result.solutions.size() >= opts.max_solutions) return result;
+        break;
+      }
+      case NodeOutcome::Expanded: {
+        result.stats.children_generated += step.children;
+        const std::size_t k = step.children;
+        if (opts.strategy == Strategy::BreadthFirst) {
+          // Detach every child, clause order (stack top = first clause).
+          for (std::size_t j = k; j-- > 0;)
+            frontier->push(runner.detach_sibling(j, &result.stats.expand));
+        } else if (opts.strategy == Strategy::BestFirst) {
+          // Find the best new child; clause order wins ties (scan from the
+          // top of the stack, which holds the first clause).
+          std::size_t best = k - 1;
+          for (std::size_t j = k - 1; j-- > 0;) {
+            if (runner.pending_at(j).bound <
+                runner.pending_at(best).bound)
+              best = j;
+          }
+          const double fmin = frontier->empty()
+                                  ? std::numeric_limits<double>::infinity()
+                                  : frontier->min_bound();
+          const bool burst = runner.pending_at(best).bound <= fmin;
+          for (std::size_t j = k; j-- > 0;) {
+            if (burst && j == best) continue;
+            frontier->push(runner.detach_sibling(j, &result.stats.expand));
+          }
+          // When bursting, the sole remaining choice is activated by the
+          // acquisition step above.
+        }
+        // DepthFirst: all children stay pending; the next iteration
+        // activates the top (first clause) in place.
+        result.stats.max_frontier = std::max(
+            result.stats.max_frontier, frontier->size() + runner.pending());
+        break;
+      }
+      case NodeOutcome::Failure: {
+        ++result.stats.failures;
+        if (opts.update_weights)
+          update_on_failure(weights_, runner.state().chain.get());
+        break;
+      }
+      case NodeOutcome::DepthLimit:
+        ++result.stats.depth_cutoffs;
+        break;
+    }
+  }
+  result.exhausted = true;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy materializing path (observer-instrumented runs): every node is a
+// full DetachedNode so hooks can inspect stores, goals and children.
+// ---------------------------------------------------------------------------
+SearchResult SearchEngine::solve_detached(const Query& q,
+                                          const SearchOptions& opts,
+                                          SearchObserver* observer) {
   Expander expander(program_, weights_, builtins_, opts.expander);
   auto frontier = make_frontier(opts.strategy);
   frontier->push(expander.make_root(q));
@@ -27,7 +158,7 @@ SearchResult SearchEngine::solve(const Query& q, const SearchOptions& opts,
   ExpandOutput out;
   while (!frontier->empty()) {
     if (result.stats.nodes_expanded >= opts.max_nodes) return result;
-    Node n = frontier->pop();
+    DetachedNode n = frontier->pop();
     if (observer && observer->on_pop) observer->on_pop(n);
 
     if (opts.prune_with_incumbent && n.bound > incumbent + opts.prune_margin) {
@@ -41,7 +172,7 @@ SearchResult SearchEngine::solve(const Query& q, const SearchOptions& opts,
 
     switch (out.outcome) {
       case NodeOutcome::Solution: {
-        Node& leaf = out.final_node;
+        DetachedNode& leaf = out.final_node;
         if (observer && observer->on_solution) observer->on_solution(leaf);
         if (opts.update_weights) update_on_success(weights_, leaf.chain.get());
         ++result.stats.solutions;

@@ -18,8 +18,8 @@ std::uint64_t Expander::next_id() const {
   return next_id_.fetch_add(1, std::memory_order_relaxed);
 }
 
-Node Expander::make_root(const Query& q) const {
-  Node root;
+DetachedNode Expander::make_root(const Query& q) const {
+  DetachedNode root;
   std::unordered_map<term::TermRef, term::TermRef> vmap;
   // The answer template must share variables with the goals, so import it
   // first through the same variable map.
@@ -37,15 +37,16 @@ Node Expander::make_root(const Query& q) const {
   return root;
 }
 
-void Expander::select_goal(Node& n) const {
-  if (opts_.goal_order == GoalOrder::Leftmost || n.goals.size() < 2) return;
+void Expander::select_goal(const term::Store& store,
+                           std::vector<Goal>& goals) const {
+  if (opts_.goal_order == GoalOrder::Leftmost || goals.size() < 2) return;
 
   // Only goals before the first builtin are candidates: hoisting a goal
   // past an `is`/comparison would evaluate it with unbound inputs.
-  std::size_t limit = n.goals.size();
+  std::size_t limit = goals.size();
   if (builtins_ != nullptr) {
-    for (std::size_t i = 0; i < n.goals.size(); ++i) {
-      if (builtins_->is_builtin(db::pred_of(n.store, n.goals[i].term))) {
+    for (std::size_t i = 0; i < goals.size(); ++i) {
+      if (builtins_->is_builtin(db::pred_of(store, goals[i].term))) {
         limit = i;
         break;
       }
@@ -56,12 +57,8 @@ void Expander::select_goal(Node& n) const {
   std::size_t best = 0;
   double best_score = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < limit; ++i) {
-    const Goal& g = n.goals[i];
-    const db::Pred pred = db::pred_of(n.store, g.term);
-    const std::vector<db::ClauseId> cands =
-        opts_.first_arg_indexing
-            ? program_.candidates_indexed(pred, n.store, g.term)
-            : program_.candidates(pred);
+    const Goal& g = goals[i];
+    const std::vector<db::ClauseId> cands = candidates_for(store, g);
     double score;
     if (opts_.goal_order == GoalOrder::SmallestFanout) {
       score = static_cast<double>(cands.size());
@@ -78,16 +75,42 @@ void Expander::select_goal(Node& n) const {
     }
   }
   if (best != 0) {
-    std::rotate(n.goals.begin(), n.goals.begin() + static_cast<std::ptrdiff_t>(best),
-                n.goals.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+    std::rotate(goals.begin(), goals.begin() + static_cast<std::ptrdiff_t>(best),
+                goals.begin() + static_cast<std::ptrdiff_t>(best) + 1);
   }
 }
 
-Node Expander::make_child(const Node& parent, const db::Clause& /*clause*/,
+std::vector<db::ClauseId> Expander::candidates_for(const term::Store& store,
+                                                   const Goal& goal) const {
+  const db::Pred pred = db::pred_of(store, goal.term);
+  return opts_.first_arg_indexing
+             ? program_.candidates_indexed(pred, store, goal.term)
+             : program_.candidates(pred);
+}
+
+Arc Expander::make_arc(const Goal& goal, db::ClauseId clause,
+                       const Chain* parent_chain) const {
+  Arc arc;
+  arc.key = db::PointerKey{goal.src_clause, goal.src_literal, clause};
+  if (opts_.conditional_weights) {
+    arc.key.context =
+        parent_chain ? parent_chain->arc.key.callee : db::kQueryClause;
+  }
+  if (opts_.use_weights) {
+    arc.weight = weights_.weight(arc.key);
+    arc.kind_at_use = weights_.classify(arc.weight);
+  } else {
+    arc.weight = 1.0;
+    arc.kind_at_use = db::WeightKind::Known;
+  }
+  return arc;
+}
+
+DetachedNode Expander::make_child(const DetachedNode& parent, const db::Clause& /*clause*/,
                           term::TermRef /*renamed_head*/,
                           const std::vector<term::TermRef>& renamed_body,
                           const Arc& arc, ExpandStats* stats) const {
-  Node child;
+  DetachedNode child;
   std::unordered_map<term::TermRef, term::TermRef> vmap;
   if (parent.answer != term::kNullTerm)
     child.answer = child.store.import(parent.store, parent.answer, vmap);
@@ -113,11 +136,14 @@ Node Expander::make_child(const Node& parent, const db::Clause& /*clause*/,
   child.chain = std::make_shared<Chain>(Chain{arc, parent.chain});
   child.id = next_id();
   child.parent_id = parent.id;
-  if (stats) stats->cells_copied += child.store.size();
+  if (stats) {
+    stats->cells_copied += child.store.size();
+    ++stats->detaches;
+  }
   return child;
 }
 
-void Expander::expand(Node n, ExpandOutput& out, ExpandStats* stats) const {
+void Expander::expand(DetachedNode n, ExpandOutput& out, ExpandStats* stats) const {
   out.children.clear();
   // Consume leading builtin goals in place (they are deterministic).
   term::Trail trail;
@@ -143,13 +169,9 @@ void Expander::expand(Node n, ExpandOutput& out, ExpandStats* stats) const {
     return;
   }
 
-  select_goal(n);
+  select_goal(n.store, n.goals);
   const Goal& goal = n.goals.front();
-  const db::Pred pred = db::pred_of(n.store, goal.term);
-  const std::vector<db::ClauseId> cands =
-      opts_.first_arg_indexing
-          ? program_.candidates_indexed(pred, n.store, goal.term)
-          : program_.candidates(pred);
+  const std::vector<db::ClauseId> cands = candidates_for(n.store, goal);
 
   bool any = false;
   for (const db::ClauseId cid : cands) {
@@ -171,19 +193,7 @@ void Expander::expand(Node n, ExpandOutput& out, ExpandStats* stats) const {
       if (ok) ++stats->unify_successes;
     }
     if (ok) {
-      Arc arc;
-      arc.key = db::PointerKey{goal.src_clause, goal.src_literal, cid};
-      if (opts_.conditional_weights) {
-        arc.key.context =
-            n.chain ? n.chain->arc.key.callee : db::kQueryClause;
-      }
-      if (opts_.use_weights) {
-        arc.weight = weights_.weight(arc.key);
-        arc.kind_at_use = weights_.classify(arc.weight);
-      } else {
-        arc.weight = 1.0;
-        arc.kind_at_use = db::WeightKind::Known;
-      }
+      const Arc arc = make_arc(goal, cid, n.chain.get());
       out.children.push_back(make_child(n, clause, head, body, arc, stats));
       any = true;
     }

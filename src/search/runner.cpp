@@ -1,0 +1,296 @@
+#include "blog/search/runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "blog/search/engine.hpp"  // solution_text
+
+namespace blog::search {
+
+Runner::Runner(const Expander& expander) : ex_(expander) {}
+
+void Runner::load_root(const Query& q) {
+  assert(stack_.empty());
+  trail_.clear();  // refers to the arena being discarded — forget, not undo
+  store_.clear();
+  vmap_.clear();
+  answer_ = term::kNullTerm;
+  if (q.answer != term::kNullTerm)
+    answer_ = store_.import(q.store, q.answer, vmap_);
+  state_ = State{};
+  state_.goals.reserve(q.goals.size());
+  for (std::size_t i = 0; i < q.goals.size(); ++i) {
+    Goal g;
+    g.term = store_.import(q.store, q.goals[i], vmap_);
+    g.src_clause = db::kQueryClause;
+    g.src_literal = static_cast<std::uint32_t>(i);
+    state_.goals.push_back(g);
+  }
+  state_.id = ex_.next_id();
+  has_state_ = true;
+}
+
+void Runner::load(DetachedNode n) {
+  assert(stack_.empty());
+  // The detached store is already compacted; adopt it wholesale instead of
+  // re-importing. The trail refers to the store being discarded, so it is
+  // forgotten, not undone.
+  trail_.clear();
+  store_ = std::move(n.store);
+  answer_ = n.answer;
+  state_ = State{};
+  state_.goals = std::move(n.goals);
+  state_.bound = n.bound;
+  state_.depth = n.depth;
+  state_.chain = std::move(n.chain);
+  state_.id = n.id;
+  state_.parent_id = n.parent_id;
+  has_state_ = true;
+}
+
+term::TermRef Runner::rename_clause(const db::Clause& clause,
+                                    std::vector<term::TermRef>& body) {
+  vmap_.clear();
+  const term::TermRef head =
+      store_.import(clause.store(), clause.head(), vmap_);
+  body.resize(clause.body().size());
+  for (std::size_t i = 0; i < body.size(); ++i)
+    body[i] = store_.import(clause.store(), clause.body()[i], vmap_);
+  return head;
+}
+
+Runner::StepResult Runner::expand(ExpandStats* stats) {
+  assert(has_state_);
+  const ExpanderOptions& opts = ex_.options();
+  BuiltinEvaluator* builtins = ex_.builtins();
+
+  // Consume leading builtin goals in place (they are deterministic); their
+  // bindings become part of this state, below the children's checkpoint.
+  while (!state_.goals.empty() && builtins != nullptr) {
+    const auto outcome =
+        builtins->eval(store_, state_.goals.front().term, trail_);
+    if (outcome == BuiltinEvaluator::Outcome::NotBuiltin) break;
+    if (stats) ++stats->builtin_calls;
+    if (outcome == BuiltinEvaluator::Outcome::Fail) {
+      has_state_ = false;
+      return {NodeOutcome::Failure, 0};
+    }
+    state_.goals.erase(state_.goals.begin());
+  }
+  if (state_.goals.empty()) {
+    // Leaf solution: keep has_state_ so the answer can be extracted.
+    return {NodeOutcome::Solution, 0};
+  }
+  if (state_.depth >= opts.max_depth) {
+    has_state_ = false;
+    return {NodeOutcome::DepthLimit, 0};
+  }
+
+  ex_.select_goal(store_, state_.goals);
+  const Goal goal = state_.goals.front();
+  const std::vector<db::ClauseId> cands = candidates(goal);
+
+  // Filter candidates against the live state: rename only the head, unify,
+  // record the survivors as pending choices, roll everything back.
+  const term::Checkpoint cp = term::checkpoint(store_, trail_);
+  fresh_.clear();
+  // One shared copy of the parent goal list serves every sibling choice.
+  std::shared_ptr<const std::vector<Goal>> shared_goals;
+  for (const db::ClauseId cid : cands) {
+    const db::Clause& clause = ex_.program().clause(cid);
+    vmap_.clear();
+    const term::TermRef head =
+        store_.import(clause.store(), clause.head(), vmap_);
+    term::UnifyStats ustats;
+    const bool ok = term::unify(store_, goal.term, head, trail_,
+                                {.occurs_check = opts.occurs_check}, &ustats);
+    if (stats) {
+      ++stats->unify_attempts;
+      stats->unify_cells += ustats.cells_visited;
+      if (ok) ++stats->unify_successes;
+    }
+    if (ok) {
+      if (!shared_goals)
+        shared_goals =
+            std::make_shared<const std::vector<Goal>>(state_.goals);
+      const Arc arc = ex_.make_arc(goal, cid, state_.chain.get());
+      PendingChoice c;
+      c.goals = shared_goals;
+      c.clause = cid;
+      c.arc = arc;
+      c.bound = state_.bound + arc.weight;
+      c.depth = state_.depth + 1;
+      c.chain = std::make_shared<Chain>(Chain{arc, state_.chain});
+      c.id = ex_.next_id();
+      c.parent_id = state_.id;
+      c.cp = cp;
+      fresh_.push_back(std::move(c));
+    }
+    term::rollback(store_, trail_, cp);
+  }
+
+  has_state_ = false;
+  if (fresh_.empty()) return {NodeOutcome::Failure, 0};
+  const std::size_t n = fresh_.size();
+  // Reverse clause order onto the stack: the top is the first clause, so
+  // depth-first activation reproduces Prolog's traversal.
+  for (auto it = fresh_.rbegin(); it != fresh_.rend(); ++it)
+    stack_.push_back(std::move(*it));
+  fresh_.clear();
+  return {NodeOutcome::Expanded, n};
+}
+
+std::vector<db::ClauseId> Runner::candidates(const Goal& goal) const {
+  return ex_.candidates_for(store_, goal);
+}
+
+double Runner::min_pending_bound() const {
+  assert(!stack_.empty());
+  double m = stack_.front().bound;
+  for (const PendingChoice& c : stack_) m = std::min(m, c.bound);
+  return m;
+}
+
+void Runner::reapply(const PendingChoice& c) {
+  term::rollback(store_, trail_, c.cp);
+  const term::TermRef head =
+      rename_clause(ex_.program().clause(c.clause), body_);
+  // Redo of the unification this choice was filtered with; the state is
+  // identical, so it must succeed.
+  const bool ok =
+      term::unify(store_, c.goals->front().term, head, trail_,
+                  {.occurs_check = ex_.options().occurs_check});
+  assert(ok);
+  (void)ok;
+}
+
+void Runner::apply(PendingChoice&& c) {
+  reapply(c);
+  state_.goals.clear();
+  const std::vector<Goal>& pg = *c.goals;
+  state_.goals.reserve(body_.size() + pg.size() - 1);
+  for (std::size_t i = 0; i < body_.size(); ++i) {
+    Goal g;
+    g.term = body_[i];
+    g.src_clause = c.arc.key.callee;
+    g.src_literal = static_cast<std::uint32_t>(i);
+    state_.goals.push_back(g);
+  }
+  for (std::size_t i = 1; i < pg.size(); ++i)
+    state_.goals.push_back(pg[i]);
+  state_.bound = c.bound;
+  state_.depth = c.depth;
+  state_.chain = std::move(c.chain);
+  state_.id = c.id;
+  state_.parent_id = c.parent_id;
+  has_state_ = true;
+}
+
+void Runner::activate_top() {
+  assert(!stack_.empty());
+  PendingChoice c = std::move(stack_.back());
+  stack_.pop_back();
+  apply(std::move(c));
+}
+
+std::size_t Runner::prune_pending(double cutoff) {
+  const std::size_t before = stack_.size();
+  std::erase_if(stack_,
+                [&](const PendingChoice& c) { return c.bound > cutoff; });
+  return before - stack_.size();
+}
+
+DetachedNode Runner::materialize(PendingChoice&& c, ExpandStats* stats) {
+  reapply(c);
+
+  // Compact the child state out: answer first (same order as the legacy
+  // materializing expansion, so variable sharing and layout match), then
+  // the clause body, then the remaining goals.
+  std::vector<term::TermRef> roots;
+  const std::vector<Goal>& pg = *c.goals;
+  roots.reserve(1 + body_.size() + pg.size());
+  const bool with_answer = answer_ != term::kNullTerm;
+  if (with_answer) roots.push_back(answer_);
+  for (const term::TermRef b : body_) roots.push_back(b);
+  for (std::size_t i = 1; i < pg.size(); ++i)
+    roots.push_back(pg[i].term);
+
+  DetachedNode d;
+  std::vector<term::TermRef> out;
+  store_.compact_into(d.store, roots, out);
+  std::size_t k = 0;
+  if (with_answer) d.answer = out[k++];
+  d.goals.reserve(body_.size() + pg.size() - 1);
+  for (std::size_t i = 0; i < body_.size(); ++i) {
+    Goal g;
+    g.term = out[k++];
+    g.src_clause = c.arc.key.callee;
+    g.src_literal = static_cast<std::uint32_t>(i);
+    d.goals.push_back(g);
+  }
+  for (std::size_t i = 1; i < pg.size(); ++i) {
+    Goal g = pg[i];
+    g.term = out[k++];
+    d.goals.push_back(g);
+  }
+  d.bound = c.bound;
+  d.depth = c.depth;
+  d.chain = std::move(c.chain);
+  d.id = c.id;
+  d.parent_id = c.parent_id;
+
+  // Discard the transient clause application.
+  term::rollback(store_, trail_, c.cp);
+  if (stats) {
+    stats->cells_copied += d.store.size();
+    ++stats->detaches;
+  }
+  return d;
+}
+
+DetachedNode Runner::detach_sibling(std::size_t index, ExpandStats* stats) {
+  assert(index < stack_.size());
+  PendingChoice c = std::move(stack_[index]);
+  assert(c.cp.trail == trail_.mark() &&
+         c.cp.store == store_.watermark() &&
+         "detach_sibling requires a choice checkpointed at the current "
+         "level; use detach_all for older choices");
+  stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(index));
+  return materialize(std::move(c), stats);
+}
+
+std::vector<DetachedNode> Runner::detach_all(ExpandStats* stats) {
+  std::vector<DetachedNode> out;
+  out.reserve(stack_.size());
+  // Top first: checkpoints are monotone down the stack, so the trail is
+  // unwound progressively and never needs replaying.
+  while (!stack_.empty()) {
+    PendingChoice c = std::move(stack_.back());
+    stack_.pop_back();
+    out.push_back(materialize(std::move(c), stats));
+  }
+  has_state_ = false;
+  return out;
+}
+
+Solution Runner::extract_solution(ExpandStats* stats) {
+  assert(has_state_ && state_.goals.empty());
+  Solution sol;
+  sol.bound = state_.bound;
+  sol.depth = state_.depth;
+  if (answer_ != term::kNullTerm) {
+    const term::TermRef roots[1] = {answer_};
+    std::vector<term::TermRef> out;
+    store_.compact_into(sol.store, roots, out);
+    sol.answer = out[0];
+    if (stats) {
+      stats->cells_copied += sol.store.size();
+      ++stats->detaches;
+    }
+  }
+  sol.text = solution_text(sol.store, sol.answer);
+  has_state_ = false;
+  return sol;
+}
+
+}  // namespace blog::search

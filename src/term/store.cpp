@@ -73,6 +73,19 @@ TermRef Store::import(const Store& src, TermRef t,
   return kNullTerm;  // unreachable
 }
 
+void Store::truncate(const Watermark& m) {
+  assert(m.cells <= cells_.size() && m.args <= args_.size());
+  cells_.resize(m.cells);
+  args_.resize(m.args);
+}
+
+void Store::compact_into(Store& dst, std::span<const TermRef> roots,
+                         std::vector<TermRef>& out) const {
+  std::unordered_map<TermRef, TermRef> var_map;
+  out.reserve(out.size() + roots.size());
+  for (const TermRef r : roots) out.push_back(dst.import(*this, r, var_map));
+}
+
 bool Store::equal(const Store& sa, TermRef a, const Store& sb, TermRef b) {
   a = sa.deref(a);
   b = sb.deref(b);

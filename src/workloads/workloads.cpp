@@ -62,6 +62,16 @@ std::string layered_dag(int layers, int width) {
   return s;
 }
 
+std::string nat_program() { return "nat(z). nat(s(X)) :- nat(X).\n"; }
+
+std::string deep_nat_query(int depth) {
+  std::string q = "nat(";
+  for (int i = 0; i < depth; ++i) q += "s(";
+  q += "z";
+  for (int i = 0; i < depth; ++i) q += ")";
+  return q + ")";
+}
+
 std::string random_dag(Rng& rng, int nodes, int out_degree) {
   std::string s;
   for (int v = 0; v + 1 < nodes; ++v) {

@@ -1,0 +1,206 @@
+// Regression harness for the trail-based (in-place) execution refactor:
+// the copy-on-migration engine must produce byte-identical solution sets
+// to the legacy materializing engine, for every strategy and worker count,
+// while copying far fewer cells per expansion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "blog/parallel/engine.hpp"
+#include "blog/workloads/workloads.hpp"
+
+namespace blog {
+namespace {
+
+using engine::Interpreter;
+using engine::solution_texts;
+
+using blog::workloads::deep_nat_query;
+using blog::workloads::layered_dag;
+
+/// Solve with the legacy materializing path (observer attached forces it).
+search::SearchResult solve_detached(Interpreter& ip, const std::string& query,
+                                    search::SearchOptions o) {
+  search::SearchObserver obs;  // empty hooks still select the legacy path
+  return ip.solve(query, o, &obs);
+}
+
+struct Workload {
+  const char* name;
+  std::string program;
+  std::string query;
+};
+
+std::vector<Workload> workload_set() {
+  return {
+      {"family", blog::workloads::figure1_family(), "gf(sam,G)"},
+      {"dag", layered_dag(3, 3), "path(n0_0,Z,P)"},
+      {"append",
+       "append([],L,L). append([H|T],L,[H|R]) :- append(T,L,R).",
+       "append(X,Y,[1,2,3,4,5,6,7,8])"},
+      {"builtin",
+       "n(1). n(2). n(3). n(4). big(X) :- n(X), Y is X*2, Y > 4.",
+       "big(X)"},
+  };
+}
+
+// --------------------------------------------- in-place vs legacy engine --
+
+TEST(InplaceRegression, SolutionTextsIdenticalToLegacyForEveryStrategy) {
+  for (const Workload& w : workload_set()) {
+    for (const auto strat :
+         {search::Strategy::DepthFirst, search::Strategy::BreadthFirst,
+          search::Strategy::BestFirst}) {
+      search::SearchOptions o;
+      o.strategy = strat;
+      o.update_weights = false;
+
+      Interpreter legacy;
+      legacy.consult_string(w.program);
+      const auto expected = solution_texts(solve_detached(legacy, w.query, o));
+
+      Interpreter inplace;
+      inplace.consult_string(w.program);
+      const auto got = solution_texts(inplace.solve(w.query, o));
+      EXPECT_EQ(got, expected)
+          << w.name << " / " << search::strategy_name(strat);
+    }
+  }
+}
+
+TEST(InplaceRegression, DepthFirstPreservesPrologSolutionOrder) {
+  for (const Workload& w : workload_set()) {
+    search::SearchOptions o;
+    o.strategy = search::Strategy::DepthFirst;
+    o.update_weights = false;
+
+    Interpreter legacy;
+    legacy.consult_string(w.program);
+    const auto lr = solve_detached(legacy, w.query, o);
+
+    Interpreter inplace;
+    inplace.consult_string(w.program);
+    const auto ir = inplace.solve(w.query, o);
+
+    ASSERT_EQ(ir.solutions.size(), lr.solutions.size()) << w.name;
+    for (std::size_t i = 0; i < ir.solutions.size(); ++i)
+      EXPECT_EQ(ir.solutions[i].text, lr.solutions[i].text)
+          << w.name << " solution " << i;  // unsorted: exact Prolog order
+    EXPECT_EQ(ir.stats.nodes_expanded, lr.stats.nodes_expanded) << w.name;
+  }
+}
+
+TEST(InplaceRegression, AdaptiveRunsKeepTheSolutionSet) {
+  // With §5 weight updates on, repeated best-first runs of the in-place
+  // engine must keep finding everything the legacy engine finds.
+  Interpreter legacy;
+  legacy.consult_string(blog::workloads::figure1_family());
+  const auto expected =
+      solution_texts(solve_detached(legacy, "gf(sam,G)", {}));
+  Interpreter inplace;
+  inplace.consult_string(blog::workloads::figure1_family());
+  for (int run = 0; run < 3; ++run)
+    EXPECT_EQ(solution_texts(inplace.solve("gf(sam,G)")), expected)
+        << "run " << run;
+}
+
+class WorkerCount : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WorkerCount, ParallelSolutionTextsIdenticalToLegacySequential) {
+  for (const Workload& w : workload_set()) {
+    search::SearchOptions o;
+    o.update_weights = false;
+    Interpreter legacy;
+    legacy.consult_string(w.program);
+    const auto expected = solution_texts(solve_detached(legacy, w.query, o));
+
+    Interpreter par;
+    par.consult_string(w.program);
+    parallel::ParallelOptions po;
+    po.workers = GetParam();
+    po.update_weights = false;
+    parallel::ParallelEngine pe(par.program(), par.weights(), &par.builtins(),
+                                po);
+    const auto r = pe.solve(par.parse_query(w.query));
+    std::vector<std::string> got;
+    for (const auto& s : r.solutions) got.push_back(s.text);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << w.name << " workers=" << GetParam();
+    EXPECT_TRUE(r.exhausted) << w.name;
+  }
+}
+
+TEST_P(WorkerCount, TinyLocalCapacityForcesMigrationAndStaysExact) {
+  // Capacity 1 makes nearly every choice migrate through the network —
+  // the stress case for detach/materialize correctness.
+  search::SearchOptions o;
+  o.update_weights = false;
+  Interpreter legacy;
+  legacy.consult_string(layered_dag(3, 3));
+  const auto expected =
+      solution_texts(solve_detached(legacy, "path(n0_0,Z,P)", o));
+
+  Interpreter par;
+  par.consult_string(layered_dag(3, 3));
+  parallel::ParallelOptions po;
+  po.workers = GetParam();
+  po.local_capacity = 1;
+  po.d_threshold = 0.0;
+  po.update_weights = false;
+  parallel::ParallelEngine pe(par.program(), par.weights(), &par.builtins(),
+                              po);
+  const auto r = pe.solve(par.parse_query("path(n0_0,Z,P)"));
+  std::vector<std::string> got;
+  for (const auto& s : r.solutions) got.push_back(s.text);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerCount,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+// ------------------------------------------------------- copy accounting --
+
+TEST(InplaceRegression, DeepRecursionCopiesAtLeastFiveTimesFewerCells) {
+  // The acceptance bar of the refactor: on a deep-recursion workload the
+  // in-place engine must copy >= 5x fewer cells per expansion than the
+  // legacy per-child-store engine.
+  const std::string program = blog::workloads::nat_program();
+  const std::string query = deep_nat_query(100);
+  search::SearchOptions o;
+  o.strategy = search::Strategy::DepthFirst;
+  o.update_weights = false;
+
+  Interpreter legacy;
+  legacy.consult_string(program);
+  const auto lr = solve_detached(legacy, query, o);
+
+  Interpreter inplace;
+  inplace.consult_string(program);
+  const auto ir = inplace.solve(query, o);
+
+  ASSERT_EQ(ir.solutions.size(), lr.solutions.size());
+  ASSERT_EQ(ir.stats.nodes_expanded, lr.stats.nodes_expanded);
+  ASSERT_GT(lr.stats.expand.cells_copied, 0u);
+  const double legacy_per = double(lr.stats.expand.cells_copied) /
+                            double(lr.stats.nodes_expanded);
+  const double inplace_per = double(ir.stats.expand.cells_copied) /
+                             double(ir.stats.nodes_expanded);
+  EXPECT_LE(inplace_per * 5.0, legacy_per)
+      << "legacy " << legacy_per << " vs in-place " << inplace_per;
+}
+
+TEST(InplaceRegression, PureDepthFirstDetachesOnlySolutions) {
+  Interpreter ip;
+  ip.consult_string(blog::workloads::figure1_family());
+  search::SearchOptions o;
+  o.strategy = search::Strategy::DepthFirst;
+  const auto r = ip.solve("gf(sam,G)", o);
+  // Depth-first never touches a frontier: the only detached states are the
+  // recorded answers.
+  EXPECT_EQ(r.stats.expand.detaches, r.solutions.size());
+}
+
+}  // namespace
+}  // namespace blog

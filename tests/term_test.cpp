@@ -331,6 +331,85 @@ TEST(Unify, IsGroundAndCollectVars) {
   EXPECT_TRUE(is_ground(s, parse(s, "f(a,b,g(1,[]))")));
 }
 
+// ---------------------------------------------------- checkpoint/rollback --
+
+TEST(Checkpoint, RollbackRestoresBindingsAndArena) {
+  Store s;
+  Trail tr;
+  const TermRef t = parse(s, "f(X,Y)");
+  const Checkpoint cp = checkpoint(s, tr);
+  // Bind X inside the checkpointed region to a term allocated after it.
+  const TermRef x = s.deref(s.arg(s.deref(t), 0));
+  ASSERT_TRUE(unify(s, x, parse(s, "g(1,2,3)"), tr));
+  EXPECT_GT(s.size(), cp.store.cells);
+  rollback(s, tr, cp);
+  EXPECT_EQ(s.size(), cp.store.cells);
+  EXPECT_EQ(tr.mark(), cp.trail);
+  EXPECT_TRUE(s.is_unbound(x));
+  EXPECT_EQ(to_string(s, t), "f(X,Y)");
+}
+
+TEST(Checkpoint, NestedRollbacksUnwindMonotonically) {
+  Store s;
+  Trail tr;
+  const TermRef t = parse(s, "p(A,B,C)");
+  const TermRef a = s.deref(s.arg(s.deref(t), 0));
+  const TermRef b = s.deref(s.arg(s.deref(t), 1));
+  const Checkpoint cp1 = checkpoint(s, tr);
+  ASSERT_TRUE(unify(s, a, s.make_atom("one"), tr));
+  const Checkpoint cp2 = checkpoint(s, tr);
+  ASSERT_TRUE(unify(s, b, parse(s, "h(Z)"), tr));
+  rollback(s, tr, cp2);
+  EXPECT_EQ(to_string(s, t), "p(one,B,C)");
+  rollback(s, tr, cp1);
+  EXPECT_EQ(to_string(s, t), "p(A,B,C)");
+}
+
+// Property: a random unify/checkpoint/unify/rollback round trip restores
+// every variable's rendering and the exact arena size (the invariant the
+// in-place search engine rests on).
+class CheckpointProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckpointProps, RoundTripIsExact) {
+  std::uint64_t seed = GetParam() * 6364136223846793005ULL + 1442695040888963407ULL;
+  auto next = [&seed](std::uint64_t n) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (seed >> 33) % n;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    Store s;
+    Trail tr;
+    // A pool of terms with shared variables.
+    std::vector<TermRef> pool;
+    std::vector<TermRef> vars;
+    for (int i = 0; i < 6; ++i) vars.push_back(s.make_var());
+    for (int i = 0; i < 8; ++i) {
+      const TermRef args[2] = {vars[next(vars.size())],
+                               next(2) ? s.make_int(static_cast<std::int64_t>(next(5)))
+                                       : vars[next(vars.size())]};
+      pool.push_back(s.make_struct(intern(next(2) ? "f" : "g"), args));
+    }
+    // Pre-bind a little, then checkpoint.
+    (void)unify(s, pool[next(pool.size())], pool[next(pool.size())], tr);
+    const Checkpoint cp = checkpoint(s, tr);
+    std::vector<std::string> before;
+    for (const TermRef v : vars) before.push_back(to_string(s, v));
+    const std::size_t size_before = s.size();
+    // Arbitrary work above the checkpoint: new terms, more unifications.
+    for (int i = 0; i < 5; ++i) {
+      const TermRef fresh = parse(s, next(2) ? "k(V,W,[1,2])" : "g(U,U)");
+      (void)unify(s, pool[next(pool.size())], fresh, tr);
+    }
+    rollback(s, tr, cp);
+    EXPECT_EQ(s.size(), size_before);
+    for (std::size_t i = 0; i < vars.size(); ++i)
+      EXPECT_EQ(to_string(s, vars[i]), before[i]) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointProps,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
 // Property-style sweep: unification is symmetric on a corpus of term pairs.
 class UnifySymmetry : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
 
