@@ -1,16 +1,19 @@
-// Machine-readable perf tracking: runs the micro/parallel headline
-// workloads and emits BENCH_micro.json / BENCH_parallel.json with
-// nodes/sec and cells_copied per expansion, so the perf trajectory of the
-// engine is recorded PR over PR.
+// Machine-readable perf tracking: runs the micro/parallel/serving headline
+// workloads and emits BENCH_micro.json / BENCH_parallel.json /
+// BENCH_service.json (nodes/sec, cells_copied per expansion, queries/sec
+// and cache hit rate), so the perf trajectory of the engine is recorded PR
+// over PR.
 //
 //   ./bench_json [output-dir]
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "blog/engine/interpreter.hpp"
 #include "blog/parallel/engine.hpp"
+#include "blog/service/service.hpp"
 #include "blog/workloads/workloads.hpp"
 
 using namespace blog;
@@ -93,6 +96,136 @@ Entry run_parallel(const std::string& name, const std::string& program,
   return e;
 }
 
+// ----------------------------------------------------------------- service --
+// Repeated-query mix over the workload programs: `clients` threads each
+// issue `kRequestsPerClient` queries drawn from a small pool (so the repeat
+// rate is high), against one shared QueryService. The serial-cold baseline
+// solves the identical request multiset one by one on a bare Interpreter —
+// no answer cache, no concurrency.
+
+constexpr int kRequestsPerClient = 64;
+
+std::string service_program() {
+  return workloads::figure1_family() + workloads::layered_dag(5, 3);
+}
+
+const std::vector<std::string>& query_pool() {
+  static const std::vector<std::string> pool = {
+      "path(n0_0,Z,P)", "path(n0_1,Z,P)", "path(n0_2,Z,P)", "path(n1_0,Z,P)",
+      "path(n1_1,Z,P)", "gf(sam,G)",      "gf(dan,G)",      "gf(X,Z)",
+  };
+  return pool;
+}
+
+/// Deterministic request mix for one client: index into the pool.
+std::size_t pick(int client, int i) {
+  return (static_cast<std::size_t>(client) * 31u +
+          static_cast<std::size_t>(i) * 7u) %
+         query_pool().size();
+}
+
+struct ServiceEntry {
+  std::string name;
+  unsigned clients = 0;
+  std::size_t requests = 0;
+  double secs = 0.0;
+  double cache_hit_rate = 0.0;
+  double repeat_rate = 0.0;
+  double speedup_vs_serial_cold = 0.0;
+  bool answers_match_cold = true;
+
+  [[nodiscard]] double qps() const {
+    return secs > 0.0 ? static_cast<double>(requests) / secs : 0.0;
+  }
+};
+
+double run_serial_cold(unsigned clients) {
+  engine::Interpreter ip;
+  ip.consult_string(service_program());
+  search::SearchOptions o;
+  o.update_weights = false;
+  const auto t0 = Clock::now();
+  for (unsigned c = 0; c < clients; ++c)
+    for (int i = 0; i < kRequestsPerClient; ++i)
+      ip.solve(query_pool()[pick(static_cast<int>(c), i)], o);
+  return seconds_since(t0);
+}
+
+ServiceEntry run_service(unsigned clients, double serial_cold_qps) {
+  service::ServiceOptions so;
+  so.max_concurrent_queries = clients;
+  so.update_weights = false;
+  service::QueryService svc(so);
+  svc.consult(service_program());
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto t0 = Clock::now();
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&svc, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i)
+        svc.query(query_pool()[pick(static_cast<int>(c), i)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ServiceEntry e;
+  e.name = "service_c" + std::to_string(clients);
+  e.clients = clients;
+  e.requests = static_cast<std::size_t>(clients) * kRequestsPerClient;
+  e.secs = seconds_since(t0);
+  const auto stats = svc.stats();
+  e.cache_hit_rate = static_cast<double>(stats.cache_hits) /
+                     static_cast<double>(e.requests);
+  // Every request beyond a query's first occurrence is a repeat.
+  std::vector<bool> seen(query_pool().size(), false);
+  std::size_t repeats = 0;
+  for (unsigned c = 0; c < clients; ++c)
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      const std::size_t q = pick(static_cast<int>(c), i);
+      if (seen[q]) ++repeats;
+      seen[q] = true;
+    }
+  e.repeat_rate = static_cast<double>(repeats) / static_cast<double>(e.requests);
+  e.speedup_vs_serial_cold = serial_cold_qps > 0.0 ? e.qps() / serial_cold_qps : 0.0;
+
+  // Cached answers must be byte-identical to a cold run's solution_texts.
+  engine::Interpreter cold;
+  cold.consult_string(service_program());
+  for (const auto& q : query_pool()) {
+    const auto warm = svc.query(q);
+    if (!warm.from_cache ||
+        warm.answers !=
+            engine::solution_texts(cold.solve(q, {.update_weights = false})))
+      e.answers_match_cold = false;
+  }
+  return e;
+}
+
+void write_service_json(const std::string& path,
+                        const std::vector<ServiceEntry>& entries,
+                        double serial_cold_qps) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"serial_cold\": {\"queries_per_sec\": " << serial_cold_qps
+      << "},\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const ServiceEntry& e = entries[i];
+    out << "  \"" << e.name << "\": {"
+        << "\"clients\": " << e.clients << ", \"requests\": " << e.requests
+        << ", \"seconds\": " << e.secs
+        << ", \"queries_per_sec\": " << e.qps()
+        << ", \"cache_hit_rate\": " << e.cache_hit_rate
+        << ", \"repeat_rate\": " << e.repeat_rate
+        << ", \"speedup_vs_serial_cold\": " << e.speedup_vs_serial_cold
+        << ", \"answers_match_cold\": "
+        << (e.answers_match_cold ? "true" : "false") << "}"
+        << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,5 +253,15 @@ int main(int argc, char** argv) {
     par.push_back(
         run_parallel("dag_w" + std::to_string(w), dag, "path(n0_0,Z,P)", w));
   write_json(dir + "BENCH_parallel.json", par);
+
+  // Serving layer: queries/sec under concurrent clients with the answer
+  // cache, against the serial-cold multiset-identical baseline (16 clients'
+  // worth of requests).
+  const double serial_secs = run_serial_cold(16);
+  const double serial_qps = static_cast<double>(16 * kRequestsPerClient) /
+                            (serial_secs > 0.0 ? serial_secs : 1e-9);
+  std::vector<ServiceEntry> svc;
+  for (const unsigned c : {1u, 4u, 16u}) svc.push_back(run_service(c, serial_qps));
+  write_service_json(dir + "BENCH_service.json", svc, serial_qps);
   return 0;
 }

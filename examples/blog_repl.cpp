@@ -1,21 +1,24 @@
-// An interactive B-LOG interpreter: consult files, run queries, switch
-// strategies, inspect weights, draw the OR-tree.
+// An interactive B-LOG client speaking to the QueryService serving layer:
+// consult publishes copy-on-write snapshots, repeated queries hit the
+// answer cache, budgets cut runaway searches, and :stats shows the
+// service-side counters.
 //
 //   $ blog_repl [program.pl ...]
 //   ?- gf(sam,G).
 //   G=den ;  G=doug.
 //   ?- :strategy best        % depth | breadth | best
-//   ?- :order fanout         % leftmost | fanout | cheapest
+//   ?- :workers 4            % >1: thread-parallel solve
+//   ?- :budget nodes 10000   % nodes | solutions | ms (0 = unlimited)
 //   ?- :tree gf(sam,G)       % print the searched OR-tree
 //   ?- :session end          % §5: merge session weights conservatively
-//   ?- :stats                % last query's statistics
+//   ?- :stats                % service counters (cache, admission, epoch)
 //   ?- :halt
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 
-#include "blog/engine/interpreter.hpp"
+#include "blog/service/service.hpp"
 #include "blog/term/reader.hpp"
 #include "blog/trace/tree.hpp"
 #include "blog/workloads/workloads.hpp"
@@ -25,27 +28,56 @@ using namespace blog;
 namespace {
 
 struct ReplState {
-  engine::Interpreter ip;
-  search::SearchOptions opts;
-  search::SearchStats last_stats;
+  service::QueryService svc;
+  service::QueryRequest req;  // text overwritten per query
 };
 
-void run_query(ReplState& st, const std::string& text, bool draw_tree) {
+void run_query(ReplState& st, const std::string& text) {
+  st.req.text = text;
+  const auto r = st.svc.query(st.req);
+  switch (r.status) {
+    case service::QueryStatus::ParseError:
+      std::printf("syntax error: %s\n", r.error.c_str());
+      return;
+    case service::QueryStatus::Rejected:
+      std::printf("%% rejected: admission queue full\n");
+      return;
+    default:
+      break;
+  }
+  if (r.answers.empty()) {
+    std::printf("false.\n");
+  } else {
+    for (std::size_t i = 0; i < r.answers.size(); ++i)
+      std::printf("%s%s", r.answers[i].c_str(),
+                  i + 1 < r.answers.size() ? " ;\n" : ".\n");
+  }
+  if (r.from_cache)
+    std::printf("%% cached (epoch %llu)\n",
+                static_cast<unsigned long long>(r.epoch));
+  if (r.status == service::QueryStatus::Truncated)
+    std::printf("%% truncated: %s after %llu nodes\n",
+                search::outcome_name(r.outcome),
+                static_cast<unsigned long long>(r.nodes_expanded));
+}
+
+// :tree runs outside the cache on the service's published snapshot, with
+// the tree-recording observer attached to a private engine.
+void run_tree(ReplState& st, const std::string& text) {
   try {
+    const auto snap = st.svc.snapshot();
     trace::TreeRecorder rec;
     auto obs = rec.observer();
-    const auto r = st.ip.solve(text, st.opts, draw_tree ? &obs : nullptr);
-    st.last_stats = r.stats;
-    if (r.solutions.empty()) {
-      std::printf("false.\n");
-    } else {
-      for (std::size_t i = 0; i < r.solutions.size(); ++i) {
-        std::printf("%s%s", r.solutions[i].text.c_str(),
-                    i + 1 < r.solutions.size() ? " ;\n" : ".\n");
-      }
-    }
-    if (!r.exhausted) std::printf("%% search truncated (budget/limit hit)\n");
-    if (draw_tree) std::printf("\n%s", rec.render_text().c_str());
+    search::SearchOptions o;
+    o.strategy = st.req.strategy;
+    o.max_nodes = st.req.budget.max_nodes;
+    o.max_solutions = st.req.budget.max_solutions;
+    if (st.req.budget.deadline.count() > 0)
+      o.deadline = std::chrono::steady_clock::now() + st.req.budget.deadline;
+    search::SearchEngine eng(*snap->program, st.svc.weights(),
+                             &st.svc.builtins());
+    eng.solve(engine::parse_query(text), o, &obs);
+    std::printf("%s", rec.render_text().c_str());
   } catch (const term::ParseError& e) {
     std::printf("syntax error at %d:%d: %s\n", e.line, e.col, e.what());
   }
@@ -59,58 +91,89 @@ bool command(ReplState& st, const std::string& line) {
   if (cmd == "strategy") {
     std::string s;
     is >> s;
-    if (s == "depth") st.opts.strategy = search::Strategy::DepthFirst;
-    else if (s == "breadth") st.opts.strategy = search::Strategy::BreadthFirst;
-    else if (s == "best") st.opts.strategy = search::Strategy::BestFirst;
+    if (s == "depth") st.req.strategy = search::Strategy::DepthFirst;
+    else if (s == "breadth") st.req.strategy = search::Strategy::BreadthFirst;
+    else if (s == "best") st.req.strategy = search::Strategy::BestFirst;
     else std::printf("usage: :strategy depth|breadth|best\n");
-  } else if (cmd == "order") {
-    std::string s;
-    is >> s;
-    if (s == "leftmost") st.opts.expander.goal_order = search::GoalOrder::Leftmost;
-    else if (s == "fanout")
-      st.opts.expander.goal_order = search::GoalOrder::SmallestFanout;
-    else if (s == "cheapest")
-      st.opts.expander.goal_order = search::GoalOrder::CheapestPointer;
-    else std::printf("usage: :order leftmost|fanout|cheapest\n");
+  } else if (cmd == "workers") {
+    unsigned w = 1;
+    if (is >> w && w >= 1) st.req.workers = w;
+    else std::printf("usage: :workers <n>\n");
+  } else if (cmd == "budget") {
+    std::string what;
+    long long v = 0;
+    if (is >> what >> v && v >= 0) {
+      if (what == "nodes")
+        st.req.budget.max_nodes =
+            v == 0 ? std::numeric_limits<std::size_t>::max()
+                   : static_cast<std::size_t>(v);
+      else if (what == "solutions")
+        st.req.budget.max_solutions =
+            v == 0 ? std::numeric_limits<std::size_t>::max()
+                   : static_cast<std::size_t>(v);
+      else if (what == "ms")
+        st.req.budget.deadline = std::chrono::milliseconds(v);
+      else
+        std::printf("usage: :budget nodes|solutions|ms <n>\n");
+    } else {
+      std::printf("usage: :budget nodes|solutions|ms <n>\n");
+    }
   } else if (cmd == "tree") {
     std::string q;
     std::getline(is, q);
-    if (!q.empty()) run_query(st, q, true);
+    if (!q.empty()) run_tree(st, q);
   } else if (cmd == "session") {
     std::string s;
     is >> s;
     if (s == "begin") {
-      st.ip.begin_session();
+      st.svc.weights().begin_session();
       std::printf("%% session weights discarded\n");
     } else if (s == "end") {
-      st.ip.end_session();
-      std::printf("%% session merged: %zu global weights\n",
-                  st.ip.weights().global_size());
+      st.svc.end_session();
+      std::printf("%% session merged: %zu global weights (epoch %llu)\n",
+                  st.svc.weights().global_size(),
+                  static_cast<unsigned long long>(st.svc.stats().epoch));
     } else {
       std::printf("usage: :session begin|end\n");
     }
   } else if (cmd == "stats") {
-    const auto& s = st.last_stats;
-    std::printf("nodes %zu, children %zu, solutions %zu, failures %zu, "
-                "pruned %zu, max frontier %zu\n",
-                s.nodes_expanded, s.children_generated, s.solutions,
-                s.failures, s.pruned, s.max_frontier);
+    const auto s = st.svc.stats();
+    std::printf(
+        "queries %llu (cache hits %llu, truncated %llu, rejected %llu, "
+        "parse errors %llu)\n"
+        "cache: %llu hits / %llu misses, %llu inserted, %llu evicted, "
+        "%llu invalidated\n"
+        "admission: %llu admitted (%llu queued), epoch %llu, %zu clauses\n",
+        static_cast<unsigned long long>(s.queries),
+        static_cast<unsigned long long>(s.cache_hits),
+        static_cast<unsigned long long>(s.truncated),
+        static_cast<unsigned long long>(s.rejected),
+        static_cast<unsigned long long>(s.parse_errors),
+        static_cast<unsigned long long>(s.cache.hits),
+        static_cast<unsigned long long>(s.cache.misses),
+        static_cast<unsigned long long>(s.cache.insertions),
+        static_cast<unsigned long long>(s.cache.evictions),
+        static_cast<unsigned long long>(s.cache.invalidated),
+        static_cast<unsigned long long>(s.admission.admitted),
+        static_cast<unsigned long long>(s.admission.queued),
+        static_cast<unsigned long long>(s.epoch), s.program_clauses);
   } else if (cmd == "consult") {
     std::string path;
     is >> path;
     try {
-      st.ip.consult_file(path);
-      std::printf("%% consulted %s (%zu clauses total)\n", path.c_str(),
-                  st.ip.program().size());
+      st.svc.consult_file(path);
+      const auto s = st.svc.stats();
+      std::printf("%% consulted %s (%zu clauses, epoch %llu)\n", path.c_str(),
+                  s.program_clauses, static_cast<unsigned long long>(s.epoch));
     } catch (const std::exception& e) {
       std::printf("error: %s\n", e.what());
     }
   } else if (cmd == "demo") {
-    st.ip.consult_string(workloads::figure1_family());
+    st.svc.consult(workloads::figure1_family());
     std::printf("%% loaded the Figure 1 family database\n");
   } else {
-    std::printf("commands: :strategy :order :tree :session :stats :consult "
-                ":demo :halt\n");
+    std::printf("commands: :strategy :workers :budget :tree :session :stats "
+                ":consult :demo :halt\n");
   }
   return true;
 }
@@ -119,17 +182,17 @@ bool command(ReplState& st, const std::string& line) {
 
 int main(int argc, char** argv) {
   ReplState st;
-  st.opts.strategy = search::Strategy::BestFirst;
+  st.req.strategy = search::Strategy::BestFirst;
   for (int i = 1; i < argc; ++i) {
     try {
-      st.ip.consult_file(argv[i]);
+      st.svc.consult_file(argv[i]);
       std::printf("%% consulted %s\n", argv[i]);
     } catch (const std::exception& e) {
       std::printf("error consulting %s: %s\n", argv[i], e.what());
     }
   }
-  std::printf("B-LOG interactive interpreter. :demo loads the paper's "
-              "database; :halt exits.\n");
+  std::printf("B-LOG query service REPL. :demo loads the paper's database; "
+              ":halt exits.\n");
   std::string line;
   for (;;) {
     std::printf("?- ");
@@ -143,7 +206,7 @@ int main(int argc, char** argv) {
       if (!command(st, line)) break;
       continue;
     }
-    run_query(st, line, false);
+    run_query(st, line);
   }
   return 0;
 }

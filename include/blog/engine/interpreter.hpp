@@ -17,6 +17,11 @@
 
 namespace blog::engine {
 
+/// Parse `text` as a query body (conjunction allowed). The answer template
+/// is the conjunction of `Name = Value` pairs for the query's named
+/// variables, or the whole goal when it has none. Throws term::ParseError.
+[[nodiscard]] search::Query parse_query(std::string_view text);
+
 class Interpreter {
 public:
   explicit Interpreter(db::WeightParams weight_params = {});
@@ -25,10 +30,11 @@ public:
   void consult_string(std::string_view text);
   void consult_file(const std::string& path);
 
-  /// Parse `text` as a query body (conjunction allowed). The answer
-  /// template is the conjunction of `Name = Value` pairs for the query's
-  /// named variables, or the whole goal when it has none.
-  [[nodiscard]] search::Query parse_query(std::string_view text) const;
+  /// See engine::parse_query (kept as a member for callers holding an
+  /// interpreter).
+  [[nodiscard]] search::Query parse_query(std::string_view text) const {
+    return engine::parse_query(text);
+  }
 
   /// Solve a ready query / a query string.
   search::SearchResult solve(const search::Query& q, const search::SearchOptions& opts,
@@ -44,6 +50,13 @@ public:
 
   [[nodiscard]] const db::Program& program() const { return program_; }
   [[nodiscard]] db::Program& program() { return program_; }
+
+  /// Copy-on-write snapshot export: an immutable shared copy of the loaded
+  /// program, detached from this interpreter (later consults don't touch
+  /// it). The service layer publishes these to concurrent readers.
+  [[nodiscard]] std::shared_ptr<const db::Program> export_program() const {
+    return std::make_shared<const db::Program>(program_);
+  }
   [[nodiscard]] db::WeightStore& weights() { return weights_; }
   [[nodiscard]] const db::WeightStore& weights() const { return weights_; }
   [[nodiscard]] StandardBuiltins& builtins() { return builtins_; }
@@ -54,7 +67,12 @@ private:
   StandardBuiltins builtins_;
 };
 
-/// Sorted solution texts — strategy-independent identity of a result set.
+/// Sorted, deduplicated solution texts — the strategy-independent identity
+/// of a result set, and the answer cache's canonical value form (cache hits
+/// are byte-identical to cold runs under any strategy). The overload
+/// canonicalizes texts rendered elsewhere (parallel / machine / AND-parallel
+/// results) into the same form.
 std::vector<std::string> solution_texts(const search::SearchResult& r);
+std::vector<std::string> solution_texts(std::vector<std::string> texts);
 
 }  // namespace blog::engine

@@ -23,6 +23,9 @@ struct ParallelOptions {
   double d_threshold = 0.0;       // §6's D (bound units)
   std::size_t max_solutions = std::numeric_limits<std::size_t>::max();
   std::size_t max_nodes = 1'000'000;  // global expansion budget
+  // Wall-clock cutoff (steady clock); default (epoch) = none. Workers
+  // check it cooperatively once per expansion.
+  std::chrono::steady_clock::time_point deadline{};
   std::size_t local_capacity = 8;     // spill to the network beyond this
   bool update_weights = true;
   search::ExpanderOptions expander;
@@ -44,6 +47,7 @@ struct ParallelResult {
   std::vector<WorkerStats> workers;
   GlobalFrontier::Stats network;
   std::uint64_t nodes_expanded = 0;
+  search::Outcome outcome = search::Outcome::Exhausted;
   bool exhausted = false;
 };
 
@@ -58,7 +62,8 @@ private:
   void worker_loop(const search::Expander& expander, GlobalFrontier& net,
                    WorkerStats& ws, std::vector<search::Solution>& solutions,
                    std::mutex& sol_mu, std::atomic<std::int64_t>& node_budget,
-                   std::atomic<std::uint64_t>& solutions_left);
+                   std::atomic<std::uint64_t>& solutions_left,
+                   std::atomic<int>& stop_cause);
 
   const db::Program& program_;
   db::WeightStore& weights_;

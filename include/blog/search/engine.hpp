@@ -3,6 +3,7 @@
 // branch-and-bound pruning and §5 weight adaptation.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <limits>
 #include <string>
@@ -13,10 +14,30 @@
 
 namespace blog::search {
 
+/// Why a search returned. Distinguishes a complete answer set from a
+/// truncated one so serving layers can tell clients (and caches) the
+/// difference instead of silently handing back a partial result.
+enum class Outcome : std::uint8_t {
+  Exhausted,       // frontier emptied: the OR-tree was fully explored
+  SolutionLimit,   // stopped after max_solutions answers
+  BudgetExceeded,  // node budget or wall-clock deadline hit
+};
+
+const char* outcome_name(Outcome o);
+
+/// True when `deadline` is set (non-epoch) and has passed. Engines check
+/// this cooperatively once per expansion.
+inline bool deadline_passed(std::chrono::steady_clock::time_point deadline) {
+  return deadline.time_since_epoch().count() != 0 &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
 struct SearchOptions {
   Strategy strategy = Strategy::BestFirst;
   std::size_t max_solutions = std::numeric_limits<std::size_t>::max();
   std::size_t max_nodes = 1'000'000;   // expansion budget (safety net)
+  // Wall-clock cutoff (steady clock); default (epoch) = none.
+  std::chrono::steady_clock::time_point deadline{};
   bool update_weights = true;          // apply §5 updates as chains resolve
   // Branch & bound: once an incumbent solution is known, prune frontier
   // nodes whose bound exceeds incumbent + margin. All successful chains
@@ -42,6 +63,7 @@ struct SearchStats {
 struct SearchResult {
   std::vector<Solution> solutions;
   SearchStats stats;
+  Outcome outcome = Outcome::BudgetExceeded;  // set on every return path
   bool exhausted = false;  // frontier emptied (search space fully explored)
 };
 

@@ -23,11 +23,11 @@ public:
   virtual Node pop() = 0;
   [[nodiscard]] virtual bool empty() const = 0;
   [[nodiscard]] virtual std::size_t size() const = 0;
-  /// Smallest bound currently in the frontier. O(1) on BestFirst (heap
-  /// top) — the only frontier whose min_bound sits on a hot path (the
-  /// in-place engine's burst admissibility test). The LIFO/FIFO frontiers
-  /// scan: no engine path queries their minimum, so they do not pay for a
-  /// running mirror on every push/pop. Meaningful only when non-empty.
+  /// Smallest bound currently in the frontier. O(1) on every policy:
+  /// BestFirst reads the heap top, DepthFirst keeps a running-minimum
+  /// mirror stack, BreadthFirst a monotonic min-deque — so pollers (the
+  /// service stats path, the in-place engine's burst admissibility test)
+  /// never pay a scan. Meaningful only when non-empty.
   [[nodiscard]] virtual double min_bound() const = 0;
   /// Drop all nodes with bound > cutoff; returns how many were pruned.
   virtual std::size_t prune_above(double cutoff) = 0;
@@ -37,29 +37,37 @@ public:
 /// leftmost-first traversal.
 class DepthFirstFrontier final : public Frontier {
 public:
-  void push(Node n) override { stack_.push_back(std::move(n)); }
+  void push(Node n) override;
   Node pop() override;
   [[nodiscard]] bool empty() const override { return stack_.empty(); }
   [[nodiscard]] std::size_t size() const override { return stack_.size(); }
-  [[nodiscard]] double min_bound() const override;  // O(n); cold (see base)
+  [[nodiscard]] double min_bound() const override { return mins_.back(); }
   std::size_t prune_above(double cutoff) override;
 
 private:
   std::vector<Node> stack_;
+  // mins_[i] = min bound of stack_[0..i]: the classic min-stack, giving
+  // O(1) push/pop/min.
+  std::vector<double> mins_;
 };
 
 /// FIFO.
 class BreadthFirstFrontier final : public Frontier {
 public:
-  void push(Node n) override { q_.push_back(std::move(n)); }
+  void push(Node n) override;
   Node pop() override;
   [[nodiscard]] bool empty() const override { return q_.empty(); }
   [[nodiscard]] std::size_t size() const override { return q_.size(); }
-  [[nodiscard]] double min_bound() const override;  // O(n); cold (see base)
+  [[nodiscard]] double min_bound() const override { return minq_.front(); }
   std::size_t prune_above(double cutoff) override;
 
 private:
+  void rebuild_minq();
+
   std::deque<Node> q_;
+  // Monotonic non-decreasing deque of candidate minima (the sliding-window
+  // minimum structure): front is the queue's minimum, amortized O(1).
+  std::deque<double> minq_;
 };
 
 /// Min-heap on (bound, insertion order): the branch-and-bound open list.

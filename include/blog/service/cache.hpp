@@ -1,0 +1,70 @@
+// Goal-keyed answer cache.
+//
+// Maps a canonicalized query text plus the snapshot epoch it was solved
+// under to the complete, sorted, deduplicated answer set. Only *exhausted*
+// searches are cached (a partial set depends on strategy and budget), so a
+// hit is byte-identical to a cold run under any strategy. Sharded N-way
+// with one mutex and one LRU list per shard; entries from superseded
+// epochs are swept eagerly on invalidation and lazily on lookup.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace blog::service {
+
+class AnswerCache {
+public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;     // LRU capacity evictions
+    std::uint64_t invalidated = 0;   // entries dropped by epoch change
+  };
+
+  explicit AnswerCache(std::size_t shards = 8,
+                       std::size_t capacity_per_shard = 128);
+
+  /// The complete answer set for `key` solved at `epoch`, or nullopt. An
+  /// entry from another epoch is dropped and counts as a miss.
+  std::optional<std::vector<std::string>> lookup(const std::string& key,
+                                                 std::uint64_t epoch);
+
+  /// Record the complete answer set for `key` at `epoch` (front of LRU).
+  void insert(const std::string& key, std::uint64_t epoch,
+              std::vector<std::string> answers);
+
+  /// Eagerly drop every entry whose epoch != `current_epoch` (consult /
+  /// session merge published a new snapshot).
+  void invalidate_older(std::uint64_t current_epoch);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Stats stats() const;
+
+private:
+  struct Entry {
+    std::string key;
+    std::uint64_t epoch = 0;
+    std::vector<std::string> answers;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    Stats stats;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::size_t capacity_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace blog::service

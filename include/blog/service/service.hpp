@@ -1,0 +1,176 @@
+// QueryService: the concurrent multi-tenant serving layer.
+//
+// Many client threads call `query()` at once against one shared database:
+//
+//   - copy-on-write snapshots (snapshot.hpp) let `consult()` publish a new
+//     program while in-flight queries keep their view — readers never block;
+//   - the goal-keyed answer cache (cache.hpp) returns repeated queries'
+//     complete answer sets without searching, invalidated by epoch bump;
+//   - an admission gate bounds concurrency: at most `max_concurrent_queries`
+//     searches run (each on the caller's thread through the in-place
+//     `Runner` machinery), a bounded queue waits, and overload is shed with
+//     `QueryStatus::Rejected`;
+//   - a per-query `QueryBudget` (nodes / solutions / wall-clock deadline)
+//     is threaded into the engines' cooperative stop checks, which report
+//     `search::Outcome::BudgetExceeded` instead of silently truncating.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <string>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/parallel/engine.hpp"
+#include "blog/service/cache.hpp"
+#include "blog/service/snapshot.hpp"
+
+namespace blog::service {
+
+/// Per-query execution budget; every field is a cooperative cutoff checked
+/// once per expansion.
+struct QueryBudget {
+  std::size_t max_nodes = 1'000'000;
+  std::size_t max_solutions = std::numeric_limits<std::size_t>::max();
+  std::chrono::milliseconds deadline{0};  // 0 = no wall-clock cutoff
+};
+
+enum class QueryStatus : std::uint8_t {
+  Ok,          // complete answer set (search exhausted, or a cache hit)
+  Truncated,   // a budget/limit cut the search short: answers are partial
+  Rejected,    // admission queue full — shed, nothing was searched
+  ParseError,  // malformed query text
+};
+
+const char* query_status_name(QueryStatus s);
+
+struct QueryResponse {
+  QueryStatus status = QueryStatus::Ok;
+  search::Outcome outcome = search::Outcome::Exhausted;
+  std::vector<std::string> answers;  // sorted, deduplicated texts
+  bool from_cache = false;
+  std::uint64_t epoch = 0;           // snapshot the query ran against
+  std::uint64_t nodes_expanded = 0;
+  std::string error;                 // ParseError message
+};
+
+/// Counting gate: at most `max_running` callers proceed at once; up to
+/// `max_queued` more block waiting; beyond that `enter()` refuses (load
+/// shedding instead of unbounded queueing).
+class AdmissionGate {
+public:
+  AdmissionGate(std::size_t max_running, std::size_t max_queued);
+
+  /// Block until admitted (true) or refuse immediately when the wait queue
+  /// is full (false). Every successful enter() needs one leave().
+  bool enter();
+  void leave();
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t queued = 0;    // admissions that had to wait first
+    std::uint64_t rejected = 0;
+    std::size_t running = 0;     // current occupancy
+    std::size_t waiting = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t max_running_;
+  std::size_t max_queued_;
+  std::size_t running_ = 0;
+  std::size_t waiting_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t queued_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+struct ServiceOptions {
+  db::WeightParams weight_params{};
+  std::size_t cache_shards = 8;
+  std::size_t cache_capacity_per_shard = 128;
+  bool cache_enabled = true;
+  std::size_t max_concurrent_queries = 8;
+  std::size_t admission_queue_limit = 64;
+  bool update_weights = true;  // apply §5 updates as queries resolve
+};
+
+struct QueryRequest {
+  std::string text;
+  QueryBudget budget{};
+  search::Strategy strategy = search::Strategy::BestFirst;
+  unsigned workers = 1;  // >1: solve on the thread-parallel engine
+};
+
+class QueryService {
+public:
+  explicit QueryService(ServiceOptions opts = {});
+
+  /// Warm boot: serve `seed`'s already-consulted program (a copy-on-write
+  /// snapshot export; the interpreter keeps its own copy and its weights —
+  /// the service starts with fresh weights from opts.weight_params).
+  explicit QueryService(const engine::Interpreter& seed,
+                        ServiceOptions opts = {});
+
+  /// Copy-on-write consult: publishes a new snapshot (epoch bump) and
+  /// invalidates the answer cache; in-flight queries keep their view.
+  /// Throws term::ParseError (nothing published).
+  void consult(std::string_view text);
+  void consult_file(const std::string& path);
+
+  /// §5 session boundary: merge session weights conservatively into the
+  /// global database and republish (epoch bump, cache invalidation —
+  /// cached bounds may no longer match freshly searched ones).
+  void end_session();
+
+  QueryResponse query(const QueryRequest& req);
+  QueryResponse query(std::string_view text, const QueryBudget& budget = {});
+
+  /// The currently published snapshot (callers may run their own engines
+  /// against it; it is immutable and safe to share across threads).
+  [[nodiscard]] std::shared_ptr<const ProgramSnapshot> snapshot() const {
+    return snapshots_.current();
+  }
+
+  [[nodiscard]] db::WeightStore& weights() { return weights_; }
+  [[nodiscard]] engine::StandardBuiltins& builtins() { return builtins_; }
+
+  /// Canonical cache key of a query: parse + re-render, so formatting
+  /// variants of the same goal share one entry. Throws term::ParseError.
+  [[nodiscard]] static std::string canonical_key(std::string_view text);
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t truncated = 0;   // budget/limit cutoffs reported
+    std::uint64_t rejected = 0;
+    std::uint64_t parse_errors = 0;
+    std::uint64_t epoch = 0;       // current snapshot epoch
+    std::size_t program_clauses = 0;
+    AnswerCache::Stats cache;
+    AdmissionGate::Stats admission;
+  };
+  [[nodiscard]] Stats stats() const;
+
+private:
+  QueryResponse run_admitted(const QueryRequest& req, const search::Query& q,
+                             const ProgramSnapshot& snap);
+
+  ServiceOptions opts_;
+  SnapshotStore snapshots_;
+  db::WeightStore weights_;
+  engine::StandardBuiltins builtins_;
+  AnswerCache cache_;
+  AdmissionGate gate_;
+
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> truncated_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+};
+
+}  // namespace blog::service

@@ -1,0 +1,65 @@
+// Copy-on-write program snapshots.
+//
+// A serving system consults while it solves: the publisher builds a *new*
+// immutable program from the current one plus the consulted clauses and
+// atomically swaps the published pointer. In-flight queries hold a
+// `shared_ptr<const ProgramSnapshot>` and keep resolving against the view
+// they started with — consults never block readers and never mutate a
+// program a reader can see. Each publication bumps `epoch`, which is what
+// keys (and invalidates) the answer cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "blog/db/program.hpp"
+
+namespace blog::service {
+
+/// One immutable published view of the database: a shared program plus the
+/// epochs it was published under. `epoch` bumps on every publication
+/// (consult or weight merge); `weight_epoch` counts §5 session merges so a
+/// snapshot records which generation of global weights it was served with.
+struct ProgramSnapshot {
+  std::shared_ptr<const db::Program> program;
+  std::uint64_t epoch = 0;
+  std::uint64_t weight_epoch = 0;
+};
+
+/// Publisher/reader handoff point for snapshots. Readers take the current
+/// snapshot with one lock/unlock of an otherwise uncontended mutex; writers
+/// (consults) serialize among themselves and do all parsing and copying
+/// outside the reader-visible critical section.
+class SnapshotStore {
+public:
+  SnapshotStore();  // publishes an empty program at epoch 0
+
+  [[nodiscard]] std::shared_ptr<const ProgramSnapshot> current() const;
+
+  /// Copy-on-write consult: copy the latest program, append `text`'s
+  /// clauses, publish the result at epoch+1 and return it. Throws
+  /// term::ParseError, in which case nothing is published.
+  std::shared_ptr<const ProgramSnapshot> consult(std::string_view text);
+
+  /// Republish the same program at a new epoch with weight_epoch+1 (a §5
+  /// session merge changed the global weights under the snapshot).
+  std::shared_ptr<const ProgramSnapshot> bump_weight_epoch();
+
+  /// Publish an externally built immutable program at a fresh epoch —
+  /// e.g. an Interpreter::export_program() when warm-booting a service
+  /// from an already-consulted interpreter.
+  std::shared_ptr<const ProgramSnapshot> publish(
+      std::shared_ptr<const db::Program> program);
+
+private:
+  std::shared_ptr<const ProgramSnapshot> publish_locked(
+      std::shared_ptr<const ProgramSnapshot> next);
+
+  std::mutex writer_mu_;  // serializes consult/bump against each other
+  mutable std::mutex mu_; // guards head_ only (readers touch just this)
+  std::shared_ptr<const ProgramSnapshot> head_;
+};
+
+}  // namespace blog::service

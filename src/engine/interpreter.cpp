@@ -37,7 +37,7 @@ void Interpreter::consult_file(const std::string& path) {
   consult_string(ss.str());
 }
 
-search::Query Interpreter::parse_query(std::string_view text) const {
+search::Query parse_query(std::string_view text) {
   search::Query q;
   const term::ReadTerm rt = term::parse_term(text, q.store);
   flatten_conj(q.store, rt.term, q.goals);
@@ -75,12 +75,17 @@ search::SearchResult Interpreter::solve(std::string_view query_text,
   return solve(parse_query(query_text), opts, obs);
 }
 
+std::vector<std::string> solution_texts(std::vector<std::string> texts) {
+  std::sort(texts.begin(), texts.end());
+  texts.erase(std::unique(texts.begin(), texts.end()), texts.end());
+  return texts;
+}
+
 std::vector<std::string> solution_texts(const search::SearchResult& r) {
   std::vector<std::string> out;
   out.reserve(r.solutions.size());
   for (const auto& s : r.solutions) out.push_back(s.text);
-  std::sort(out.begin(), out.end());
-  return out;
+  return solution_texts(std::move(out));
 }
 
 }  // namespace blog::engine

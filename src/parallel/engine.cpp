@@ -6,6 +6,16 @@
 #include "blog/search/update.hpp"
 
 namespace blog::parallel {
+namespace {
+
+/// First stop cause wins; later reporters keep the original.
+void report_stop(std::atomic<int>& cause, search::Outcome o) {
+  int expected = -1;
+  cause.compare_exchange_strong(expected, static_cast<int>(o),
+                                std::memory_order_relaxed);
+}
+
+}  // namespace
 
 ParallelEngine::ParallelEngine(const db::Program& program, db::WeightStore& weights,
                                search::BuiltinEvaluator* builtins,
@@ -17,7 +27,8 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
                                  std::vector<search::Solution>& solutions,
                                  std::mutex& sol_mu,
                                  std::atomic<std::int64_t>& node_budget,
-                                 std::atomic<std::uint64_t>& solutions_left) {
+                                 std::atomic<std::uint64_t>& solutions_left,
+                                 std::atomic<int>& stop_cause) {
   search::Runner runner(expander);
   search::ExpandStats estats;
 
@@ -58,7 +69,9 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
     }
 
     // --- budget ----------------------------------------------------------
-    if (node_budget.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+    if (node_budget.fetch_sub(1, std::memory_order_relaxed) <= 0 ||
+        search::deadline_passed(opts_.deadline)) {
+      report_stop(stop_cause, search::Outcome::BudgetExceeded);
       net.stop();
       break;
     }
@@ -80,8 +93,10 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
           solutions.push_back(std::move(sol));
         }
         net.on_expanded(0);
-        if (solutions_left.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        if (solutions_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          report_stop(stop_cause, search::Outcome::SolutionLimit);
           net.stop();
+        }
         break;
       }
       case search::NodeOutcome::Expanded: {
@@ -135,13 +150,14 @@ ParallelResult ParallelEngine::solve(const search::Query& q) {
       opts_.max_solutions == std::numeric_limits<std::size_t>::max()
           ? std::numeric_limits<std::uint64_t>::max()
           : opts_.max_solutions};
+  std::atomic<int> stop_cause{-1};
 
   std::vector<std::thread> threads;
   threads.reserve(opts_.workers);
   for (unsigned w = 0; w < opts_.workers; ++w) {
     threads.emplace_back([&, w] {
       worker_loop(expander, net, result.workers[w], solutions, sol_mu,
-                  node_budget, solutions_left);
+                  node_budget, solutions_left, stop_cause);
     });
   }
   for (auto& t : threads) t.join();
@@ -149,6 +165,10 @@ ParallelResult ParallelEngine::solve(const search::Query& q) {
   result.solutions = std::move(solutions);
   result.network = net.stats();
   result.exhausted = !net.stopped();
+  const int cause = stop_cause.load(std::memory_order_relaxed);
+  result.outcome = result.exhausted || cause < 0
+                       ? search::Outcome::Exhausted
+                       : static_cast<search::Outcome>(cause);
   for (const auto& ws : result.workers) result.nodes_expanded += ws.expanded;
   return result;
 }

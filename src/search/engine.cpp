@@ -16,6 +16,15 @@ std::string solution_text(const term::Store& s, term::TermRef answer) {
   return term::to_string(s, answer);
 }
 
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Exhausted: return "exhausted";
+    case Outcome::SolutionLimit: return "solution-limit";
+    case Outcome::BudgetExceeded: return "budget-exceeded";
+  }
+  return "?";
+}
+
 SearchResult SearchEngine::solve(const Query& q, const SearchOptions& opts,
                                  SearchObserver* observer) {
   if (observer != nullptr) return solve_detached(q, opts, observer);
@@ -70,7 +79,9 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
         break;  // space exhausted
       }
     }
-    if (result.stats.nodes_expanded >= opts.max_nodes) return result;
+    if (result.stats.nodes_expanded >= opts.max_nodes ||
+        deadline_passed(opts.deadline))
+      return result;  // outcome stays BudgetExceeded
 
     // --- expand in place -------------------------------------------------
     ++result.stats.nodes_expanded;
@@ -90,7 +101,10 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
           result.stats.pruned += frontier->prune_above(cutoff);
           result.stats.pruned += runner.prune_pending(cutoff);
         }
-        if (result.solutions.size() >= opts.max_solutions) return result;
+        if (result.solutions.size() >= opts.max_solutions) {
+          result.outcome = Outcome::SolutionLimit;
+          return result;
+        }
         break;
       }
       case NodeOutcome::Expanded: {
@@ -138,6 +152,7 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
     }
   }
   result.exhausted = true;
+  result.outcome = Outcome::Exhausted;
   return result;
 }
 
@@ -157,7 +172,9 @@ SearchResult SearchEngine::solve_detached(const Query& q,
 
   ExpandOutput out;
   while (!frontier->empty()) {
-    if (result.stats.nodes_expanded >= opts.max_nodes) return result;
+    if (result.stats.nodes_expanded >= opts.max_nodes ||
+        deadline_passed(opts.deadline))
+      return result;  // outcome stays BudgetExceeded
     DetachedNode n = frontier->pop();
     if (observer && observer->on_pop) observer->on_pop(n);
 
@@ -189,7 +206,10 @@ SearchResult SearchEngine::solve_detached(const Query& q,
           result.stats.pruned +=
               frontier->prune_above(incumbent + opts.prune_margin);
         }
-        if (result.solutions.size() >= opts.max_solutions) return result;
+        if (result.solutions.size() >= opts.max_solutions) {
+          result.outcome = Outcome::SolutionLimit;
+          return result;
+        }
         break;
       }
       case NodeOutcome::Expanded: {
@@ -221,6 +241,7 @@ SearchResult SearchEngine::solve_detached(const Query& q,
     }
   }
   result.exhausted = true;
+  result.outcome = Outcome::Exhausted;
   return result;
 }
 

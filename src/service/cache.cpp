@@ -1,0 +1,97 @@
+#include "blog/service/cache.hpp"
+
+namespace blog::service {
+
+AnswerCache::AnswerCache(std::size_t shards, std::size_t capacity_per_shard)
+    : capacity_per_shard_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+AnswerCache::Shard& AnswerCache::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<std::vector<std::string>> AnswerCache::lookup(
+    const std::string& key, std::uint64_t epoch) {
+  Shard& sh = shard_for(key);
+  std::lock_guard lock(sh.mu);
+  const auto it = sh.index.find(key);
+  if (it == sh.index.end()) {
+    ++sh.stats.misses;
+    return std::nullopt;
+  }
+  if (it->second->epoch != epoch) {
+    // Stale view of the program: drop it lazily.
+    sh.lru.erase(it->second);
+    sh.index.erase(it);
+    ++sh.stats.invalidated;
+    ++sh.stats.misses;
+    return std::nullopt;
+  }
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+  ++sh.stats.hits;
+  return it->second->answers;
+}
+
+void AnswerCache::insert(const std::string& key, std::uint64_t epoch,
+                         std::vector<std::string> answers) {
+  Shard& sh = shard_for(key);
+  std::lock_guard lock(sh.mu);
+  if (const auto it = sh.index.find(key); it != sh.index.end()) {
+    it->second->epoch = epoch;
+    it->second->answers = std::move(answers);
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    return;
+  }
+  sh.lru.push_front(Entry{key, epoch, std::move(answers)});
+  sh.index.emplace(key, sh.lru.begin());
+  ++sh.stats.insertions;
+  if (sh.lru.size() > capacity_per_shard_) {
+    sh.index.erase(sh.lru.back().key);
+    sh.lru.pop_back();
+    ++sh.stats.evictions;
+  }
+}
+
+void AnswerCache::invalidate_older(std::uint64_t current_epoch) {
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    std::lock_guard lock(sh.mu);
+    for (auto it = sh.lru.begin(); it != sh.lru.end();) {
+      if (it->epoch != current_epoch) {
+        sh.index.erase(it->key);
+        it = sh.lru.erase(it);
+        ++sh.stats.invalidated;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::size_t AnswerCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shp : shards_) {
+    std::lock_guard lock(shp->mu);
+    n += shp->lru.size();
+  }
+  return n;
+}
+
+AnswerCache::Stats AnswerCache::stats() const {
+  Stats total;
+  for (const auto& shp : shards_) {
+    std::lock_guard lock(shp->mu);
+    total.hits += shp->stats.hits;
+    total.misses += shp->stats.misses;
+    total.insertions += shp->stats.insertions;
+    total.evictions += shp->stats.evictions;
+    total.invalidated += shp->stats.invalidated;
+  }
+  return total;
+}
+
+}  // namespace blog::service

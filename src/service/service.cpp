@@ -1,0 +1,236 @@
+#include "blog/service/service.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "blog/term/reader.hpp"
+#include "blog/term/writer.hpp"
+
+namespace blog::service {
+namespace {
+
+/// Render the parsed goals *and* the answer template back to text: one
+/// canonical spelling for every formatting variant of the same query. The
+/// template matters — an anonymous `_` and a user variable literally named
+/// `_G<n>` can render identically inside a goal, but they produce different
+/// answer templates (named variables are reported, anonymous ones are not),
+/// so the template keeps such queries on separate cache entries.
+std::string canonical_from(const search::Query& q) {
+  std::string key;
+  for (std::size_t i = 0; i < q.goals.size(); ++i) {
+    if (i > 0) key += ',';
+    key += term::to_string(q.store, q.goals[i]);
+  }
+  key += " ? ";
+  if (q.answer != term::kNullTerm) key += term::to_string(q.store, q.answer);
+  return key;
+}
+
+/// RAII admission slot.
+struct GateLease {
+  AdmissionGate& gate;
+  ~GateLease() { gate.leave(); }
+};
+
+}  // namespace
+
+const char* query_status_name(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::Ok: return "ok";
+    case QueryStatus::Truncated: return "truncated";
+    case QueryStatus::Rejected: return "rejected";
+    case QueryStatus::ParseError: return "parse-error";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- admission --
+
+AdmissionGate::AdmissionGate(std::size_t max_running, std::size_t max_queued)
+    : max_running_(max_running == 0 ? 1 : max_running),
+      max_queued_(max_queued) {}
+
+bool AdmissionGate::enter() {
+  std::unique_lock lock(mu_);
+  if (running_ < max_running_) {
+    ++running_;
+    ++admitted_;
+    return true;
+  }
+  if (waiting_ >= max_queued_) {
+    ++rejected_;
+    return false;
+  }
+  ++waiting_;
+  ++queued_;
+  cv_.wait(lock, [&] { return running_ < max_running_; });
+  --waiting_;
+  ++running_;
+  ++admitted_;
+  return true;
+}
+
+void AdmissionGate::leave() {
+  {
+    std::lock_guard lock(mu_);
+    --running_;
+  }
+  cv_.notify_one();
+}
+
+AdmissionGate::Stats AdmissionGate::stats() const {
+  std::lock_guard lock(mu_);
+  return Stats{admitted_, queued_, rejected_, running_, waiting_};
+}
+
+// --------------------------------------------------------------- service --
+
+QueryService::QueryService(ServiceOptions opts)
+    : opts_(opts),
+      weights_(opts.weight_params),
+      cache_(opts.cache_shards, opts.cache_capacity_per_shard),
+      gate_(opts.max_concurrent_queries, opts.admission_queue_limit) {}
+
+QueryService::QueryService(const engine::Interpreter& seed, ServiceOptions opts)
+    : QueryService(opts) {
+  snapshots_.publish(seed.export_program());
+}
+
+void QueryService::consult(std::string_view text) {
+  const auto snap = snapshots_.consult(text);
+  cache_.invalidate_older(snap->epoch);
+}
+
+void QueryService::consult_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  consult(ss.str());
+}
+
+void QueryService::end_session() {
+  weights_.end_session();
+  const auto snap = snapshots_.bump_weight_epoch();
+  cache_.invalidate_older(snap->epoch);
+}
+
+std::string QueryService::canonical_key(std::string_view text) {
+  return canonical_from(engine::parse_query(text));
+}
+
+QueryResponse QueryService::run_admitted(const QueryRequest& req,
+                                         const search::Query& q,
+                                         const ProgramSnapshot& snap) {
+  QueryResponse resp;
+  resp.epoch = snap.epoch;
+  const auto deadline =
+      req.budget.deadline.count() > 0
+          ? std::chrono::steady_clock::now() + req.budget.deadline
+          : std::chrono::steady_clock::time_point{};
+
+  if (req.workers > 1) {
+    parallel::ParallelOptions po;
+    po.workers = req.workers;
+    po.max_nodes = req.budget.max_nodes;
+    po.max_solutions = req.budget.max_solutions;
+    po.deadline = deadline;
+    po.update_weights = opts_.update_weights;
+    parallel::ParallelEngine pe(*snap.program, weights_, &builtins_, po);
+    auto r = pe.solve(q);
+    resp.outcome = r.outcome;
+    resp.nodes_expanded = r.nodes_expanded;
+    resp.answers.reserve(r.solutions.size());
+    for (const auto& s : r.solutions) resp.answers.push_back(s.text);
+    resp.answers = engine::solution_texts(std::move(resp.answers));
+  } else {
+    search::SearchOptions so;
+    so.strategy = req.strategy;
+    so.max_nodes = req.budget.max_nodes;
+    so.max_solutions = req.budget.max_solutions;
+    so.deadline = deadline;
+    so.update_weights = opts_.update_weights;
+    search::SearchEngine eng(*snap.program, weights_, &builtins_);
+    auto r = eng.solve(q, so);
+    resp.outcome = r.outcome;
+    resp.nodes_expanded = r.stats.nodes_expanded;
+    resp.answers = engine::solution_texts(r);
+  }
+  resp.status = resp.outcome == search::Outcome::Exhausted
+                    ? QueryStatus::Ok
+                    : QueryStatus::Truncated;
+  return resp;
+}
+
+QueryResponse QueryService::query(const QueryRequest& req) {
+  QueryResponse resp;
+  search::Query q;
+  std::string key;
+  try {
+    q = engine::parse_query(req.text);
+    key = canonical_from(q);
+  } catch (const term::ParseError& e) {
+    ++parse_errors_;
+    resp.status = QueryStatus::ParseError;
+    resp.error = e.what();
+    return resp;
+  }
+
+  ++queries_;
+  const auto snap = snapshots_.current();
+  resp.epoch = snap->epoch;
+
+  if (opts_.cache_enabled) {
+    if (auto hit = cache_.lookup(key, snap->epoch)) {
+      ++cache_hits_;
+      resp.answers = std::move(*hit);
+      resp.from_cache = true;
+      return resp;  // status Ok, outcome Exhausted: only complete sets cache
+    }
+  }
+
+  if (!gate_.enter()) {
+    ++rejected_;
+    resp.status = QueryStatus::Rejected;
+    return resp;
+  }
+  {
+    GateLease lease{gate_};
+    resp = run_admitted(req, q, *snap);
+  }
+
+  if (resp.status == QueryStatus::Truncated) ++truncated_;
+  // Cache only complete answer sets — a partial set is an artifact of
+  // strategy and budget, not of the program. The entry carries the epoch
+  // the query ran under, so a consult that raced us can never serve it:
+  // lookups require the then-current epoch.
+  if (opts_.cache_enabled && resp.status == QueryStatus::Ok)
+    cache_.insert(key, snap->epoch, resp.answers);
+  return resp;
+}
+
+QueryResponse QueryService::query(std::string_view text,
+                                  const QueryBudget& budget) {
+  QueryRequest req;
+  req.text = std::string(text);
+  req.budget = budget;
+  return query(req);
+}
+
+QueryService::Stats QueryService::stats() const {
+  Stats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.truncated = truncated_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  const auto snap = snapshots_.current();
+  s.epoch = snap->epoch;
+  s.program_clauses = snap->program->size();
+  s.cache = cache_.stats();
+  s.admission = gate_.stats();
+  return s;
+}
+
+}  // namespace blog::service

@@ -1,0 +1,59 @@
+#include "blog/service/snapshot.hpp"
+
+namespace blog::service {
+
+SnapshotStore::SnapshotStore() {
+  auto snap = std::make_shared<ProgramSnapshot>();
+  snap->program = std::make_shared<const db::Program>();
+  head_ = std::move(snap);
+}
+
+std::shared_ptr<const ProgramSnapshot> SnapshotStore::current() const {
+  std::lock_guard lock(mu_);
+  return head_;
+}
+
+std::shared_ptr<const ProgramSnapshot> SnapshotStore::publish_locked(
+    std::shared_ptr<const ProgramSnapshot> next) {
+  std::lock_guard lock(mu_);
+  head_ = std::move(next);
+  return head_;
+}
+
+std::shared_ptr<const ProgramSnapshot> SnapshotStore::consult(
+    std::string_view text) {
+  std::lock_guard writer(writer_mu_);
+  const auto cur = current();
+  // Parse into a private copy; a ParseError propagates before publication,
+  // leaving the published snapshot untouched.
+  auto grown = std::make_shared<db::Program>(*cur->program);
+  grown->consult_string(text);
+  auto next = std::make_shared<ProgramSnapshot>();
+  next->program = std::move(grown);
+  next->epoch = cur->epoch + 1;
+  next->weight_epoch = cur->weight_epoch;
+  return publish_locked(std::move(next));
+}
+
+std::shared_ptr<const ProgramSnapshot> SnapshotStore::publish(
+    std::shared_ptr<const db::Program> program) {
+  std::lock_guard writer(writer_mu_);
+  const auto cur = current();
+  auto next = std::make_shared<ProgramSnapshot>();
+  next->program = std::move(program);
+  next->epoch = cur->epoch + 1;
+  next->weight_epoch = cur->weight_epoch;
+  return publish_locked(std::move(next));
+}
+
+std::shared_ptr<const ProgramSnapshot> SnapshotStore::bump_weight_epoch() {
+  std::lock_guard writer(writer_mu_);
+  const auto cur = current();
+  auto next = std::make_shared<ProgramSnapshot>();
+  next->program = cur->program;  // same immutable program, new epoch
+  next->epoch = cur->epoch + 1;
+  next->weight_epoch = cur->weight_epoch + 1;
+  return publish_locked(std::move(next));
+}
+
+}  // namespace blog::service
