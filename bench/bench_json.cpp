@@ -31,6 +31,10 @@ struct Entry {
   std::size_t cells_copied = 0;
   std::size_t solutions = 0;
   double secs = 0.0;
+  // Scheduler traffic (parallel entries only).
+  bool has_sched = false;
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t steals = 0;
 
   [[nodiscard]] double nodes_per_sec() const {
     return secs > 0.0 ? static_cast<double>(nodes) / secs : 0.0;
@@ -42,9 +46,11 @@ struct Entry {
   }
 };
 
-void write_json(const std::string& path, const std::vector<Entry>& entries) {
+void write_json(const std::string& path, const std::vector<Entry>& entries,
+                const std::vector<std::pair<std::string, double>>& summary = {}) {
   std::ofstream out(path);
   out << "{\n";
+  for (const auto& [k, v] : summary) out << "  \"" << k << "\": " << v << ",\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     out << "  \"" << e.name << "\": {"
@@ -52,8 +58,11 @@ void write_json(const std::string& path, const std::vector<Entry>& entries) {
         << ", \"seconds\": " << e.secs
         << ", \"nodes_per_sec\": " << e.nodes_per_sec()
         << ", \"cells_copied\": " << e.cells_copied
-        << ", \"cells_copied_per_expansion\": " << e.cells_per_expansion()
-        << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+        << ", \"cells_copied_per_expansion\": " << e.cells_per_expansion();
+    if (e.has_sched)
+      out << ", \"lock_acquisitions\": " << e.lock_acquisitions
+          << ", \"steals\": " << e.steals;
+    out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "}\n";
   std::printf("wrote %s\n", path.c_str());
@@ -78,13 +87,25 @@ Entry run_sequential(const std::string& name, const std::string& program,
 }
 
 Entry run_parallel(const std::string& name, const std::string& program,
-                   const std::string& query, unsigned workers) {
+                   const std::string& query, unsigned workers,
+                   parallel::SchedulerKind sched,
+                   parallel::ParallelOptions::SpillPolicy spill,
+                   std::size_t max_nodes = 1'000'000,
+                   std::size_t local_capacity = 8) {
   engine::Interpreter ip;
   ip.consult_string(program);
   parallel::ParallelOptions po;
   po.workers = workers;
   po.update_weights = false;
+  po.scheduler = sched;
+  po.spill_policy = spill;
+  po.max_nodes = max_nodes;
+  po.local_capacity = local_capacity;
   parallel::ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(), po);
+  // Untimed warm-up: repopulates the pages the previous entry's teardown
+  // returned to the OS, so the timed run measures the scheduler rather
+  // than first-touch page faults.
+  (void)pe.solve(ip.parse_query(query));
   const auto t0 = Clock::now();
   const auto r = pe.solve(ip.parse_query(query));
   Entry e;
@@ -93,6 +114,9 @@ Entry run_parallel(const std::string& name, const std::string& program,
   e.nodes = r.nodes_expanded;
   for (const auto& w : r.workers) e.cells_copied += w.cells_copied;
   e.solutions = r.solutions.size();
+  e.has_sched = true;
+  e.lock_acquisitions = r.network.lock_acquisitions;
+  e.steals = r.network.steals;
   return e;
 }
 
@@ -248,11 +272,58 @@ int main(int argc, char** argv) {
                                  "gf(sam,G)", search::Strategy::BestFirst));
   write_json(dir + "BENCH_micro.json", micro);
 
+  // Old (single-lock GlobalFrontier) vs new (work-stealing) scheduler on
+  // the wide-DAG and deep-recursion workloads, with lock/steal traffic.
+  // The deep workload is an unbounded binary-tree recursion whose every
+  // path is failed at the end ("..., fail"): no solutions to extract, so
+  // it measures pure scheduler + expansion throughput under a fixed node
+  // budget. local_capacity 2 keeps it scheduler-bound (every expansion
+  // spills), which is exactly the traffic the rewrite targets.
+  const std::string deep =
+      "t(l). t(n(L,R)) :- t(L), t(R). probe :- t(T), fail.";
+  constexpr std::size_t kDeepNodes = 60'000;
+  constexpr std::size_t kDeepCapacity = 2;
+  using Spill = parallel::ParallelOptions::SpillPolicy;
+  // "_global" = the legacy stack exactly as PR 1 shipped it (single-lock
+  // GlobalFrontier, eager spilling); "_steal" = the new stack (per-worker
+  // deques with steal-half, spills materialized only under starvation).
   std::vector<Entry> par;
-  for (const unsigned w : {1u, 2u, 4u, 8u})
-    par.push_back(
-        run_parallel("dag_w" + std::to_string(w), dag, "path(n0_0,Z,P)", w));
-  write_json(dir + "BENCH_parallel.json", par);
+  for (const unsigned w : {1u, 2u, 4u, 8u}) {
+    for (const auto [sched, spill, tag] :
+         {std::tuple{parallel::SchedulerKind::GlobalFrontier, Spill::Eager,
+                     "_global"},
+          std::tuple{parallel::SchedulerKind::WorkStealing,
+                     Spill::WhenStarving, "_steal"}}) {
+      par.push_back(run_parallel("dag_w" + std::to_string(w) + tag, dag,
+                                 "path(n0_0,Z,P)", w, sched, spill));
+      par.push_back(run_parallel("deep_w" + std::to_string(w) + tag, deep,
+                                 "probe", w, sched, spill, kDeepNodes,
+                                 kDeepCapacity));
+    }
+  }
+  // Headline ratios: work-stealing vs single-lock at 8 workers on the
+  // deep-recursion workload (nodes/sec up, lock acquisitions down).
+  std::vector<std::pair<std::string, double>> par_summary;
+  {
+    const Entry *global = nullptr, *steal = nullptr;
+    for (const Entry& e : par) {
+      if (e.name == "deep_w8_global") global = &e;
+      if (e.name == "deep_w8_steal") steal = &e;
+    }
+    if (global && steal) {
+      par_summary.emplace_back("deep_w8_steal_speedup",
+                               global->nodes_per_sec() > 0.0
+                                   ? steal->nodes_per_sec() / global->nodes_per_sec()
+                                   : 0.0);
+      par_summary.emplace_back(
+          "deep_w8_lock_reduction",
+          steal->lock_acquisitions > 0
+              ? static_cast<double>(global->lock_acquisitions) /
+                    static_cast<double>(steal->lock_acquisitions)
+              : 0.0);
+    }
+  }
+  write_json(dir + "BENCH_parallel.json", par, par_summary);
 
   // Serving layer: queries/sec under concurrent clients with the answer
   // cache, against the serial-cold multiset-identical baseline (16 clients'

@@ -26,8 +26,23 @@ struct ParallelOptions {
   // Wall-clock cutoff (steady clock); default (epoch) = none. Workers
   // check it cooperatively once per expansion.
   std::chrono::steady_clock::time_point deadline{};
-  std::size_t local_capacity = 8;     // spill to the network beyond this
+  std::size_t local_capacity = 8;     // spill to the scheduler beyond this
   bool update_weights = true;
+  // Which realization of §6's minimum-seeking network distributes spilled
+  // chains: per-worker deques with steal-half (default) or the legacy
+  // single-lock global min-heap (kept for regression comparison).
+  SchedulerKind scheduler = SchedulerKind::WorkStealing;
+  std::size_t steal_deque_capacity = 64;  // per-worker deque bound
+  // When to materialize (deep-copy) overflow beyond local_capacity:
+  //   Eager        — every expansion, unconditionally (legacy behaviour;
+  //                  predictable sharing, pays the copies even when every
+  //                  worker is busy).
+  //   WhenStarving — only while the scheduler reports an idle worker
+  //                  (lock-free starving() signal); otherwise the fresh
+  //                  choices stay as cheap in-place pending entries. Cuts
+  //                  detach traffic to near zero on saturated runs.
+  enum class SpillPolicy { Eager, WhenStarving };
+  SpillPolicy spill_policy = SpillPolicy::Eager;
   search::ExpanderOptions expander;
 };
 
@@ -45,7 +60,7 @@ struct WorkerStats {
 struct ParallelResult {
   std::vector<search::Solution> solutions;
   std::vector<WorkerStats> workers;
-  GlobalFrontier::Stats network;
+  SchedulerStats network;
   std::uint64_t nodes_expanded = 0;
   search::Outcome outcome = search::Outcome::Exhausted;
   bool exhausted = false;
@@ -59,8 +74,9 @@ public:
   ParallelResult solve(const search::Query& q);
 
 private:
-  void worker_loop(const search::Expander& expander, GlobalFrontier& net,
-                   WorkerStats& ws, std::vector<search::Solution>& solutions,
+  void worker_loop(const search::Expander& expander, Scheduler& net,
+                   unsigned worker, WorkerStats& ws,
+                   std::vector<search::Solution>& solutions,
                    std::mutex& sol_mu, std::atomic<std::int64_t>& node_budget,
                    std::atomic<std::uint64_t>& solutions_left,
                    std::atomic<int>& stop_cause);

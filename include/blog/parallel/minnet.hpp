@@ -12,11 +12,12 @@
 #include <optional>
 #include <vector>
 
+#include "blog/parallel/scheduler.hpp"
 #include "blog/search/node.hpp"
 
 namespace blog::parallel {
 
-class GlobalFrontier {
+class GlobalFrontier final : public Scheduler {
 public:
   /// `initial_inflight` is the number of root chains about to be pushed.
   explicit GlobalFrontier(std::size_t initial_inflight = 1)
@@ -43,21 +44,36 @@ public:
 
   /// Account for expansion results: the expanded chain dies, `children`
   /// new chains are born. Signals termination when in-flight hits zero.
-  void on_expanded(std::size_t children);
+  void on_expanded(std::size_t children) override;
 
   /// Abort: wake everyone, pop_blocking() returns nullopt from now on.
-  void stop();
-  [[nodiscard]] bool stopped() const;
+  void stop() override;
+  [[nodiscard]] bool stopped() const override;
+  [[nodiscard]] bool starving() const override {
+    return waiting_.load(std::memory_order_relaxed) > 0;
+  }
 
   /// True once every chain has been consumed (or stop() was called).
   [[nodiscard]] bool done() const;
 
-  struct Stats {
-    std::uint64_t pushes = 0;
-    std::uint64_t pops = 0;        // chains handed to processors
-    std::uint64_t grants = 0;      // blocking waits satisfied
-  };
-  [[nodiscard]] Stats stats() const;
+  using Stats = SchedulerStats;
+  [[nodiscard]] Stats stats() const override;
+
+  // --- Scheduler interface (worker ids are irrelevant here) --------------
+  /// push() + the in-flight accounting the constructor otherwise pre-seeds.
+  void push_root(search::DetachedNode n) override;
+  void push_batch(unsigned /*worker*/,
+                  std::vector<search::DetachedNode> ns) override {
+    push_batch(std::move(ns));
+  }
+  std::optional<search::Node> try_acquire_better(unsigned /*worker*/,
+                                                 double local_min,
+                                                 double d) override {
+    return try_pop_if_better(local_min, d);
+  }
+  std::optional<search::Node> acquire(unsigned /*worker*/) override {
+    return pop_blocking();
+  }
 
 private:
   struct Entry {
@@ -80,6 +96,7 @@ private:
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::atomic<int> waiting_{0};  // workers blocked in pop_blocking()
   std::vector<Entry> heap_;
   std::uint64_t seq_ = 0;
   std::int64_t inflight_ = 0;

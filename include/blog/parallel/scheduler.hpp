@@ -1,0 +1,179 @@
+// Scheduler abstraction for the thread-parallel OR-engine.
+//
+// §6's machine lets a freed processor acquire the chain with the minimum
+// bound through a dedicated minimum-seeking network. Two software
+// realizations live behind this interface:
+//
+//   - GlobalFrontier (minnet.hpp): one mutex-guarded min-heap — the
+//     faithful but serializing analogue of the central network. Every
+//     spill, migration and idle-worker pop takes the one lock.
+//   - WorkStealingScheduler (below): each worker owns a bounded deque of
+//     detached choices; spills and D-threshold migrations land in the
+//     owner's deque (overflow is offloaded to the least-loaded victim),
+//     and idle workers *steal half* of the best victim's deque. The
+//     minimum-seeking behaviour survives as a lock-free array of
+//     per-worker published minima that idle workers scan to pick the
+//     victim holding the globally lowest bound. Termination is detected
+//     distributedly by an outstanding-work counter instead of a central
+//     condition variable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "blog/search/node.hpp"
+
+namespace blog::parallel {
+
+enum class SchedulerKind {
+  GlobalFrontier,  // single shared min-heap, one lock (legacy)
+  WorkStealing,    // per-worker deques + steal-half (default)
+};
+
+const char* scheduler_kind_name(SchedulerKind k);
+
+/// Shared traffic counters. `lock_acquisitions` counts every mutex lock
+/// any scheduler path takes — the headline contention metric the
+/// work-stealing rewrite exists to shrink.
+struct SchedulerStats {
+  std::uint64_t pushes = 0;             // chains entering any queue
+  std::uint64_t pops = 0;               // chains handed to processors
+  std::uint64_t grants = 0;             // idle (blocking) acquisitions
+  std::uint64_t steals = 0;             // chains moved by steal-half
+  std::uint64_t steal_attempts = 0;     // victim scans that found a target
+  std::uint64_t offloads = 0;           // overflow batches pushed to a victim
+  std::uint64_t lock_acquisitions = 0;  // mutex locks taken, all paths
+};
+
+/// What the worker loop needs from a scheduler. Worker ids let the
+/// work-stealing implementation address per-worker deques; the global
+/// frontier ignores them.
+class Scheduler {
+public:
+  virtual ~Scheduler() = default;
+
+  /// Seed the root chain (before workers start).
+  virtual void push_root(search::DetachedNode n) = 0;
+
+  /// Park a batch of detached choices spilled or migrated by `worker`.
+  virtual void push_batch(unsigned worker,
+                          std::vector<search::DetachedNode> ns) = 0;
+
+  /// §6's D-threshold test: if some queued chain's bound is lower than
+  /// `local_min - d`, acquire it (the caller migrates its pool out first
+  /// or right after). Non-blocking; nullopt = keep working locally.
+  virtual std::optional<search::Node> try_acquire_better(unsigned worker,
+                                                         double local_min,
+                                                         double d) = 0;
+
+  /// Idle acquisition: wait until a chain is available (always the best
+  /// one the implementation can see), the search terminates, or stop().
+  /// nullopt = done.
+  virtual std::optional<search::Node> acquire(unsigned worker) = 0;
+
+  /// Account one expansion: the expanded chain dies, `children` chains
+  /// are born (queued or kept in the worker's local pool). Termination
+  /// is exactly the outstanding count reaching zero.
+  virtual void on_expanded(std::size_t children) = 0;
+
+  /// Abort: acquire() returns nullopt from now on.
+  virtual void stop() = 0;
+  [[nodiscard]] virtual bool stopped() const = 0;
+
+  /// Lock-free: true while some worker is idle (blocked in acquire())
+  /// waiting for work. Busy workers consult this to decide whether
+  /// spilling (materializing) overflow is worth the copies — the
+  /// starvation signal behind SpillPolicy::WhenStarving.
+  [[nodiscard]] virtual bool starving() const = 0;
+
+  [[nodiscard]] virtual SchedulerStats stats() const = 0;
+};
+
+/// Work-stealing scheduler: per-worker bounded deques, lock-free published
+/// minima, steal-half, counter-based distributed termination.
+class WorkStealingScheduler final : public Scheduler {
+public:
+  /// `deque_capacity` bounds each worker's deque; a push that overflows it
+  /// offloads the worst-bound half to the least-loaded other worker.
+  explicit WorkStealingScheduler(unsigned workers,
+                                 std::size_t deque_capacity = 64);
+  ~WorkStealingScheduler() override;
+
+  void push_root(search::DetachedNode n) override;
+  void push_batch(unsigned worker,
+                  std::vector<search::DetachedNode> ns) override;
+  std::optional<search::Node> try_acquire_better(unsigned worker,
+                                                 double local_min,
+                                                 double d) override;
+  std::optional<search::Node> acquire(unsigned worker) override;
+  void on_expanded(std::size_t children) override;
+  void stop() override;
+  [[nodiscard]] bool stopped() const override;
+  [[nodiscard]] bool starving() const override {
+    return idle_.load(std::memory_order_relaxed) > 0;
+  }
+  [[nodiscard]] SchedulerStats stats() const override;
+
+  /// Lowest bound published by any deque (lock-free scan; approximate
+  /// under concurrent mutation). nullopt = all deques empty.
+  [[nodiscard]] std::optional<double> min_bound() const;
+
+private:
+  struct Entry {
+    double bound;
+    std::uint64_t seq;
+    search::Node node;
+  };
+  // Min-heap order on (bound, insertion seq) — the same total order the
+  // global frontier's heap uses, so both schedulers hand out chains
+  // identically when one worker drains them.
+  struct EntryCmp {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.bound != b.bound) return a.bound > b.bound;
+      return a.seq > b.seq;
+    }
+  };
+  // One worker's deque plus its published (lock-free readable) summary.
+  // Padded so scans of neighbours' summaries never false-share.
+  struct alignas(64) Deque {
+    mutable std::mutex mu;
+    std::vector<Entry> pool;  // std::*_heap managed, front = minimum bound
+    std::atomic<double> pub_min;
+    std::atomic<std::uint32_t> pub_size{0};
+  };
+
+  void publish(Deque& d);
+  /// Move out the arbitrary back half of a locked deque (steal-half /
+  /// overflow shedding); the minimum stays behind at the heap front.
+  std::vector<Entry> shed_half_locked(Deque& d);
+  /// Pop the best entry of a locked deque.
+  search::Node pop_best_locked(Deque& d);
+  /// Steal the best chain of `victim` for `thief`; when `bulk`, also move
+  /// half of the remainder into the thief's deque (idle steal-half).
+  /// Returns nullopt if the victim is empty or no longer beats
+  /// `require_below` (stale published minimum).
+  std::optional<search::Node> steal_from(unsigned thief, unsigned victim,
+                                         double require_below, bool bulk);
+
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::size_t capacity_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::int64_t> inflight_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> idle_{0};  // workers currently blocked in acquire()
+
+  // Stats, updated with relaxed atomics (hot-path friendly).
+  std::atomic<std::uint64_t> pushes_{0}, pops_{0}, grants_{0}, steals_{0},
+      steal_attempts_{0}, offloads_{0}, locks_{0};
+};
+
+/// Factory used by the parallel engine (and anything else that wants a
+/// scheduler by kind).
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, unsigned workers,
+                                          std::size_t deque_capacity);
+
+}  // namespace blog::parallel

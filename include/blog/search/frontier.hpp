@@ -3,6 +3,7 @@
 #pragma once
 
 #include <deque>
+#include <limits>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -27,7 +28,7 @@ public:
   /// BestFirst reads the heap top, DepthFirst keeps a running-minimum
   /// mirror stack, BreadthFirst a monotonic min-deque — so pollers (the
   /// service stats path, the in-place engine's burst admissibility test)
-  /// never pay a scan. Meaningful only when non-empty.
+  /// never pay a scan. +infinity when empty.
   [[nodiscard]] virtual double min_bound() const = 0;
   /// Drop all nodes with bound > cutoff; returns how many were pruned.
   virtual std::size_t prune_above(double cutoff) = 0;
@@ -41,7 +42,10 @@ public:
   Node pop() override;
   [[nodiscard]] bool empty() const override { return stack_.empty(); }
   [[nodiscard]] std::size_t size() const override { return stack_.size(); }
-  [[nodiscard]] double min_bound() const override { return mins_.back(); }
+  [[nodiscard]] double min_bound() const override {
+    return mins_.empty() ? std::numeric_limits<double>::infinity()
+                         : mins_.back();
+  }
   std::size_t prune_above(double cutoff) override;
 
 private:
@@ -58,7 +62,10 @@ public:
   Node pop() override;
   [[nodiscard]] bool empty() const override { return q_.empty(); }
   [[nodiscard]] std::size_t size() const override { return q_.size(); }
-  [[nodiscard]] double min_bound() const override { return minq_.front(); }
+  [[nodiscard]] double min_bound() const override {
+    return minq_.empty() ? std::numeric_limits<double>::infinity()
+                         : minq_.front();
+  }
   std::size_t prune_above(double cutoff) override;
 
 private:

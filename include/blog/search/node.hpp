@@ -175,8 +175,11 @@ public:
 
   // --- shared resolution primitives (used by expand() and Runner) --------
   /// Apply the goal-order policy: rotate the chosen goal to the front.
-  /// Only the prefix before the first builtin is eligible.
-  void select_goal(const term::Store& store, std::vector<Goal>& goals) const;
+  /// Only the prefix before the first builtin is eligible. `parent_chain`
+  /// supplies the context under conditional weights so the CheapestPointer
+  /// score reads the same weight make_arc will charge.
+  void select_goal(const term::Store& store, std::vector<Goal>& goals,
+                   const Chain* parent_chain = nullptr) const;
   /// Candidate clauses for `goal` under the indexing option.
   [[nodiscard]] std::vector<db::ClauseId> candidates_for(
       const term::Store& store, const Goal& goal) const;

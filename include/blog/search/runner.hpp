@@ -110,6 +110,16 @@ public:
   /// expansion — so no live bindings need to be unwound.
   DetachedNode detach_sibling(std::size_t index, ExpandStats* stats = nullptr);
 
+  /// Detach freshly created siblings starting at `base` until at most
+  /// `keep` pending choices remain, appending them to `out` in stack
+  /// order (bottom of the new block first — the last clauses, which
+  /// overflow first). One call and one erase per expansion instead of one
+  /// per spilled choice; the same current-level checkpoint restriction as
+  /// detach_sibling applies.
+  void detach_overflow(std::size_t base, std::size_t keep,
+                       std::vector<DetachedNode>& out,
+                       ExpandStats* stats = nullptr);
+
   /// Materialize every pending choice (top first, unwinding the trail
   /// monotonically) and leave the runner empty. The current in-place state
   /// is abandoned: used when the whole local workload migrates.
@@ -118,6 +128,10 @@ public:
   /// Compact the current (goal-free) state's answer into an independent
   /// solution record.
   Solution extract_solution(ExpandStats* stats = nullptr);
+
+  /// Discard the current state without extracting anything (an over-limit
+  /// solution dropped before publication). Pending choices are untouched.
+  void abandon_state() { has_state_ = false; }
 
 private:
   /// Roll back to `c`'s checkpoint and re-apply its clause in place (the

@@ -96,6 +96,10 @@ struct ServiceOptions {
   std::size_t max_concurrent_queries = 8;
   std::size_t admission_queue_limit = 64;
   bool update_weights = true;  // apply §5 updates as queries resolve
+  // Scheduler used when a request asks for workers > 1: per-worker deques
+  // with steal-half (default) or the legacy single-lock global frontier.
+  parallel::SchedulerKind parallel_scheduler =
+      parallel::SchedulerKind::WorkStealing;
 };
 
 struct QueryRequest {

@@ -1,8 +1,33 @@
 #include "blog/engine/builtins.hpp"
 
+#include <limits>
+
 namespace blog::engine {
+namespace {
+
+// Overflow-checked int64 ops: arithmetic that leaves the representable
+// range is undefined in the evaluation sense (the goal fails), never
+// undefined behaviour.
+std::optional<std::int64_t> checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_add_overflow(a, b, &r)) return std::nullopt;
+  return r;
+}
+std::optional<std::int64_t> checked_sub(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_sub_overflow(a, b, &r)) return std::nullopt;
+  return r;
+}
+std::optional<std::int64_t> checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_mul_overflow(a, b, &r)) return std::nullopt;
+  return r;
+}
+
+}  // namespace
 
 std::optional<std::int64_t> eval_arith(const term::Store& s, term::TermRef t) {
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
   t = s.deref(t);
   if (s.is_int(t)) return s.int_value(t);
   if (!s.is_struct(t)) return std::nullopt;
@@ -11,21 +36,29 @@ std::optional<std::int64_t> eval_arith(const term::Store& s, term::TermRef t) {
   if (ar == 1) {
     const auto a = eval_arith(s, s.arg(t, 0));
     if (!a) return std::nullopt;
-    if (f == "-") return -*a;
+    if (f == "-") return checked_sub(0, *a);
     if (f == "+") return *a;
-    if (f == "abs") return *a < 0 ? -*a : *a;
+    if (f == "abs") {
+      if (*a == kMin) return std::nullopt;  // |INT64_MIN| overflows
+      return *a < 0 ? -*a : *a;
+    }
     return std::nullopt;
   }
   if (ar != 2) return std::nullopt;
   const auto a = eval_arith(s, s.arg(t, 0));
   const auto b = eval_arith(s, s.arg(t, 1));
   if (!a || !b) return std::nullopt;
-  if (f == "+") return *a + *b;
-  if (f == "-") return *a - *b;
-  if (f == "*") return *a * *b;
-  if (f == "//") return *b == 0 ? std::optional<std::int64_t>{} : *a / *b;
+  if (f == "+") return checked_add(*a, *b);
+  if (f == "-") return checked_sub(*a, *b);
+  if (f == "*") return checked_mul(*a, *b);
+  if (f == "//") {
+    if (*b == 0) return std::nullopt;
+    if (*a == kMin && *b == -1) return std::nullopt;  // quotient overflows
+    return *a / *b;
+  }
   if (f == "mod") {
     if (*b == 0) return std::nullopt;
+    if (*b == -1) return 0;  // INT64_MIN % -1 traps; result is 0 for all a
     std::int64_t m = *a % *b;
     if ((m ^ *b) < 0 && m != 0) m += *b;  // Prolog mod follows divisor sign
     return m;

@@ -23,7 +23,8 @@ ParallelEngine::ParallelEngine(const db::Program& program, db::WeightStore& weig
     : program_(program), weights_(weights), builtins_(builtins), opts_(opts) {}
 
 void ParallelEngine::worker_loop(const search::Expander& expander,
-                                 GlobalFrontier& net, WorkerStats& ws,
+                                 Scheduler& net, unsigned worker,
+                                 WorkerStats& ws,
                                  std::vector<search::Solution>& solutions,
                                  std::mutex& sol_mu,
                                  std::atomic<std::int64_t>& node_budget,
@@ -32,13 +33,13 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
   search::Runner runner(expander);
   search::ExpandStats estats;
 
-  // Spill a detached choice batch through the network in one lock.
+  // Spill a detached choice batch through the scheduler in one call.
   std::vector<search::DetachedNode> spill;
   const auto flush_spills = [&] {
     if (spill.empty()) return;
     ws.spills += spill.size();
     ++ws.spill_batches;
-    net.push_batch(std::move(spill));
+    net.push_batch(worker, std::move(spill));
     spill.clear();
   };
 
@@ -47,12 +48,12 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
 
     // --- acquire a chain -------------------------------------------------
     if (runner.pending() == 0) {
-      auto taken = net.pop_blocking();
+      auto taken = net.acquire(worker);
       if (!taken) break;  // terminated or stopped
       runner.load(std::move(*taken));
       ++ws.network_takes;
-    } else if (auto better = net.try_pop_if_better(runner.min_pending_bound(),
-                                                   opts_.d_threshold)) {
+    } else if (auto better = net.try_acquire_better(
+                   worker, runner.min_pending_bound(), opts_.d_threshold)) {
       // The network minimum is more than D below our local minimum: the
       // freed task acquires the chain through the network (§6). The whole
       // local pool migrates out with it — copy-on-migration, batched.
@@ -82,6 +83,23 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
 
     switch (step.outcome) {
       case search::NodeOutcome::Solution: {
+        // Claim a solution slot first: a CAS loop that refuses to go below
+        // zero, so concurrent workers can never wrap the counter and
+        // publish more than max_solutions answers between the limit being
+        // hit and the stop flag propagating.
+        std::uint64_t left = solutions_left.load(std::memory_order_relaxed);
+        while (left > 0 &&
+               !solutions_left.compare_exchange_weak(
+                   left, left - 1, std::memory_order_acq_rel,
+                   std::memory_order_relaxed)) {
+        }
+        if (left == 0) {
+          // Over the limit (a racing worker claimed the last slot and the
+          // stop is in flight): drop the answer unpublished.
+          runner.abandon_state();
+          net.on_expanded(0);
+          break;
+        }
         if (opts_.update_weights)
           search::update_on_success(weights_, runner.state().chain.get());
         ++ws.solutions;
@@ -93,7 +111,7 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
           solutions.push_back(std::move(sol));
         }
         net.on_expanded(0);
-        if (solutions_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (left == 1) {  // we consumed the last slot
           report_stop(stop_cause, search::Outcome::SolutionLimit);
           net.stop();
         }
@@ -106,12 +124,26 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
         // costs no trail unwinding.
         // The new block sits above `base`; its bottom entry is the last
         // clause, which is what overflows first (clause-order prefix kept).
-        const std::size_t base = runner.pending() - step.children;
-        const std::size_t before = estats.cells_copied;
-        while (runner.pending() > opts_.local_capacity)
-          spill.push_back(runner.detach_sibling(base, &estats));
-        ws.cells_copied += estats.cells_copied - before;
-        flush_spills();
+        // Under WhenStarving, the copies are paid only while some worker
+        // is actually idle (lock-free starving() poll); a backlog kept
+        // local during saturation drains through later expansions' fresh
+        // blocks once starvation reappears.
+        if (opts_.spill_policy == ParallelOptions::SpillPolicy::Eager ||
+            net.starving()) {
+          const std::size_t base = runner.pending() - step.children;
+          // Only the fresh block is detachable without trail unwinding;
+          // older entries stay local until the worker consumes them. Keep
+          // at least the first-clause child so the depth-first in-place
+          // burst continues even while shedding a starvation backlog.
+          const std::size_t keep =
+              opts_.spill_policy == ParallelOptions::SpillPolicy::Eager
+                  ? opts_.local_capacity
+                  : std::max(opts_.local_capacity, base + 1);
+          const std::size_t before = estats.cells_copied;
+          runner.detach_overflow(base, keep, spill, &estats);
+          ws.cells_copied += estats.cells_copied - before;
+          flush_spills();
+        }
         net.on_expanded(step.children);
         break;
       }
@@ -137,8 +169,9 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
 
 ParallelResult ParallelEngine::solve(const search::Query& q) {
   search::Expander expander(program_, weights_, builtins_, opts_.expander);
-  GlobalFrontier net(1);
-  net.push(expander.make_root(q));
+  const std::unique_ptr<Scheduler> net = make_scheduler(
+      opts_.scheduler, opts_.workers, opts_.steal_deque_capacity);
+  net->push_root(expander.make_root(q));
 
   ParallelResult result;
   result.workers.resize(opts_.workers);
@@ -156,15 +189,15 @@ ParallelResult ParallelEngine::solve(const search::Query& q) {
   threads.reserve(opts_.workers);
   for (unsigned w = 0; w < opts_.workers; ++w) {
     threads.emplace_back([&, w] {
-      worker_loop(expander, net, result.workers[w], solutions, sol_mu,
+      worker_loop(expander, *net, w, result.workers[w], solutions, sol_mu,
                   node_budget, solutions_left, stop_cause);
     });
   }
   for (auto& t : threads) t.join();
 
   result.solutions = std::move(solutions);
-  result.network = net.stats();
-  result.exhausted = !net.stopped();
+  result.network = net->stats();
+  result.exhausted = !net->stopped();
   const int cause = stop_cause.load(std::memory_order_relaxed);
   result.outcome = result.exhausted || cause < 0
                        ? search::Outcome::Exhausted

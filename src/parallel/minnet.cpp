@@ -4,6 +4,9 @@
 
 namespace blog::parallel {
 
+// Every mutex acquisition is counted (relaxed; under mu_ anyway) so the
+// bench can compare lock traffic against the work-stealing scheduler.
+
 void GlobalFrontier::push_locked(search::DetachedNode n) {
   heap_.push_back(Entry{n.bound, seq_++, std::move(n)});
   std::push_heap(heap_.begin(), heap_.end(), Cmp{});
@@ -13,6 +16,17 @@ void GlobalFrontier::push_locked(search::DetachedNode n) {
 void GlobalFrontier::push(search::DetachedNode n) {
   {
     std::lock_guard lock(mu_);
+    ++stats_.lock_acquisitions;
+    push_locked(std::move(n));
+  }
+  cv_.notify_one();
+}
+
+void GlobalFrontier::push_root(search::DetachedNode n) {
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.lock_acquisitions;
+    ++inflight_;
     push_locked(std::move(n));
   }
   cv_.notify_one();
@@ -23,6 +37,7 @@ void GlobalFrontier::push_batch(std::vector<search::DetachedNode> ns) {
   const bool several = ns.size() > 1;
   {
     std::lock_guard lock(mu_);
+    ++stats_.lock_acquisitions;
     for (auto& n : ns) push_locked(std::move(n));
   }
   if (several)
@@ -48,6 +63,7 @@ std::optional<double> GlobalFrontier::min_bound() const {
 std::optional<search::Node> GlobalFrontier::try_pop_if_better(double local_min,
                                                               double d) {
   std::lock_guard lock(mu_);
+  ++stats_.lock_acquisitions;
   if (stop_ || heap_.empty()) return std::nullopt;
   if (heap_.front().bound >= local_min - d) return std::nullopt;
   return pop_locked();
@@ -55,7 +71,14 @@ std::optional<search::Node> GlobalFrontier::try_pop_if_better(double local_min,
 
 std::optional<search::Node> GlobalFrontier::pop_blocking() {
   std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return stop_ || !heap_.empty() || inflight_ == 0; });
+  ++stats_.lock_acquisitions;
+  if (!(stop_ || !heap_.empty() || inflight_ == 0)) {
+    // Actually going to block: advertise starvation so busy workers
+    // start spilling under SpillPolicy::WhenStarving.
+    waiting_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait(lock, [&] { return stop_ || !heap_.empty() || inflight_ == 0; });
+    waiting_.fetch_sub(1, std::memory_order_relaxed);
+  }
   if (stop_ || heap_.empty()) return std::nullopt;
   ++stats_.grants;
   return pop_locked();
@@ -65,6 +88,7 @@ void GlobalFrontier::on_expanded(std::size_t children) {
   bool finished = false;
   {
     std::lock_guard lock(mu_);
+    ++stats_.lock_acquisitions;
     inflight_ += static_cast<std::int64_t>(children) - 1;
     finished = inflight_ == 0;
   }
@@ -94,6 +118,19 @@ bool GlobalFrontier::done() const {
 GlobalFrontier::Stats GlobalFrontier::stats() const {
   std::lock_guard lock(mu_);
   return stats_;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, unsigned workers,
+                                          std::size_t deque_capacity) {
+  switch (kind) {
+    case SchedulerKind::GlobalFrontier:
+      // The root is pushed by the engine via push_root(); start at zero
+      // in-flight so the first push_root accounts for it.
+      return std::make_unique<GlobalFrontier>(0);
+    case SchedulerKind::WorkStealing:
+      return std::make_unique<WorkStealingScheduler>(workers, deque_capacity);
+  }
+  return nullptr;
 }
 
 }  // namespace blog::parallel

@@ -1,0 +1,296 @@
+#include "blog/parallel/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+namespace blog::parallel {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+const char* scheduler_kind_name(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::GlobalFrontier: return "global-frontier";
+    case SchedulerKind::WorkStealing: return "work-stealing";
+  }
+  return "?";
+}
+
+WorkStealingScheduler::WorkStealingScheduler(unsigned workers,
+                                             std::size_t deque_capacity)
+    : capacity_(std::max<std::size_t>(1, deque_capacity)), inflight_(0) {
+  if (workers == 0) workers = 1;
+  deques_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    auto d = std::make_unique<Deque>();
+    d->pub_min.store(kInf, std::memory_order_relaxed);
+    deques_.push_back(std::move(d));
+  }
+}
+
+WorkStealingScheduler::~WorkStealingScheduler() = default;
+
+void WorkStealingScheduler::publish(Deque& d) {
+  d.pub_min.store(d.pool.empty() ? kInf : d.pool.front().bound,
+                  std::memory_order_release);
+  d.pub_size.store(static_cast<std::uint32_t>(d.pool.size()),
+                   std::memory_order_release);
+}
+
+// Move the arbitrary back half of a locked deque's heap array out —
+// O(half) moves, no sorting; the minimum stays at home in the heap
+// front. Caller re-publishes.
+std::vector<WorkStealingScheduler::Entry> WorkStealingScheduler::shed_half_locked(
+    Deque& d) {
+  std::vector<Entry> out;
+  const std::size_t k = d.pool.size() / 2;
+  if (k == 0) return out;
+  out.assign(std::make_move_iterator(d.pool.end() -
+                                     static_cast<std::ptrdiff_t>(k)),
+             std::make_move_iterator(d.pool.end()));
+  d.pool.erase(d.pool.end() - static_cast<std::ptrdiff_t>(k), d.pool.end());
+  std::make_heap(d.pool.begin(), d.pool.end(), EntryCmp{});
+  return out;
+}
+
+search::Node WorkStealingScheduler::pop_best_locked(Deque& d) {
+  std::pop_heap(d.pool.begin(), d.pool.end(), EntryCmp{});
+  search::Node n = std::move(d.pool.back().node);
+  d.pool.pop_back();
+  pops_.fetch_add(1, std::memory_order_relaxed);
+  return n;
+}
+
+void WorkStealingScheduler::push_root(search::DetachedNode n) {
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<search::DetachedNode> one;
+  one.push_back(std::move(n));
+  push_batch(0, std::move(one));
+}
+
+void WorkStealingScheduler::push_batch(unsigned worker,
+                                       std::vector<search::DetachedNode> ns) {
+  if (ns.empty()) return;
+  Deque& own = *deques_[worker % deques_.size()];
+  pushes_.fetch_add(ns.size(), std::memory_order_relaxed);
+
+  // Overflow policy: the capacity is a *sharing trigger*, not a hard
+  // bound. Only shed work when the deque is over capacity AND some other
+  // worker is starving (published size under half the capacity) — the
+  // receiver is picked lock-free before any mutex is touched. This keeps
+  // a lone busy worker from pointlessly shuffling its own queue.
+  const unsigned self = worker % static_cast<unsigned>(deques_.size());
+  unsigned starving = self;
+  if (deques_.size() > 1 &&
+      own.pub_size.load(std::memory_order_relaxed) + ns.size() > capacity_) {
+    // Threshold at least 1 so empty peers qualify even at capacity 1.
+    std::uint32_t best_size =
+        static_cast<std::uint32_t>(std::max<std::size_t>(1, capacity_ / 2));
+    for (unsigned v = 0; v < deques_.size(); ++v) {
+      if (v == self) continue;
+      const std::uint32_t sz =
+          deques_[v]->pub_size.load(std::memory_order_relaxed);
+      if (sz < best_size) {
+        best_size = sz;
+        starving = v;
+      }
+    }
+  }
+
+  std::vector<Entry> overflow;
+  {
+    std::lock_guard lock(own.mu);
+    locks_.fetch_add(1, std::memory_order_relaxed);
+    // No reserve(): exact-fit reserve would reallocate (O(size) entry
+    // moves) on every batch; geometric push_back growth is amortized O(1).
+    for (auto& n : ns) {
+      const double b = n.bound;
+      own.pool.push_back(
+          Entry{b, seq_.fetch_add(1, std::memory_order_relaxed), std::move(n)});
+      std::push_heap(own.pool.begin(), own.pool.end(), EntryCmp{});
+    }
+    if (starving != self && own.pool.size() > capacity_)
+      overflow = shed_half_locked(own);
+    publish(own);
+  }
+  if (overflow.empty()) return;
+
+  Deque& dst = *deques_[starving];
+  {
+    std::lock_guard lock(dst.mu);
+    locks_.fetch_add(1, std::memory_order_relaxed);
+    for (auto& e : overflow) {
+      dst.pool.push_back(std::move(e));
+      std::push_heap(dst.pool.begin(), dst.pool.end(), EntryCmp{});
+    }
+    publish(dst);
+  }
+  offloads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<search::Node> WorkStealingScheduler::steal_from(
+    unsigned thief, unsigned victim, double require_below, bool bulk) {
+  Deque& src = *deques_[victim];
+  std::vector<Entry> loot;
+  search::Node best;
+  {
+    std::lock_guard lock(src.mu);
+    locks_.fetch_add(1, std::memory_order_relaxed);
+    if (src.pool.empty() || src.pool.front().bound >= require_below)
+      return std::nullopt;  // published minimum was stale
+    best = pop_best_locked(src);
+    if (bulk && victim != thief && !src.pool.empty()) {
+      // Steal-half (idle acquisition only): take half of the victim's
+      // remaining deque along, so one lock acquisition funds many future
+      // local activations on the thief. D-threshold migrations take just
+      // the minimum chain, like §6's network grant.
+      loot = shed_half_locked(src);
+    }
+    publish(src);
+  }
+  // A worker reclaiming its own spilled chains is not a steal; only
+  // cross-worker transfers count toward the bench's steal metric.
+  if (victim != thief)
+    steals_.fetch_add(1 + loot.size(), std::memory_order_relaxed);
+  if (!loot.empty()) {
+    Deque& dst = *deques_[thief];
+    std::lock_guard lock(dst.mu);
+    locks_.fetch_add(1, std::memory_order_relaxed);
+    for (auto& e : loot) dst.pool.push_back(std::move(e));
+    std::make_heap(dst.pool.begin(), dst.pool.end(), EntryCmp{});
+    publish(dst);
+  }
+  return best;
+}
+
+std::optional<search::Node> WorkStealingScheduler::try_acquire_better(
+    unsigned worker, double local_min, double d) {
+  if (stop_.load(std::memory_order_relaxed)) return std::nullopt;
+  // Lock-free minimum-seeking scan (§6's network read): no mutex touched
+  // unless a *remote* deque advertises a strictly better chain. The
+  // worker's own deque is part of its local pool — §6 compares the
+  // processor's local minimum against the network, so chains a worker
+  // spilled itself never trigger the abandon-and-migrate penalty (they
+  // are reclaimed on the cheap acquire path once the pending pool
+  // drains, or stolen by an idle processor meanwhile).
+  const unsigned self = worker % static_cast<unsigned>(deques_.size());
+  const double own = deques_[self]->pub_min.load(std::memory_order_acquire);
+  const double threshold = std::min(local_min, own) - d;
+  unsigned victim = static_cast<unsigned>(deques_.size());
+  double best = threshold;
+  for (unsigned v = 0; v < deques_.size(); ++v) {
+    if (v == self) continue;
+    const double m = deques_[v]->pub_min.load(std::memory_order_acquire);
+    if (m < best) {
+      best = m;
+      victim = v;
+    }
+  }
+  if (victim == deques_.size()) return std::nullopt;
+  steal_attempts_.fetch_add(1, std::memory_order_relaxed);
+  return steal_from(worker, victim, threshold, /*bulk=*/false);
+}
+
+std::optional<search::Node> WorkStealingScheduler::acquire(unsigned worker) {
+  const unsigned self = worker % static_cast<unsigned>(deques_.size());
+  unsigned spins = 0;
+  // Registered as idle (the starving() signal busy workers poll) only
+  // once a full victim scan came up empty; cleared on every exit path.
+  struct IdleGuard {
+    std::atomic<int>& count;
+    bool on = false;
+    void mark() {
+      if (!on) {
+        count.fetch_add(1, std::memory_order_relaxed);
+        on = true;
+      }
+    }
+    ~IdleGuard() {
+      if (on) count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  } idle_guard{idle_};
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return std::nullopt;
+
+    // Scan every published minimum for the best victim — §6's freed
+    // processor acquires the globally minimum-bound chain. Ties favour
+    // the own deque (no cross-worker traffic).
+    unsigned victim = static_cast<unsigned>(deques_.size());
+    double best = deques_[self]->pub_min.load(std::memory_order_acquire);
+    if (best < kInf) victim = self;
+    for (unsigned v = 0; v < deques_.size(); ++v) {
+      if (v == self) continue;
+      const double m = deques_[v]->pub_min.load(std::memory_order_acquire);
+      if (m < best) {
+        best = m;
+        victim = v;
+      }
+    }
+    if (victim != deques_.size()) {
+      if (auto n = steal_from(self, victim, kInf, /*bulk=*/true)) {
+        grants_.fetch_add(1, std::memory_order_relaxed);
+        return n;
+      }
+      continue;  // lost the race; rescan immediately
+    }
+
+
+    // No queued work anywhere. The outstanding-work counter is the
+    // distributed termination detector: zero means every chain has been
+    // consumed (none queued, none being expanded), so exit.
+    idle_guard.mark();
+    if (inflight_.load(std::memory_order_acquire) == 0) return std::nullopt;
+
+    // Work exists but lives inside other workers' runners; back off
+    // politely (spin briefly, then sleep with exponential backoff capped
+    // at 500µs) until it spills or dies. Sleeping parks the thread off
+    // the runqueue, which matters when workers outnumber cores.
+    if (spins < 16) {
+      ++spins;
+      std::this_thread::yield();
+    } else {
+      const unsigned exp = std::min(spins - 16u, 5u);
+      ++spins;
+      std::this_thread::sleep_for(std::chrono::microseconds(20u << exp));
+    }
+  }
+}
+
+void WorkStealingScheduler::on_expanded(std::size_t children) {
+  inflight_.fetch_add(static_cast<std::int64_t>(children) - 1,
+                      std::memory_order_acq_rel);
+}
+
+void WorkStealingScheduler::stop() {
+  stop_.store(true, std::memory_order_release);
+}
+
+bool WorkStealingScheduler::stopped() const {
+  return stop_.load(std::memory_order_acquire);
+}
+
+std::optional<double> WorkStealingScheduler::min_bound() const {
+  double best = kInf;
+  for (const auto& d : deques_)
+    best = std::min(best, d->pub_min.load(std::memory_order_acquire));
+  if (best == kInf) return std::nullopt;
+  return best;
+}
+
+SchedulerStats WorkStealingScheduler::stats() const {
+  SchedulerStats s;
+  s.pushes = pushes_.load(std::memory_order_relaxed);
+  s.pops = pops_.load(std::memory_order_relaxed);
+  s.grants = grants_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.steal_attempts = steal_attempts_.load(std::memory_order_relaxed);
+  s.offloads = offloads_.load(std::memory_order_relaxed);
+  s.lock_acquisitions = locks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace blog::parallel

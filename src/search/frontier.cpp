@@ -1,6 +1,7 @@
 #include "blog/search/frontier.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace blog::search {
 
@@ -75,7 +76,12 @@ Node BestFirstFrontier::pop() {
   return n;
 }
 
-double BestFirstFrontier::min_bound() const { return heap_.front().bound; }
+double BestFirstFrontier::min_bound() const {
+  // Guard the empty heap: reading heap_.front() unguarded was UB for
+  // pollers that race the last pop. Empty means "nothing to beat".
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.front().bound;
+}
 
 std::size_t BestFirstFrontier::prune_above(double cutoff) {
   const auto before = heap_.size();

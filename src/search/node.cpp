@@ -37,8 +37,8 @@ DetachedNode Expander::make_root(const Query& q) const {
   return root;
 }
 
-void Expander::select_goal(const term::Store& store,
-                           std::vector<Goal>& goals) const {
+void Expander::select_goal(const term::Store& store, std::vector<Goal>& goals,
+                           const Chain* parent_chain) const {
   if (opts_.goal_order == GoalOrder::Leftmost || goals.size() < 2) return;
 
   // Only goals before the first builtin are candidates: hoisting a goal
@@ -65,8 +65,14 @@ void Expander::select_goal(const term::Store& store,
     } else {  // CheapestPointer
       score = std::numeric_limits<double>::infinity();
       for (const db::ClauseId cid : cands) {
-        score = std::min(
-            score, weights_.weight(db::PointerKey{g.src_clause, g.src_literal, cid}));
+        db::PointerKey key{g.src_clause, g.src_literal, cid};
+        // Same context key make_arc charges: without it, conditional
+        // weights would order goals by different weights than the search
+        // actually pays.
+        if (opts_.conditional_weights)
+          key.context =
+              parent_chain ? parent_chain->arc.key.callee : db::kQueryClause;
+        score = std::min(score, weights_.weight(key));
       }
     }
     if (score < best_score) {
@@ -169,7 +175,7 @@ void Expander::expand(DetachedNode n, ExpandOutput& out, ExpandStats* stats) con
     return;
   }
 
-  select_goal(n.store, n.goals);
+  select_goal(n.store, n.goals, n.chain.get());
   const Goal& goal = n.goals.front();
   const std::vector<db::ClauseId> cands = candidates_for(n.store, goal);
 

@@ -86,7 +86,7 @@ Runner::StepResult Runner::expand(ExpandStats* stats) {
     return {NodeOutcome::DepthLimit, 0};
   }
 
-  ex_.select_goal(store_, state_.goals);
+  ex_.select_goal(store_, state_.goals, state_.chain.get());
   const Goal goal = state_.goals.front();
   const std::vector<db::ClauseId> cands = candidates(goal);
 
@@ -257,6 +257,23 @@ DetachedNode Runner::detach_sibling(std::size_t index, ExpandStats* stats) {
          "level; use detach_all for older choices");
   stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(index));
   return materialize(std::move(c), stats);
+}
+
+void Runner::detach_overflow(std::size_t base, std::size_t keep,
+                             std::vector<DetachedNode>& out,
+                             ExpandStats* stats) {
+  if (stack_.size() <= keep) return;
+  const std::size_t k = stack_.size() - keep;
+  assert(base + k <= stack_.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    PendingChoice& c = stack_[base + i];
+    assert(c.cp.trail == trail_.mark() && c.cp.store == store_.watermark() &&
+           "detach_overflow requires fresh siblings checkpointed at the "
+           "current level");
+    out.push_back(materialize(std::move(c), stats));
+  }
+  stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(base),
+               stack_.begin() + static_cast<std::ptrdiff_t>(base + k));
 }
 
 std::vector<DetachedNode> Runner::detach_all(ExpandStats* stats) {

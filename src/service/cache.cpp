@@ -41,9 +41,14 @@ void AnswerCache::insert(const std::string& key, std::uint64_t epoch,
   Shard& sh = shard_for(key);
   std::lock_guard lock(sh.mu);
   if (const auto it = sh.index.find(key); it != sh.index.end()) {
+    // Replacement is an insertion too, and replacing an entry from an
+    // older epoch retires it exactly like the lazy lookup path does —
+    // count both so hit/insert/invalidation totals reconcile.
+    if (it->second->epoch != epoch) ++sh.stats.invalidated;
     it->second->epoch = epoch;
     it->second->answers = std::move(answers);
     sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    ++sh.stats.insertions;
     return;
   }
   sh.lru.push_front(Entry{key, epoch, std::move(answers)});

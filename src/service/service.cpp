@@ -137,6 +137,10 @@ QueryResponse QueryService::run_admitted(const QueryRequest& req,
     po.max_solutions = req.budget.max_solutions;
     po.deadline = deadline;
     po.update_weights = opts_.update_weights;
+    po.scheduler = opts_.parallel_scheduler;
+    // Serving cares about saturated throughput: only pay detach copies
+    // when a worker is actually idle.
+    po.spill_policy = parallel::ParallelOptions::SpillPolicy::WhenStarving;
     parallel::ParallelEngine pe(*snap.program, weights_, &builtins_, po);
     auto r = pe.solve(q);
     resp.outcome = r.outcome;

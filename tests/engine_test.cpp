@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "blog/engine/builtins.hpp"
 #include "blog/engine/interpreter.hpp"
 #include "blog/term/reader.hpp"
@@ -28,6 +30,26 @@ TEST(Arith, BasicOperators) {
 TEST(Arith, DivisionByZeroIsUndefined) {
   EXPECT_EQ(arith("1//0"), std::nullopt);
   EXPECT_EQ(arith("1 mod 0"), std::nullopt);
+}
+
+TEST(Arith, OverflowIsUndefinedNotUB) {
+  // int64 overflow fails the evaluation (goal fails) instead of invoking
+  // signed-overflow undefined behaviour.
+  EXPECT_EQ(arith("9223372036854775807 + 1"), std::nullopt);
+  EXPECT_EQ(arith("-9223372036854775807 - 2"), std::nullopt);
+  EXPECT_EQ(arith("4611686018427387904 * 2"), std::nullopt);
+  EXPECT_EQ(arith("abs(-9223372036854775807 - 1)"), std::nullopt);
+  EXPECT_EQ(arith("-(-9223372036854775807 - 1)"), std::nullopt);
+  EXPECT_EQ(arith("(-9223372036854775807 - 1) // (-1)"), std::nullopt);
+}
+
+TEST(Arith, OverflowBoundariesStillEvaluate) {
+  EXPECT_EQ(arith("9223372036854775806 + 1"), 9223372036854775807LL);
+  EXPECT_EQ(arith("-9223372036854775807 - 1"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(arith("abs(-9223372036854775807)"), 9223372036854775807LL);
+  // INT64_MIN mod -1 is mathematically 0 (and must not trap).
+  EXPECT_EQ(arith("(-9223372036854775807 - 1) mod (-1)"), 0);
 }
 
 TEST(Arith, UnboundVariableIsUndefined) { EXPECT_EQ(arith("X+1"), std::nullopt); }
@@ -89,6 +111,13 @@ TEST_F(BuiltinsTest, IsChecksWhenBound) {
   EXPECT_EQ(run("42 is 6*7"), StandardBuiltins::Outcome::True);
   EXPECT_EQ(run("41 is 6*7"), StandardBuiltins::Outcome::Fail);
   EXPECT_EQ(run("X is Y+1"), StandardBuiltins::Outcome::Fail);  // unbound rhs
+}
+
+TEST_F(BuiltinsTest, OverflowingIsGoalFails) {
+  EXPECT_EQ(run("X is 9223372036854775807 + 1"),
+            StandardBuiltins::Outcome::Fail);
+  EXPECT_EQ(run("X is abs(-9223372036854775807 - 1)"),
+            StandardBuiltins::Outcome::Fail);
 }
 
 TEST_F(BuiltinsTest, Comparisons) {

@@ -6,6 +6,7 @@
 
 #include "blog/engine/interpreter.hpp"
 #include "blog/spd/array.hpp"
+#include "blog/term/reader.hpp"
 #include "blog/workloads/workloads.hpp"
 
 namespace blog {
@@ -108,6 +109,52 @@ TEST(ConditionalWeights, ContextSeparatesCallPaths) {
       ++mid_a_contexts;
   }
   EXPECT_GT(mid_a_contexts, 0u);
+}
+
+TEST(ConditionalWeights, CheapestPointerOrderingReadsTheContextKey) {
+  // Goal ordering and arc charging must read the *same* weight: with
+  // conditional weights on, the CheapestPointer score has to use the
+  // context key make_arc charges, not the contextless one. Weights are
+  // rigged so the two keys disagree about which goal is cheapest.
+  Interpreter ip;
+  ip.consult_string("a(1). b(2).");  // clause ids: a=0, b=1
+
+  search::ExpanderOptions opts;
+  opts.goal_order = search::GoalOrder::CheapestPointer;
+  opts.conditional_weights = true;
+  search::Expander ex(ip.program(), ip.weights(), nullptr, opts);
+
+  term::Store store;
+  std::vector<search::Goal> goals(2);
+  goals[0].term = term::parse_term("a(X)", store).term;
+  goals[0].src_clause = db::kQueryClause;
+  goals[0].src_literal = 0;
+  goals[1].term = term::parse_term("b(Y)", store).term;
+  goals[1].src_clause = db::kQueryClause;
+  goals[1].src_literal = 1;
+
+  // Previous decision: the parent arc chose clause 7 — that's the context
+  // the next weights are read under.
+  const db::ClauseId ctx = 7;
+  search::Arc parc;
+  parc.key.callee = ctx;
+  const auto chain = std::make_shared<search::Chain>(
+      search::Chain{parc, nullptr});
+
+  // Context keys say goal b is cheapest; contextless keys say goal a is.
+  ip.weights().set_session({db::kQueryClause, 0, 0, ctx}, 10.0);
+  ip.weights().set_session({db::kQueryClause, 1, 1, ctx}, 1.0);
+  ip.weights().set_session({db::kQueryClause, 0, 0, db::kNoContext}, 1.0);
+  ip.weights().set_session({db::kQueryClause, 1, 1, db::kNoContext}, 10.0);
+
+  ex.select_goal(store, goals, chain.get());
+  EXPECT_EQ(goals.front().src_literal, 1u)
+      << "ordering read the contextless weight, not the charged one";
+
+  // Sanity: the charged arc for the selected goal indeed carries ctx.
+  const search::Arc arc = ex.make_arc(goals.front(), 1, chain.get());
+  EXPECT_EQ(arc.key.context, ctx);
+  EXPECT_DOUBLE_EQ(arc.weight, 1.0);
 }
 
 TEST(ConditionalWeights, SameSolutionsAsUnconditional) {

@@ -160,6 +160,82 @@ TEST_P(WorkerCount, TinyLocalCapacityForcesMigrationAndStaysExact) {
 INSTANTIATE_TEST_SUITE_P(Workers, WorkerCount,
                          ::testing::Values(1u, 2u, 4u, 8u));
 
+// ------------------------------------------- scheduler cross-regression --
+
+/// (scheduler kind, worker count): the work-stealing scheduler must be
+/// byte-identical to the legacy single-lock GlobalFrontier, which in turn
+/// must match the legacy sequential engine under every strategy.
+class SchedulerGrid
+    : public ::testing::TestWithParam<std::tuple<parallel::SchedulerKind,
+                                                 unsigned>> {};
+
+TEST_P(SchedulerGrid, SolutionSetsIdenticalToLegacyAcrossStrategies) {
+  const auto [sched, workers] = GetParam();
+  for (const Workload& w : workload_set()) {
+    // The legacy per-strategy solution sets (already asserted equal to the
+    // in-place engine above) are the reference for every scheduler.
+    for (const auto strat :
+         {search::Strategy::DepthFirst, search::Strategy::BreadthFirst,
+          search::Strategy::BestFirst}) {
+      search::SearchOptions so;
+      so.strategy = strat;
+      so.update_weights = false;
+      Interpreter legacy;
+      legacy.consult_string(w.program);
+      const auto expected = solution_texts(solve_detached(legacy, w.query, so));
+
+      Interpreter par;
+      par.consult_string(w.program);
+      parallel::ParallelOptions po;
+      po.workers = workers;
+      po.update_weights = false;
+      po.scheduler = sched;
+      parallel::ParallelEngine pe(par.program(), par.weights(),
+                                  &par.builtins(), po);
+      const auto r = pe.solve(par.parse_query(w.query));
+      std::vector<std::string> got;
+      for (const auto& s : r.solutions) got.push_back(s.text);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected)
+          << w.name << " / " << search::strategy_name(strat) << " / "
+          << parallel::scheduler_kind_name(sched) << " workers=" << workers;
+      EXPECT_TRUE(r.exhausted) << w.name;
+    }
+  }
+}
+
+TEST_P(SchedulerGrid, LazySpillMatchesEagerSpill) {
+  const auto [sched, workers] = GetParam();
+  for (const Workload& w : workload_set()) {
+    auto run = [&](parallel::ParallelOptions::SpillPolicy spill) {
+      Interpreter ip;
+      ip.consult_string(w.program);
+      parallel::ParallelOptions po;
+      po.workers = workers;
+      po.update_weights = false;
+      po.scheduler = sched;
+      po.spill_policy = spill;
+      parallel::ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(),
+                                  po);
+      const auto r = pe.solve(ip.parse_query(w.query));
+      std::vector<std::string> got;
+      for (const auto& s : r.solutions) got.push_back(s.text);
+      std::sort(got.begin(), got.end());
+      return got;
+    };
+    EXPECT_EQ(run(parallel::ParallelOptions::SpillPolicy::WhenStarving),
+              run(parallel::ParallelOptions::SpillPolicy::Eager))
+        << w.name << " workers=" << workers;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulerWorkers, SchedulerGrid,
+    ::testing::Combine(
+        ::testing::Values(parallel::SchedulerKind::GlobalFrontier,
+                          parallel::SchedulerKind::WorkStealing),
+        ::testing::Values(1u, 2u, 4u, 8u)));
+
 // ------------------------------------------------------- copy accounting --
 
 TEST(InplaceRegression, DeepRecursionCopiesAtLeastFiveTimesFewerCells) {

@@ -1,0 +1,246 @@
+// Work-stealing scheduler tests: deque/steal/termination unit behaviour,
+// the max_solutions exact-count fix under contention, and steal-storm
+// stress with tiny deques (the BLOG_TSAN CI job runs all of these under
+// the thread sanitizer).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "blog/parallel/engine.hpp"
+#include "blog/workloads/workloads.hpp"
+
+namespace blog::parallel {
+namespace {
+
+using engine::Interpreter;
+using Spill = ParallelOptions::SpillPolicy;
+
+search::Node node_with_bound(double b) {
+  search::Node n;
+  n.bound = b;
+  return n;
+}
+
+std::vector<std::string> texts(const ParallelResult& r) {
+  std::vector<std::string> out;
+  for (const auto& s : r.solutions) out.push_back(s.text);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> sequential_expected(const std::string& program,
+                                             const std::string& query) {
+  Interpreter ip;
+  ip.consult_string(program);
+  return engine::solution_texts(ip.solve(query, {.update_weights = false}));
+}
+
+ParallelResult solve_parallel(const std::string& program,
+                              const std::string& query, ParallelOptions po) {
+  Interpreter ip;
+  ip.consult_string(program);
+  ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(), po);
+  return pe.solve(ip.parse_query(query));
+}
+
+// ------------------------------------------------------- unit behaviour --
+
+TEST(WorkStealing, AcquireHandsOutGlobalMinimumAcrossDeques) {
+  WorkStealingScheduler s(3);
+  s.push_root(node_with_bound(3.0));
+  // Two more chains on other deques; keep the in-flight count honest.
+  s.on_expanded(3);  // 1 dies conceptually, 3 born → matches 3 queued
+  std::vector<search::Node> b1, b2;
+  b1.push_back(node_with_bound(1.0));
+  b2.push_back(node_with_bound(2.0));
+  s.push_batch(1, std::move(b1));
+  s.push_batch(2, std::move(b2));
+
+  ASSERT_TRUE(s.min_bound().has_value());
+  EXPECT_DOUBLE_EQ(*s.min_bound(), 1.0);
+  // Worker 0's own deque holds 3.0, yet the idle scan must hand out the
+  // globally lowest bound first (§6's minimum-seeking grant).
+  EXPECT_DOUBLE_EQ(s.acquire(0)->bound, 1.0);
+  EXPECT_DOUBLE_EQ(s.acquire(0)->bound, 2.0);
+  EXPECT_DOUBLE_EQ(s.acquire(0)->bound, 3.0);
+}
+
+TEST(WorkStealing, TryAcquireBetterTakesOnlyRemoteChains) {
+  WorkStealingScheduler s(2);
+  s.push_root(node_with_bound(5.0));  // lands in worker 0's deque
+  // Worker 0's own spill must never trigger the migrate-out penalty.
+  EXPECT_FALSE(s.try_acquire_better(0, 100.0, 0.0).has_value());
+  // Worker 1 sees it as a remote chain below its local minimum.
+  auto got = s.try_acquire_better(1, 100.0, 0.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->bound, 5.0);
+}
+
+TEST(WorkStealing, TryAcquireBetterRespectsThresholdD) {
+  WorkStealingScheduler s(2);
+  s.push_root(node_with_bound(5.0));
+  // local min 6, D=2: 5 >= 6-2 → refuse; local min 8, D=2: 5 < 8-2 → grant.
+  EXPECT_FALSE(s.try_acquire_better(1, 6.0, 2.0).has_value());
+  EXPECT_TRUE(s.try_acquire_better(1, 8.0, 2.0).has_value());
+}
+
+TEST(WorkStealing, TerminatesWhenInflightZero) {
+  WorkStealingScheduler s(2);
+  s.push_root(node_with_bound(0.0));
+  auto taken = s.acquire(0);
+  ASSERT_TRUE(taken.has_value());
+  s.on_expanded(0);  // chain died without children
+  EXPECT_FALSE(s.acquire(0).has_value());
+  EXPECT_FALSE(s.acquire(1).has_value());
+}
+
+TEST(WorkStealing, StopUnblocksIdleWorkers) {
+  WorkStealingScheduler s(2);
+  s.push_root(node_with_bound(0.0));  // inflight 1, so acquire(1) waits
+  ASSERT_TRUE(s.acquire(0).has_value());
+  std::thread waiter([&] { EXPECT_FALSE(s.acquire(1).has_value()); });
+  while (!s.starving()) std::this_thread::yield();
+  s.stop();
+  waiter.join();
+  EXPECT_TRUE(s.stopped());
+}
+
+TEST(WorkStealing, StarvingSignalTracksIdleWorkers) {
+  WorkStealingScheduler s(2);
+  s.push_root(node_with_bound(0.0));
+  ASSERT_TRUE(s.acquire(0).has_value());
+  EXPECT_FALSE(s.starving());  // nobody waiting yet
+  std::thread waiter([&] {
+    auto n = s.acquire(1);  // blocks until the push below
+    EXPECT_TRUE(n.has_value());
+  });
+  while (!s.starving()) std::this_thread::yield();
+  std::vector<search::Node> batch;
+  batch.push_back(node_with_bound(1.0));
+  s.on_expanded(2);  // the expansion that produced the spilled chain
+  s.push_batch(0, std::move(batch));
+  waiter.join();
+  EXPECT_FALSE(s.starving());
+  s.stop();
+}
+
+TEST(WorkStealing, IdleStealTakesHalfTheVictimsDeque) {
+  WorkStealingScheduler s(2, /*deque_capacity=*/64);
+  s.push_root(node_with_bound(0.0));
+  s.on_expanded(10);  // 9 more chains than the root
+  std::vector<search::Node> batch;
+  for (int i = 1; i < 10; ++i) batch.push_back(node_with_bound(i));
+  s.push_batch(0, std::move(batch));
+
+  ASSERT_TRUE(s.acquire(1).has_value());
+  const auto st = s.stats();
+  // The thief took the minimum plus roughly half of the remaining nine.
+  EXPECT_GE(st.steals, 4u);
+  s.stop();
+}
+
+TEST(WorkStealing, OverflowOffloadsHalfToTheEmptiestPeer) {
+  WorkStealingScheduler s(2, /*deque_capacity=*/2);
+  s.push_root(node_with_bound(0.0));
+  s.on_expanded(4);  // 3 more chains than the root
+  std::vector<search::Node> batch;
+  for (int i = 1; i < 4; ++i) batch.push_back(node_with_bound(i));
+  // Worker 0's deque overflows (4 > 2) while worker 1's sits empty: half
+  // must be shed across, and the global pop order must survive the move.
+  s.push_batch(0, std::move(batch));
+  EXPECT_GE(s.stats().offloads, 1u);
+  for (double expect : {0.0, 1.0, 2.0, 3.0})
+    EXPECT_DOUBLE_EQ(s.acquire(0)->bound, expect);
+}
+
+TEST(Scheduler, KindNamesAreStable) {
+  EXPECT_STREQ(scheduler_kind_name(SchedulerKind::GlobalFrontier),
+               "global-frontier");
+  EXPECT_STREQ(scheduler_kind_name(SchedulerKind::WorkStealing),
+               "work-stealing");
+}
+
+// ------------------------------------- max_solutions exact-count (fix) --
+
+class SchedulerKindP : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(SchedulerKindP, MaxSolutionsNeverOvershootsUnderContention) {
+  // Many workers racing a tiny limit on a solution-rich tree: the CAS
+  // claim loop must keep the published count exactly at the limit, run
+  // after run. (The old fetch_sub wrapped the counter past zero and let
+  // racing workers keep appending.)
+  const std::string program = workloads::layered_dag(3, 3);
+  for (int run = 0; run < 10; ++run) {
+    ParallelOptions po;
+    po.workers = 8;
+    po.max_solutions = 3;
+    po.local_capacity = 1;  // maximize sharing → maximize the race
+    po.update_weights = false;
+    po.scheduler = GetParam();
+    const auto r = solve_parallel(program, "path(n0_0,Z,P)", po);
+    EXPECT_EQ(r.solutions.size(), 3u) << "run " << run;
+    EXPECT_EQ(r.outcome, search::Outcome::SolutionLimit);
+    EXPECT_FALSE(r.exhausted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, SchedulerKindP,
+                         ::testing::Values(SchedulerKind::GlobalFrontier,
+                                           SchedulerKind::WorkStealing));
+
+// ------------------------------------------------- steal-storm stress ----
+
+TEST(WorkStealingStress, TinyDequesManyWorkersStayExact) {
+  // Deque capacity 1 forces constant offloads and steals; every answer
+  // must still be found exactly once. Runs under TSan in CI (BLOG_TSAN).
+  const std::string program = workloads::layered_dag(4, 3);
+  const auto expected = sequential_expected(program, "path(n0_0,Z,P)");
+  for (int run = 0; run < 3; ++run) {
+    ParallelOptions po;
+    po.workers = 8;
+    po.local_capacity = 1;
+    po.steal_deque_capacity = 1;
+    po.update_weights = false;
+    po.scheduler = SchedulerKind::WorkStealing;
+    const auto r = solve_parallel(program, "path(n0_0,Z,P)", po);
+    EXPECT_EQ(texts(r), expected) << "run " << run;
+    EXPECT_TRUE(r.exhausted);
+  }
+}
+
+TEST(WorkStealingStress, LazySpillKeepsTheSolutionSet) {
+  // SpillPolicy::WhenStarving defers materialization until someone is
+  // idle; the answer set must not depend on when copies happen.
+  const std::string program = workloads::layered_dag(4, 3);
+  const auto expected = sequential_expected(program, "path(n0_0,Z,P)");
+  for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+    ParallelOptions po;
+    po.workers = workers;
+    po.update_weights = false;
+    po.scheduler = SchedulerKind::WorkStealing;
+    po.spill_policy = Spill::WhenStarving;
+    const auto r = solve_parallel(program, "path(n0_0,Z,P)", po);
+    EXPECT_EQ(texts(r), expected) << "workers " << workers;
+    EXPECT_TRUE(r.exhausted);
+  }
+}
+
+TEST(WorkStealingStress, WeightUpdatesRaceCleanly) {
+  // §5 weight updates on, many workers, tiny deques: exercises the
+  // scheduler and the weight store together for the sanitizer jobs.
+  Interpreter ip;
+  ip.consult_string(workloads::layered_dag(3, 3));
+  ParallelOptions po;
+  po.workers = 8;
+  po.local_capacity = 1;
+  po.steal_deque_capacity = 2;
+  po.scheduler = SchedulerKind::WorkStealing;
+  ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(), po);
+  const auto r = pe.solve(ip.parse_query("path(n0_0,Z,P)"));
+  EXPECT_EQ(r.solutions.size(), 40u);
+  EXPECT_GT(ip.weights().session_size(), 0u);
+}
+
+}  // namespace
+}  // namespace blog::parallel
