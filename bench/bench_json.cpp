@@ -1,10 +1,13 @@
-// Machine-readable perf tracking: runs the micro/parallel/serving headline
-// workloads and emits BENCH_micro.json / BENCH_parallel.json /
-// BENCH_service.json (nodes/sec, cells_copied per expansion, queries/sec
-// and cache hit rate), so the perf trajectory of the engine is recorded PR
-// over PR.
+// Machine-readable perf tracking: runs the micro/parallel/spill/serving
+// headline workloads and emits BENCH_micro.json / BENCH_parallel.json /
+// BENCH_spill.json / BENCH_service.json (nodes/sec, cells_copied per
+// expansion, copy-on-steal traffic, queries/sec and cache hit rate), so
+// the perf trajectory of the engine is recorded PR over PR. CI's
+// perf-gate job compares this output against bench/baselines/ with
+// tools/bench_compare.py.
 //
 //   ./bench_json [output-dir]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -35,6 +38,12 @@ struct Entry {
   bool has_sched = false;
   std::uint64_t lock_acquisitions = 0;
   std::uint64_t steals = 0;
+  // Copy-on-steal traffic (spill entries only).
+  bool has_spill = false;
+  std::uint64_t handles_published = 0;
+  std::uint64_t handles_reclaimed = 0;
+  std::uint64_t handles_granted = 0;
+  std::uint64_t handles_migrated = 0;
 
   [[nodiscard]] double nodes_per_sec() const {
     return secs > 0.0 ? static_cast<double>(nodes) / secs : 0.0;
@@ -62,6 +71,11 @@ void write_json(const std::string& path, const std::vector<Entry>& entries,
     if (e.has_sched)
       out << ", \"lock_acquisitions\": " << e.lock_acquisitions
           << ", \"steals\": " << e.steals;
+    if (e.has_spill)
+      out << ", \"handles_published\": " << e.handles_published
+          << ", \"handles_reclaimed\": " << e.handles_reclaimed
+          << ", \"handles_granted\": " << e.handles_granted
+          << ", \"handles_migrated\": " << e.handles_migrated;
     out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "}\n";
@@ -91,7 +105,7 @@ Entry run_parallel(const std::string& name, const std::string& program,
                    parallel::SchedulerKind sched,
                    parallel::ParallelOptions::SpillPolicy spill,
                    std::size_t max_nodes = 1'000'000,
-                   std::size_t local_capacity = 8) {
+                   std::size_t local_capacity = 8, bool adaptive = false) {
   engine::Interpreter ip;
   ip.consult_string(program);
   parallel::ParallelOptions po;
@@ -101,6 +115,7 @@ Entry run_parallel(const std::string& name, const std::string& program,
   po.spill_policy = spill;
   po.max_nodes = max_nodes;
   po.local_capacity = local_capacity;
+  po.adaptive_capacity = adaptive;
   parallel::ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(), po);
   // Untimed warm-up: repopulates the pages the previous entry's teardown
   // returned to the OS, so the timed run measures the scheduler rather
@@ -112,9 +127,16 @@ Entry run_parallel(const std::string& name, const std::string& program,
   e.name = name;
   e.secs = seconds_since(t0);
   e.nodes = r.nodes_expanded;
-  for (const auto& w : r.workers) e.cells_copied += w.cells_copied;
+  for (const auto& w : r.workers) {
+    e.cells_copied += w.cells_copied;
+    e.handles_published += w.handles_published;
+    e.handles_reclaimed += w.handles_reclaimed;
+    e.handles_granted += w.handles_granted;
+    e.handles_migrated += w.handles_migrated;
+  }
   e.solutions = r.solutions.size();
   e.has_sched = true;
+  e.has_spill = spill == parallel::ParallelOptions::SpillPolicy::Lazy;
   e.lock_acquisitions = r.network.lock_acquisitions;
   e.steals = r.network.steals;
   return e;
@@ -324,6 +346,47 @@ int main(int argc, char** argv) {
     }
   }
   write_json(dir + "BENCH_parallel.json", par, par_summary);
+
+  // Copy-on-steal headline: eager spill materialization (the paper's
+  // naive cost model surviving at the scheduler layer) vs lazy
+  // SpillHandles + adaptive capacity (the new default stack), same deep
+  // binary-countdown workload. local_capacity 2 makes every expansion
+  // share, the worst case for eager copying; under lazy handles the copy
+  // is paid only for chains a thief actually claims, so
+  // cells_copied/expansion collapses while nodes/sec holds.
+  std::vector<Entry> sp;
+  for (const unsigned w : {1u, 2u, 4u, 8u}) {
+    sp.push_back(run_parallel("deep_w" + std::to_string(w) + "_eager", deep,
+                              "probe", w,
+                              parallel::SchedulerKind::WorkStealing,
+                              Spill::Eager, kDeepNodes, kDeepCapacity));
+    sp.push_back(run_parallel("deep_w" + std::to_string(w) + "_lazy", deep,
+                              "probe", w,
+                              parallel::SchedulerKind::WorkStealing,
+                              Spill::Lazy, kDeepNodes, kDeepCapacity,
+                              /*adaptive=*/true));
+  }
+  std::vector<std::pair<std::string, double>> sp_summary;
+  {
+    const Entry *eager = nullptr, *lazy = nullptr;
+    for (const Entry& e : sp) {
+      if (e.name == "deep_w8_eager") eager = &e;
+      if (e.name == "deep_w8_lazy") lazy = &e;
+    }
+    if (eager != nullptr && lazy != nullptr) {
+      // Floor the lazy denominator: a run with zero thefts copies zero
+      // cells, and the reduction would be infinite.
+      sp_summary.emplace_back(
+          "deep_w8_copy_reduction",
+          eager->cells_per_expansion() /
+              std::max(lazy->cells_per_expansion(), 1e-3));
+      sp_summary.emplace_back("deep_w8_lazy_speedup",
+                              eager->nodes_per_sec() > 0.0
+                                  ? lazy->nodes_per_sec() / eager->nodes_per_sec()
+                                  : 0.0);
+    }
+  }
+  write_json(dir + "BENCH_spill.json", sp, sp_summary);
 
   // Serving layer: queries/sec under concurrent clients with the answer
   // cache, against the serial-cold multiset-identical baseline (16 clients'

@@ -33,16 +33,34 @@ struct ParallelOptions {
   // single-lock global min-heap (kept for regression comparison).
   SchedulerKind scheduler = SchedulerKind::WorkStealing;
   std::size_t steal_deque_capacity = 64;  // per-worker deque bound
-  // When to materialize (deep-copy) overflow beyond local_capacity:
-  //   Eager        — every expansion, unconditionally (legacy behaviour;
-  //                  predictable sharing, pays the copies even when every
-  //                  worker is busy).
-  //   WhenStarving — only while the scheduler reports an idle worker
-  //                  (lock-free starving() signal); otherwise the fresh
-  //                  choices stay as cheap in-place pending entries. Cuts
-  //                  detach traffic to near zero on saturated runs.
-  enum class SpillPolicy { Eager, WhenStarving };
-  SpillPolicy spill_policy = SpillPolicy::Eager;
+  // How to share overflow beyond local_capacity:
+  //   Eager        — materialize (deep-copy) every expansion,
+  //                  unconditionally (legacy behaviour; predictable
+  //                  sharing, pays the copies even when every worker is
+  //                  busy).
+  //   WhenStarving — materialize only while the scheduler reports an idle
+  //                  worker (lock-free starving() signal); otherwise the
+  //                  fresh choices stay as cheap in-place pending entries.
+  //   Lazy         — copy-on-steal (default): publish SpillHandles — the
+  //                  bound enters the network, the state stays free on the
+  //                  owner's stack — and deep-copy only when a thief
+  //                  actually wins a handle's claim CAS. Subsumes
+  //                  WhenStarving: copies are paid exactly for chains an
+  //                  idle worker takes. Falls back to WhenStarving on
+  //                  schedulers without handle support (GlobalFrontier).
+  enum class SpillPolicy { Eager, WhenStarving, Lazy };
+  SpillPolicy spill_policy = SpillPolicy::Lazy;
+  // Let the scheduler float local_capacity / steal_deque_capacity around
+  // their seeds with each worker's observed steal pressure (EWMA over
+  // `capacity_ewma_window` spill events, bounds [4, 512] for the default
+  // seeds). Turn off to pin the static knobs exactly.
+  bool adaptive_capacity = true;
+  std::uint32_t capacity_ewma_window = 64;
+  // Period of the preemption timer that lets §6's D-threshold check run
+  // *inside* long builtin bursts instead of only at expansion boundaries
+  // (a ticker thread bumps an epoch; runners yield mid-burst when it
+  // changes). 0 disables the timer.
+  std::chrono::microseconds preempt_interval{500};
   search::ExpanderOptions expander;
 };
 
@@ -55,6 +73,13 @@ struct WorkerStats {
   std::uint64_t solutions = 0;
   std::uint64_t failures = 0;
   std::uint64_t cells_copied = 0;    // cells deep-copied at migration points
+  // Copy-on-steal accounting (SpillPolicy::Lazy).
+  std::uint64_t handles_published = 0;  // choices shared as lazy handles
+  std::uint64_t handles_reclaimed = 0;  // reclaimed in place: zero copies
+  std::uint64_t handles_granted = 0;    // claimed by a thief: one copy
+  std::uint64_t handles_migrated = 0;   // left with a detach_all batch
+  // Timer-driven D-threshold checks that interrupted a builtin burst.
+  std::uint64_t preemptions = 0;
 };
 
 struct ParallelResult {
@@ -79,7 +104,8 @@ private:
                    std::vector<search::Solution>& solutions,
                    std::mutex& sol_mu, std::atomic<std::int64_t>& node_budget,
                    std::atomic<std::uint64_t>& solutions_left,
-                   std::atomic<int>& stop_cause);
+                   std::atomic<int>& stop_cause,
+                   const std::atomic<std::uint64_t>* preempt_epoch);
 
   const db::Program& program_;
   db::WeightStore& weights_;

@@ -16,6 +16,14 @@
 //     victim holding the globally lowest bound. Termination is detected
 //     distributedly by an outstanding-work counter instead of a central
 //     condition variable.
+//
+// On top of materialized nodes, the work-stealing scheduler carries
+// **copy-on-steal spill handles** (search::SpillHandle): lightweight deque
+// entries whose state still lives, free, on the owning worker's pending
+// stack. §6 only requires the *bound* to be visible to the network; the
+// deep copy is deferred to the moment a thief actually wins the handle's
+// claim CAS, at which point the owner materializes the checkpointed state
+// and deposits it in the handle. Owner-reclaimed spills never copy.
 #pragma once
 
 #include <atomic>
@@ -26,6 +34,7 @@
 #include <vector>
 
 #include "blog/search/node.hpp"
+#include "blog/search/runner.hpp"  // search::SpillHandle
 
 namespace blog::parallel {
 
@@ -47,6 +56,26 @@ struct SchedulerStats {
   std::uint64_t steal_attempts = 0;     // victim scans that found a target
   std::uint64_t offloads = 0;           // overflow batches pushed to a victim
   std::uint64_t lock_acquisitions = 0;  // mutex locks taken, all paths
+  // Copy-on-steal traffic (work-stealing scheduler only).
+  std::uint64_t handles_published = 0;  // lazy entries entering deques
+  std::uint64_t handle_claims = 0;      // thief claim CASes won
+  std::uint64_t handle_grants = 0;      // claims that yielded a node
+  std::uint64_t stale_discards = 0;     // dead/reclaimed entries dropped
+};
+
+/// Tuning of the work-stealing scheduler's adaptive bounds. Each worker
+/// tracks an EWMA of its steal pressure — were any of its entries stolen
+/// (or was anyone starving) since its last spill? — and scales both its
+/// deque capacity and the suggested engine-side local capacity around the
+/// configured seeds: pressure 0.5 is neutral, 0 grows toward the upper
+/// bound (lone-hot workers stop sharding their pool), 1 shrinks toward
+/// the lower bound (saturated pools shed earlier).
+struct SchedulerTuning {
+  bool adaptive = true;
+  std::uint32_t ewma_window = 64;   // EWMA horizon, in spill events
+  std::size_t min_capacity = 4;     // adaptive lower bound
+  std::size_t max_capacity = 512;   // adaptive upper bound
+  std::size_t local_capacity_seed = 8;  // engine local_capacity seed
 };
 
 /// What the worker loop needs from a scheduler. Worker ids let the
@@ -62,6 +91,28 @@ public:
   /// Park a batch of detached choices spilled or migrated by `worker`.
   virtual void push_batch(unsigned worker,
                           std::vector<search::DetachedNode> ns) = 0;
+
+  /// Copy-on-steal support. A scheduler that returns false from
+  /// supports_handles() never sees push_handles(); the engine falls back
+  /// to materializing spills (GlobalFrontier keeps the legacy behaviour).
+  [[nodiscard]] virtual bool supports_handles() const { return false; }
+  /// Park lazy spill handles published by `worker`'s runner. The chains
+  /// stay on the runner's stack; only bounds enter the network.
+  virtual void push_handles(
+      unsigned worker, std::vector<std::shared_ptr<search::SpillHandle>> hs) {
+    (void)worker;
+    (void)hs;
+  }
+
+  /// Adaptive local-capacity suggestion for `worker` (how many pending
+  /// choices to keep private before publishing). `fallback` is the
+  /// engine-configured static knob, returned verbatim by schedulers
+  /// without adaptivity.
+  [[nodiscard]] virtual std::size_t local_capacity_hint(
+      unsigned worker, std::size_t fallback) const {
+    (void)worker;
+    return fallback;
+  }
 
   /// §6's D-threshold test: if some queued chain's bound is lower than
   /// `local_min - d`, acquire it (the caller migrates its pool out first
@@ -94,18 +145,28 @@ public:
 };
 
 /// Work-stealing scheduler: per-worker bounded deques, lock-free published
-/// minima, steal-half, counter-based distributed termination.
+/// minima, steal-half, counter-based distributed termination, copy-on-steal
+/// spill handles, adaptive per-worker capacities.
 class WorkStealingScheduler final : public Scheduler {
 public:
-  /// `deque_capacity` bounds each worker's deque; a push that overflows it
-  /// offloads the worst-bound half to the least-loaded other worker.
+  /// `deque_capacity` seeds each worker's deque bound; a push that
+  /// overflows it offloads the worst-bound half to the least-loaded other
+  /// worker. With `tuning.adaptive`, the bound (and the local-capacity
+  /// hint) float around their seeds with observed steal pressure.
   explicit WorkStealingScheduler(unsigned workers,
-                                 std::size_t deque_capacity = 64);
+                                 std::size_t deque_capacity = 64,
+                                 SchedulerTuning tuning = {});
   ~WorkStealingScheduler() override;
 
   void push_root(search::DetachedNode n) override;
   void push_batch(unsigned worker,
                   std::vector<search::DetachedNode> ns) override;
+  [[nodiscard]] bool supports_handles() const override { return true; }
+  void push_handles(
+      unsigned worker,
+      std::vector<std::shared_ptr<search::SpillHandle>> hs) override;
+  [[nodiscard]] std::size_t local_capacity_hint(
+      unsigned worker, std::size_t fallback) const override;
   std::optional<search::Node> try_acquire_better(unsigned worker,
                                                  double local_min,
                                                  double d) override;
@@ -122,11 +183,18 @@ public:
   /// under concurrent mutation). nullopt = all deques empty.
   [[nodiscard]] std::optional<double> min_bound() const;
 
+  /// Current adaptive deque capacity of `worker` (== the seed when
+  /// adaptivity is off). Exposed for tests and the bench reporter.
+  [[nodiscard]] std::size_t deque_capacity(unsigned worker) const;
+
 private:
+  // One deque entry: either a materialized chain (`lazy == nullptr`) or a
+  // copy-on-steal handle whose state still lives on the owner's stack.
   struct Entry {
     double bound;
     std::uint64_t seq;
     search::Node node;
+    std::shared_ptr<search::SpillHandle> lazy;
   };
   // Min-heap order on (bound, insertion seq) — the same total order the
   // global frontier's heap uses, so both schedulers hand out chains
@@ -137,30 +205,64 @@ private:
       return a.seq > b.seq;
     }
   };
-  // One worker's deque plus its published (lock-free readable) summary.
-  // Padded so scans of neighbours' summaries never false-share.
+  // One worker's deque plus its published (lock-free readable) summary
+  // and adaptive bounds. Padded so scans of neighbours' summaries never
+  // false-share.
   struct alignas(64) Deque {
     mutable std::mutex mu;
     std::vector<Entry> pool;  // std::*_heap managed, front = minimum bound
     std::atomic<double> pub_min;
     std::atomic<std::uint32_t> pub_size{0};
+    // Adaptive bounds, published alongside the size/min summary.
+    std::atomic<std::uint32_t> cap{64};
+    std::atomic<std::uint32_t> local_hint{8};
+    // Thefts (stolen entries + won handle claims) against this worker
+    // since its last spill — the steal-pressure sample source.
+    std::atomic<std::uint32_t> thefts_since_push{0};
+    float pressure = 0.5f;  // EWMA, owner-updated under `mu`
+  };
+
+  enum class ClaimWait {
+    Blocking,  // idle acquire: wait for the owner (stop-aware)
+    Bounded,   // D-threshold probe: bounded spin, then un-claim
   };
 
   void publish(Deque& d);
+  /// Owner-side EWMA update + capacity re-publication; called under
+  /// `d.mu` by the worker that owns `d` while spilling.
+  void adapt(Deque& d);
+  /// Drop entries whose lazy handle was already resolved elsewhere
+  /// (owner-reclaimed or dead). Called under `d.mu`; returns #removed.
+  std::size_t sweep_stale_locked(Deque& d);
   /// Move out the arbitrary back half of a locked deque (steal-half /
   /// overflow shedding); the minimum stays behind at the heap front.
   std::vector<Entry> shed_half_locked(Deque& d);
   /// Pop the best entry of a locked deque.
-  search::Node pop_best_locked(Deque& d);
+  Entry pop_best_locked(Deque& d);
+  /// Append entries to `worker`'s deque under its lock (overflow /
+  /// steal-half loot / un-claimed handle re-parks).
+  void park_entries(unsigned worker, std::vector<Entry> es);
+  /// The shared spill path of push_batch/push_handles: enqueue on `self`'s
+  /// deque, sweep stale entries, shed overflow to a starving peer, adapt.
+  void enqueue_spill(unsigned self, std::vector<Entry> es);
   /// Steal the best chain of `victim` for `thief`; when `bulk`, also move
   /// half of the remainder into the thief's deque (idle steal-half).
-  /// Returns nullopt if the victim is empty or no longer beats
-  /// `require_below` (stale published minimum).
+  /// Returns nullopt if the victim is empty, no longer beats
+  /// `require_below` (stale published minimum), or a lazy target was lost
+  /// to its owner / un-claimed — callers rescan.
   std::optional<search::Node> steal_from(unsigned thief, unsigned victim,
-                                         double require_below, bool bulk);
+                                         double require_below, bool bulk,
+                                         ClaimWait wait);
+  /// Wait on a claimed handle until the owner deposits the node (kReady),
+  /// kills it (kDead), or — in Bounded mode — the spin budget runs out
+  /// and the claim is reverted and re-parked on `thief`'s deque.
+  std::optional<search::Node> await_claim(
+      unsigned thief, std::shared_ptr<search::SpillHandle> h,
+      std::uint64_t entry_seq, ClaimWait wait);
 
   std::vector<std::unique_ptr<Deque>> deques_;
-  std::size_t capacity_;
+  std::size_t capacity_seed_;
+  SchedulerTuning tuning_;
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::int64_t> inflight_;
   std::atomic<bool> stop_{false};
@@ -169,11 +271,14 @@ private:
   // Stats, updated with relaxed atomics (hot-path friendly).
   std::atomic<std::uint64_t> pushes_{0}, pops_{0}, grants_{0}, steals_{0},
       steal_attempts_{0}, offloads_{0}, locks_{0};
+  std::atomic<std::uint64_t> handles_published_{0}, handle_claims_{0},
+      handle_grants_{0}, stale_discards_{0};
 };
 
 /// Factory used by the parallel engine (and anything else that wants a
 /// scheduler by kind).
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, unsigned workers,
-                                          std::size_t deque_capacity);
+                                          std::size_t deque_capacity,
+                                          SchedulerTuning tuning = {});
 
 }  // namespace blog::parallel

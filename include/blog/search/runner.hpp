@@ -16,10 +16,66 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "blog/search/node.hpp"
 
 namespace blog::search {
+
+/// Shared state of one **copy-on-steal** spill. Instead of materializing
+/// an overflow choice into the scheduler (a deep copy paid even when the
+/// owner reclaims the choice itself), the owner publishes a SpillHandle:
+/// bound + a claim word, while the pending choice stays — free — on the
+/// owning Runner's stack, its checkpoint pinning the trail/store segment
+/// the state lives in. The deep copy happens only when a thief actually
+/// claims the handle; owner-reclaimed choices cost nothing, exactly like
+/// in-place DFS bursts. §6 only requires that *bounds* be published
+/// through the minimum-seeking network, not that the states behind them
+/// be materialized.
+///
+/// State machine (owner = the worker whose Runner holds the choice):
+///
+///   kAvailable ──thief CAS──► kClaimed ──owner CAS──► kFulfilling ──► kReady ──thief──► kTaken
+///       │                        │  ▲                                      (node valid)
+///       │                        │  └──thief un-claim (bounded wait)◄──┘
+///       ├──owner CAS──► kOwnerTaken   (reclaimed in place; entry stale)
+///       └──owner CAS──► kDead         (dropped under stop; entry stale)
+///   kClaimed ──owner CAS──► kDead     (owner shutting down; thief gives up)
+///
+/// The claim CAS is the whole race resolution between an owner
+/// activating/rolling back a choice and a thief stealing it: exactly one
+/// side wins, and a thief that loses treats the deque entry as stale.
+struct SpillHandle {
+  enum State : std::uint32_t {
+    kAvailable,   // published; owner reclaim and thief claim race the CAS
+    kOwnerTaken,  // owner won: activated (or migrated) in place
+    kClaimed,     // a thief won; the owner must materialize for it
+    kFulfilling,  // owner is deep-copying the checkpointed state
+    kReady,       // `node` valid; only the claiming thief may take it
+    kDead,        // invalidated: owner dropped the choice under stop
+    kTaken,       // the claiming thief consumed `node` (terminal)
+  };
+  std::atomic<std::uint32_t> state{kAvailable};
+  double bound = 0.0;
+  unsigned owner = 0;  // worker id whose Runner holds the choice
+  DetachedNode node;   // deposited by the owner; valid once kReady
+  /// Lock-free wake hint: thieves bump it after a claim; the owner's
+  /// engine loop polls it each expansion boundary (Runner::
+  /// has_pending_claims) and services claims via fulfill_claims.
+  std::shared_ptr<std::atomic<std::uint64_t>> claim_ping;
+
+  /// Thief side: claim the handle. On success the owner is pinged and the
+  /// caller must wait for kReady / kDead (or un-claim via a
+  /// kClaimed→kAvailable CAS after a bounded wait).
+  bool try_claim() {
+    std::uint32_t expect = kAvailable;
+    if (!state.compare_exchange_strong(expect, kClaimed,
+                                       std::memory_order_acq_rel))
+      return false;
+    claim_ping->fetch_add(1, std::memory_order_release);
+    return true;
+  }
+};
 
 /// One untried alternative (OR-branch) of an in-place derivation: apply
 /// clause `clause` to the first goal of `goals`. Everything here is either
@@ -36,6 +92,10 @@ struct PendingChoice {
   std::uint64_t id = 0;
   std::uint64_t parent_id = 0;
   term::Checkpoint cp;          // parent state to restore before applying
+  // Non-null once published as a copy-on-steal spill: the scheduler holds
+  // the same handle, and every owner-side consumption of this choice must
+  // first win the handle's claim CAS.
+  std::shared_ptr<SpillHandle> handle;
 };
 
 /// Destructive executor for one derivation lineage. The engine drives it:
@@ -71,6 +131,11 @@ public:
   struct StepResult {
     NodeOutcome outcome = NodeOutcome::Failure;
     std::size_t children = 0;  // pending choices pushed (Expanded only)
+    // True when a preemption epoch tick interrupted a builtin burst before
+    // the resolution step ran: the state is intact (`has_state()` stays
+    // true) and the caller may run its D-threshold check, then call
+    // expand() again to resume where the burst left off.
+    bool preempted = false;
   };
 
   /// Expand the current state in place: consume leading builtins, then try
@@ -80,7 +145,15 @@ public:
   /// counted in `stats`; no `cells_copied` accrue here. On a terminal
   /// outcome the state keeps its post-builtin goals/chain for reporting
   /// and `has_state()` turns false.
-  StepResult expand(ExpandStats* stats = nullptr);
+  ///
+  /// `preempt_epoch`/`epoch_seen`: §6's D-threshold normally runs only at
+  /// expansion boundaries; a timer thread bumping `preempt_epoch` makes a
+  /// long builtin burst yield between builtin evaluations (returning
+  /// `preempted`) so the caller can migrate mid-burst. `*epoch_seen` is
+  /// the caller's per-worker record of the last epoch it acted on.
+  StepResult expand(ExpandStats* stats = nullptr,
+                    const std::atomic<std::uint64_t>* preempt_epoch = nullptr,
+                    std::uint64_t* epoch_seen = nullptr);
 
   // --- pending choices ---------------------------------------------------
   [[nodiscard]] std::size_t pending() const { return stack_.size(); }
@@ -95,11 +168,18 @@ public:
   /// Roll back to the top choice's checkpoint and apply its clause in
   /// place. The redo unification is guaranteed to succeed (the state is
   /// bit-identical to the one it was filtered against) and is not counted
-  /// in ExpandStats.
-  void activate_top();
+  /// in ExpandStats. If the top choice is a published spill handle, the
+  /// owner first races the claim CAS: winning reclaims the choice for
+  /// free (the deque entry goes stale); losing means a thief holds the
+  /// claim, so the choice is materialized and granted to it instead —
+  /// the runner returns false and the caller should try the next top.
+  /// `stats` accounts the grant's copy (only that path copies).
+  bool activate_top(ExpandStats* stats = nullptr);
 
-  /// Drop the top choice without activating it (pruned / drained).
-  void drop_top() { stack_.pop_back(); }
+  /// Drop the top choice without activating it (pruned / drained). A
+  /// published choice is resolved first: reclaim-or-kill through the
+  /// claim CAS (a claiming thief observes kDead and gives up).
+  void drop_top();
   /// Drop every pending choice with bound > cutoff; returns the count
   /// (incumbent pruning). No store traffic: checkpoints simply go unused.
   std::size_t prune_pending(double cutoff);
@@ -129,9 +209,49 @@ public:
   /// solution record.
   Solution extract_solution(ExpandStats* stats = nullptr);
 
+  /// Materialize the *current* state (mid-derivation, possibly mid-builtin
+  /// burst) as an independent node and abandon it in place — the migration
+  /// unit of a timer-preempted D-threshold hand-off. Pending choices are
+  /// untouched.
+  DetachedNode detach_state(ExpandStats* stats = nullptr);
+
   /// Discard the current state without extracting anything (an over-limit
   /// solution dropped before publication). Pending choices are untouched.
   void abandon_state() { has_state_ = false; }
+
+  // --- copy-on-steal spill handles ---------------------------------------
+  struct SpillCounters {
+    std::uint64_t published = 0;       // handles handed to the scheduler
+    std::uint64_t reclaimed_free = 0;  // owner won the CAS: zero copies
+    std::uint64_t granted = 0;         // a thief won: one deep copy paid
+    std::uint64_t migrated = 0;        // owner won during detach_all: the
+                                       // choice left with the batch (copied)
+    std::uint64_t invalidated = 0;     // killed (kDead) on drop/shutdown
+  };
+  [[nodiscard]] const SpillCounters& spill_counters() const {
+    return spill_counters_;
+  }
+
+  /// Publish unpublished pending choices as copy-on-steal handles until at
+  /// most `keep` remain private, shallowest first (the lowest bounds — the
+  /// biggest subtrees — are what thieves should see). The choices stay on
+  /// the stack; only the handles leave, via `out`, for the scheduler.
+  /// Returns the number published. `owner` is this worker's scheduler id.
+  std::size_t publish_overflow(unsigned owner, std::size_t keep,
+                               std::vector<std::shared_ptr<SpillHandle>>& out);
+
+  /// Lock-free: true when a thief has claimed one of this runner's
+  /// published handles since the last fulfill_claims call.
+  [[nodiscard]] bool has_pending_claims() const {
+    return claim_ping_->load(std::memory_order_acquire) != serviced_ping_;
+  }
+
+  /// Owner side of a steal: materialize every claimed handle *as of its
+  /// checkpoint* — through the trail's as-of view, without disturbing the
+  /// live derivation — deposit the node in the handle (kReady) and remove
+  /// the choice from the stack. Called at expansion boundaries; returns
+  /// the number granted.
+  std::size_t fulfill_claims(ExpandStats* stats = nullptr);
 
 private:
   /// Roll back to `c`'s checkpoint and re-apply its clause in place (the
@@ -139,6 +259,17 @@ private:
   void reapply(const PendingChoice& c);
   void apply(PendingChoice&& c);
   DetachedNode materialize(PendingChoice&& c, ExpandStats* stats);
+  /// Materialize `c` against the as-of view of its checkpoint (bindings
+  /// trailed since are treated as undone) — valid for ANY stack position,
+  /// at any later time, without rolling back the live state.
+  DetachedNode materialize_as_of(const PendingChoice& c, ExpandStats* stats);
+  /// Resolve a published choice about to be dropped: reclaim (kOwnerTaken)
+  /// or kill (kDead) through the claim CAS.
+  void resolve_for_drop(PendingChoice& c);
+  /// Owner-side consumption of a (possibly published) choice: win the
+  /// claim CAS (true — the choice is ours) or grant a thief's claim via
+  /// rollback-based materialization (false — the choice is consumed).
+  bool resolve_owner_take(PendingChoice& c, ExpandStats* stats);
   [[nodiscard]] std::vector<db::ClauseId> candidates(const Goal& goal) const;
   term::TermRef rename_clause(const db::Clause& clause,
                               std::vector<term::TermRef>& body);
@@ -150,6 +281,15 @@ private:
   State state_;
   term::TermRef answer_ = term::kNullTerm;
   bool has_state_ = false;
+
+  // Copy-on-steal bookkeeping. `claim_ping_` outlives the runner through
+  // the handles holding it; `serviced_ping_`/counters are owner-thread
+  // only.
+  std::shared_ptr<std::atomic<std::uint64_t>> claim_ping_ =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+  std::uint64_t serviced_ping_ = 0;
+  std::size_t published_count_ = 0;  // stack entries with a live handle
+  SpillCounters spill_counters_;
 
   // scratch (reused across steps to avoid allocation churn)
   std::unordered_map<term::TermRef, term::TermRef> vmap_;

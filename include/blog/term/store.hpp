@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "blog/support/symbol.hpp"
@@ -126,6 +127,19 @@ public:
   /// state no matter how large this (trail-managed) arena has grown.
   void compact_into(Store& dst, std::span<const TermRef> roots,
                     std::vector<TermRef>& out) const;
+
+  /// `compact_into` as of an earlier checkpoint: variables in `undone`
+  /// (the trail segment recorded since that checkpoint) are treated as
+  /// unbound, reconstructing the state a rollback would restore — without
+  /// touching this store. Cells allocated after the checkpoint are
+  /// unreachable under that view (pre-checkpoint cells can only point at
+  /// them through bindings the view undoes), so the result is exactly the
+  /// checkpointed state. This is what lets a worker materialize a
+  /// copy-on-steal spill handle for a thief while its own derivation keeps
+  /// running above the handle's checkpoint.
+  void compact_into_as_of(Store& dst, std::span<const TermRef> roots,
+                          std::vector<TermRef>& out,
+                          const std::unordered_set<TermRef>& undone) const;
 
   /// Structural equality of two (possibly cross-store) terms after deref.
   /// Unbound variables are equal only when `lhs`/`rhs` resolve to the same

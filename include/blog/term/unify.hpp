@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "blog/term/store.hpp"
@@ -21,6 +22,14 @@ public:
   /// to is being discarded wholesale.
   void clear() { entries_.clear(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  /// The variables bound since `mark`, oldest first. Read-only view into
+  /// the live trail: the as-of snapshot input of
+  /// `Store::compact_into_as_of` (every binding is trailed
+  /// unconditionally, so this is exactly the set a rollback to `mark`
+  /// would undo).
+  [[nodiscard]] std::span<const TermRef> entries_since(std::size_t mark) const {
+    return {entries_.data() + mark, entries_.size() - mark};
+  }
 
 private:
   std::vector<TermRef> entries_;

@@ -29,9 +29,22 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
                                  std::mutex& sol_mu,
                                  std::atomic<std::int64_t>& node_budget,
                                  std::atomic<std::uint64_t>& solutions_left,
-                                 std::atomic<int>& stop_cause) {
+                                 std::atomic<int>& stop_cause,
+                                 const std::atomic<std::uint64_t>* preempt_epoch) {
   search::Runner runner(expander);
   search::ExpandStats estats;
+  // Lazy spilling needs scheduler-side handle support; downgrade to the
+  // starvation gate on schedulers without it (GlobalFrontier).
+  const ParallelOptions::SpillPolicy policy =
+      opts_.spill_policy == ParallelOptions::SpillPolicy::Lazy &&
+              !net.supports_handles()
+          ? ParallelOptions::SpillPolicy::WhenStarving
+          : opts_.spill_policy;
+  std::uint64_t epoch_seen =
+      preempt_epoch ? preempt_epoch->load(std::memory_order_relaxed) : 0;
+  // True while re-entering expand() after a preemption yield: the
+  // expansion was already counted against the budget and ws.expanded.
+  bool resuming = false;
 
   // Spill a detached choice batch through the scheduler in one call.
   std::vector<search::DetachedNode> spill;
@@ -42,44 +55,96 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
     net.push_batch(worker, std::move(spill));
     spill.clear();
   };
+  // Cells deep-copied by `fn`, charged to this worker.
+  const auto charge_copies = [&](auto&& fn) {
+    const std::size_t before = estats.cells_copied;
+    fn();
+    ws.cells_copied += estats.cells_copied - before;
+  };
+  std::vector<std::shared_ptr<search::SpillHandle>> handles;
 
   for (;;) {
     if (net.stopped()) break;
 
+    // --- service copy-on-steal claims ------------------------------------
+    // Thieves that won a claim CAS wait for us to materialize the
+    // checkpointed state; one boundary of latency, through the trail's
+    // as-of view (the live derivation is untouched).
+    if (runner.has_pending_claims())
+      charge_copies([&] { runner.fulfill_claims(&estats); });
+
     // --- acquire a chain -------------------------------------------------
-    if (runner.pending() == 0) {
-      auto taken = net.acquire(worker);
-      if (!taken) break;  // terminated or stopped
-      runner.load(std::move(*taken));
-      ++ws.network_takes;
-    } else if (auto better = net.try_acquire_better(
-                   worker, runner.min_pending_bound(), opts_.d_threshold)) {
-      // The network minimum is more than D below our local minimum: the
-      // freed task acquires the chain through the network (§6). The whole
-      // local pool migrates out with it — copy-on-migration, batched.
-      const std::size_t before = estats.cells_copied;
-      spill = runner.detach_all(&estats);
-      ws.cells_copied += estats.cells_copied - before;
-      flush_spills();
-      runner.load(std::move(*better));
-      ++ws.network_takes;
-    } else {
-      // Continue in place on the local pool (trail rollback, no copying).
-      runner.activate_top();
-      ++ws.local_takes;
+    if (!runner.has_state()) {
+      if (runner.pending() == 0) {
+        auto taken = net.acquire(worker);
+        if (!taken) break;  // terminated or stopped
+        runner.load(std::move(*taken));
+        ++ws.network_takes;
+      } else if (auto better = net.try_acquire_better(
+                     worker, runner.min_pending_bound(), opts_.d_threshold)) {
+        // The network minimum is more than D below our local minimum: the
+        // freed task acquires the chain through the network (§6). The whole
+        // local pool migrates out with it — copy-on-migration, batched.
+        // detach_all resolves published handles on the way out (claimed
+        // ones are granted to their thief instead of joining the batch).
+        charge_copies([&] { spill = runner.detach_all(&estats); });
+        flush_spills();
+        runner.load(std::move(*better));
+        ++ws.network_takes;
+      } else {
+        // Continue in place on the local pool (trail rollback, no
+        // copying). A published top races its claim CAS: losing grants
+        // the choice to the claiming thief and we try the next one.
+        bool activated = false;
+        charge_copies([&] { activated = runner.activate_top(&estats); });
+        if (!activated) continue;
+        ++ws.local_takes;
+      }
     }
 
     // --- budget ----------------------------------------------------------
-    if (node_budget.fetch_sub(1, std::memory_order_relaxed) <= 0 ||
-        search::deadline_passed(opts_.deadline)) {
-      report_stop(stop_cause, search::Outcome::BudgetExceeded);
-      net.stop();
-      break;
+    if (!resuming) {
+      if (node_budget.fetch_sub(1, std::memory_order_relaxed) <= 0 ||
+          search::deadline_passed(opts_.deadline)) {
+        report_stop(stop_cause, search::Outcome::BudgetExceeded);
+        net.stop();
+        break;
+      }
+      ++ws.expanded;
     }
+    resuming = false;
 
     // --- expand in place -------------------------------------------------
-    ++ws.expanded;
-    const search::Runner::StepResult step = runner.expand(&estats);
+    const search::Runner::StepResult step =
+        runner.expand(&estats, preempt_epoch, &epoch_seen);
+
+    if (step.preempted) {
+      // Timer tick mid-builtin-burst: run the D-threshold check that
+      // normally waits for the expansion boundary. If the network holds a
+      // strictly better chain, the whole pool — including the live
+      // mid-burst state — migrates out (§6's freed-task hand-off);
+      // otherwise resume the burst where it yielded.
+      ++ws.preemptions;
+      resuming = true;
+      double local_min = runner.state().bound;
+      if (runner.pending() > 0)
+        local_min = std::min(local_min, runner.min_pending_bound());
+      if (auto better =
+              net.try_acquire_better(worker, local_min, opts_.d_threshold)) {
+        charge_copies([&] {
+          spill.push_back(runner.detach_state(&estats));
+          auto rest = runner.detach_all(&estats);
+          std::move(rest.begin(), rest.end(), std::back_inserter(spill));
+        });
+        flush_spills();
+        runner.load(std::move(*better));
+        ++ws.network_takes;
+        // The migrated-out state is re-counted by whoever resumes it; the
+        // chain we just loaded is a fresh expansion of our own.
+        resuming = false;
+      }
+      continue;
+    }
 
     switch (step.outcome) {
       case search::NodeOutcome::Solution: {
@@ -103,9 +168,8 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
         if (opts_.update_weights)
           search::update_on_success(weights_, runner.state().chain.get());
         ++ws.solutions;
-        const std::size_t before = estats.cells_copied;
-        search::Solution sol = runner.extract_solution(&estats);
-        ws.cells_copied += estats.cells_copied - before;
+        search::Solution sol;
+        charge_copies([&] { sol = runner.extract_solution(&estats); });
         {
           std::lock_guard lock(sol_mu);
           solutions.push_back(std::move(sol));
@@ -118,30 +182,45 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
         break;
       }
       case search::NodeOutcome::Expanded: {
-        // Keep the best-ordered prefix of children locally up to capacity;
-        // detach and spill the rest so idle processors find work. Freshly
-        // created siblings share the current checkpoint, so detaching them
-        // costs no trail unwinding.
-        // The new block sits above `base`; its bottom entry is the last
-        // clause, which is what overflows first (clause-order prefix kept).
-        // Under WhenStarving, the copies are paid only while some worker
-        // is actually idle (lock-free starving() poll); a backlog kept
-        // local during saturation drains through later expansions' fresh
-        // blocks once starvation reappears.
-        if (opts_.spill_policy == ParallelOptions::SpillPolicy::Eager ||
-            net.starving()) {
+        if (policy == ParallelOptions::SpillPolicy::Lazy) {
+          // Copy-on-steal: publish handles for everything beyond the
+          // (possibly adaptive) local capacity. The choices stay on the
+          // stack — sharing costs a shared_ptr per choice, not a copy —
+          // and the deep copy happens only if a thief claims one.
+          const std::size_t keep =
+              net.local_capacity_hint(worker, opts_.local_capacity);
+          handles.clear();
+          runner.publish_overflow(worker, keep, handles);
+          if (!handles.empty()) {
+            ws.handles_published += handles.size();
+            net.push_handles(worker, std::move(handles));
+            handles.clear();
+          }
+        } else if (policy == ParallelOptions::SpillPolicy::Eager ||
+                   net.starving()) {
+          // Keep the best-ordered prefix of children locally up to
+          // capacity; detach and spill the rest so idle processors find
+          // work. Freshly created siblings share the current checkpoint,
+          // so detaching them costs no trail unwinding.
+          // The new block sits above `base`; its bottom entry is the last
+          // clause, which is what overflows first (clause-order prefix
+          // kept). Under WhenStarving, the copies are paid only while
+          // some worker is actually idle (lock-free starving() poll); a
+          // backlog kept local during saturation drains through later
+          // expansions' fresh blocks once starvation reappears.
           const std::size_t base = runner.pending() - step.children;
+          const std::size_t capacity =
+              net.local_capacity_hint(worker, opts_.local_capacity);
           // Only the fresh block is detachable without trail unwinding;
           // older entries stay local until the worker consumes them. Keep
           // at least the first-clause child so the depth-first in-place
           // burst continues even while shedding a starvation backlog.
           const std::size_t keep =
-              opts_.spill_policy == ParallelOptions::SpillPolicy::Eager
-                  ? opts_.local_capacity
-                  : std::max(opts_.local_capacity, base + 1);
-          const std::size_t before = estats.cells_copied;
-          runner.detach_overflow(base, keep, spill, &estats);
-          ws.cells_copied += estats.cells_copied - before;
+              policy == ParallelOptions::SpillPolicy::Eager
+                  ? capacity
+                  : std::max(capacity, base + 1);
+          charge_copies(
+              [&] { runner.detach_overflow(base, keep, spill, &estats); });
           flush_spills();
         }
         net.on_expanded(step.children);
@@ -160,17 +239,27 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
   }
 
   // Local leftovers die with the worker (stop or termination): account for
-  // them so other workers' pop_blocking can conclude.
+  // them so other workers' acquisition can conclude. drop_top resolves
+  // published handles (kDead) so claiming thieves give up instead of
+  // waiting on a dead owner.
   while (runner.pending() > 0) {
     runner.drop_top();
     net.on_expanded(0);
   }
+  const search::Runner::SpillCounters& sc = runner.spill_counters();
+  ws.handles_reclaimed = sc.reclaimed_free;
+  ws.handles_granted = sc.granted;
+  ws.handles_migrated = sc.migrated;
 }
 
 ParallelResult ParallelEngine::solve(const search::Query& q) {
   search::Expander expander(program_, weights_, builtins_, opts_.expander);
+  SchedulerTuning tuning;
+  tuning.adaptive = opts_.adaptive_capacity;
+  tuning.ewma_window = opts_.capacity_ewma_window;
+  tuning.local_capacity_seed = opts_.local_capacity;
   const std::unique_ptr<Scheduler> net = make_scheduler(
-      opts_.scheduler, opts_.workers, opts_.steal_deque_capacity);
+      opts_.scheduler, opts_.workers, opts_.steal_deque_capacity, tuning);
   net->push_root(expander.make_root(q));
 
   ParallelResult result;
@@ -185,15 +274,39 @@ ParallelResult ParallelEngine::solve(const search::Query& q) {
           : opts_.max_solutions};
   std::atomic<int> stop_cause{-1};
 
+  // Preemption ticker: bump an epoch every preempt_interval so runners
+  // yield out of long builtin bursts for a mid-burst D-threshold check.
+  std::atomic<std::uint64_t> preempt_epoch{0};
+  std::atomic<bool> ticker_stop{false};
+  std::thread ticker;
+  // Preemption can only trigger inside builtin bursts, so a program with
+  // no builtin evaluator never pays the ticker thread (one extra thread
+  // per solve otherwise — noticeable only against very short queries).
+  const bool tick =
+      opts_.preempt_interval.count() > 0 && builtins_ != nullptr;
+  if (tick) {
+    ticker = std::thread([&] {
+      while (!ticker_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(opts_.preempt_interval);
+        preempt_epoch.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(opts_.workers);
   for (unsigned w = 0; w < opts_.workers; ++w) {
     threads.emplace_back([&, w] {
       worker_loop(expander, *net, w, result.workers[w], solutions, sol_mu,
-                  node_budget, solutions_left, stop_cause);
+                  node_budget, solutions_left, stop_cause,
+                  tick ? &preempt_epoch : nullptr);
     });
   }
   for (auto& t : threads) t.join();
+  if (tick) {
+    ticker_stop.store(true, std::memory_order_relaxed);
+    ticker.join();
+  }
 
   result.solutions = std::move(solutions);
   result.network = net->stats();

@@ -121,14 +121,18 @@ GlobalFrontier::Stats GlobalFrontier::stats() const {
 }
 
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, unsigned workers,
-                                          std::size_t deque_capacity) {
+                                          std::size_t deque_capacity,
+                                          SchedulerTuning tuning) {
   switch (kind) {
     case SchedulerKind::GlobalFrontier:
       // The root is pushed by the engine via push_root(); start at zero
-      // in-flight so the first push_root accounts for it.
+      // in-flight so the first push_root accounts for it. (No handle or
+      // adaptivity support: the engine falls back to materialized spills
+      // and the static knobs.)
       return std::make_unique<GlobalFrontier>(0);
     case SchedulerKind::WorkStealing:
-      return std::make_unique<WorkStealingScheduler>(workers, deque_capacity);
+      return std::make_unique<WorkStealingScheduler>(workers, deque_capacity,
+                                                     tuning);
   }
   return nullptr;
 }

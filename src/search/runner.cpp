@@ -59,17 +59,36 @@ term::TermRef Runner::rename_clause(const db::Clause& clause,
   return head;
 }
 
-Runner::StepResult Runner::expand(ExpandStats* stats) {
+Runner::StepResult Runner::expand(ExpandStats* stats,
+                                  const std::atomic<std::uint64_t>* preempt_epoch,
+                                  std::uint64_t* epoch_seen) {
   assert(has_state_);
   const ExpanderOptions& opts = ex_.options();
   BuiltinEvaluator* builtins = ex_.builtins();
 
   // Consume leading builtin goals in place (they are deterministic); their
   // bindings become part of this state, below the children's checkpoint.
+  bool in_builtin_burst = false;
   while (!state_.goals.empty() && builtins != nullptr) {
+    // Only an actual burst — at least one builtin already consumed — may
+    // yield; otherwise every epoch tick would preempt every worker once
+    // even on builtin-free workloads.
+    if (in_builtin_burst && preempt_epoch != nullptr && epoch_seen != nullptr) {
+      const std::uint64_t e = preempt_epoch->load(std::memory_order_relaxed);
+      if (e != *epoch_seen) {
+        // Timer tick: yield mid-burst so the caller can run the
+        // D-threshold check. State stays live; re-entering resumes here.
+        *epoch_seen = e;
+        StepResult r;
+        r.outcome = NodeOutcome::Expanded;  // meaningless while preempted
+        r.preempted = true;
+        return r;
+      }
+    }
     const auto outcome =
         builtins->eval(store_, state_.goals.front().term, trail_);
     if (outcome == BuiltinEvaluator::Outcome::NotBuiltin) break;
+    in_builtin_burst = true;  // ≥1 builtin consumed: preemption may yield
     if (stats) ++stats->builtin_calls;
     if (outcome == BuiltinEvaluator::Outcome::Fail) {
       has_state_ = false;
@@ -186,17 +205,86 @@ void Runner::apply(PendingChoice&& c) {
   has_state_ = true;
 }
 
-void Runner::activate_top() {
+bool Runner::resolve_owner_take(PendingChoice& c, ExpandStats* stats) {
+  if (!c.handle) return true;
+  --published_count_;
+  for (;;) {
+    std::uint32_t s = c.handle->state.load(std::memory_order_acquire);
+    if (s == SpillHandle::kAvailable) {
+      if (c.handle->state.compare_exchange_weak(s, SpillHandle::kOwnerTaken,
+                                                std::memory_order_acq_rel))
+        return true;  // ours; the deque entry goes stale
+    } else if (s == SpillHandle::kOwnerTaken) {
+      // A scheduler pop already resolved this self-owned entry in our
+      // favour (reclaim-on-self-pop); nothing left to race.
+      return true;
+    } else if (s == SpillHandle::kClaimed) {
+      if (c.handle->state.compare_exchange_weak(s, SpillHandle::kFulfilling,
+                                                std::memory_order_acq_rel)) {
+        // A thief beat us to the claim: grant it. The caller is about to
+        // roll back to (or past) this checkpoint anyway, so the regular
+        // rollback-based materialize applies.
+        const std::shared_ptr<SpillHandle> h = c.handle;
+        h->node = materialize(std::move(c), stats);
+        h->state.store(SpillHandle::kReady, std::memory_order_release);
+        ++spill_counters_.granted;
+        return false;
+      }
+    } else {
+      assert(false && "kFulfilling/kReady/kDead/kTaken are unreachable "
+                      "while the choice sits on the owner's stack");
+      return true;
+    }
+  }
+}
+
+bool Runner::activate_top(ExpandStats* stats) {
   assert(!stack_.empty());
   PendingChoice c = std::move(stack_.back());
   stack_.pop_back();
+  const bool published = c.handle != nullptr;
+  if (!resolve_owner_take(c, stats)) return false;  // granted to a thief
+  if (published) {
+    // Ours again without a single copy — the point of copy-on-steal.
+    ++spill_counters_.reclaimed_free;
+  }
   apply(std::move(c));
+  return true;
+}
+
+void Runner::resolve_for_drop(PendingChoice& c) {
+  if (!c.handle) return;
+  --published_count_;
+  for (;;) {
+    std::uint32_t s = c.handle->state.load(std::memory_order_acquire);
+    if (s == SpillHandle::kOwnerTaken) return;  // already resolved for us
+    if (s == SpillHandle::kAvailable || s == SpillHandle::kClaimed) {
+      // A claiming thief observes kDead, abandons the claim and rescans.
+      if (c.handle->state.compare_exchange_weak(s, SpillHandle::kDead,
+                                                std::memory_order_acq_rel)) {
+        ++spill_counters_.invalidated;
+        return;
+      }
+    } else {
+      assert(false && "published choice in terminal handle state");
+      return;
+    }
+  }
+}
+
+void Runner::drop_top() {
+  assert(!stack_.empty());
+  resolve_for_drop(stack_.back());
+  stack_.pop_back();
 }
 
 std::size_t Runner::prune_pending(double cutoff) {
   const std::size_t before = stack_.size();
-  std::erase_if(stack_,
-                [&](const PendingChoice& c) { return c.bound > cutoff; });
+  // Published choices are skipped: a thief may hold their claim, and the
+  // engines that prune (sequential incumbent search) never publish.
+  std::erase_if(stack_, [&](const PendingChoice& c) {
+    return c.handle == nullptr && c.bound > cutoff;
+  });
   return before - stack_.size();
 }
 
@@ -280,14 +368,173 @@ std::vector<DetachedNode> Runner::detach_all(ExpandStats* stats) {
   std::vector<DetachedNode> out;
   out.reserve(stack_.size());
   // Top first: checkpoints are monotone down the stack, so the trail is
-  // unwound progressively and never needs replaying.
+  // unwound progressively and never needs replaying. Published choices
+  // are resolved through their claim CAS on the way out: reclaimed ones
+  // migrate with the batch, claimed ones are granted to their thief (and
+  // are not part of the batch).
   while (!stack_.empty()) {
     PendingChoice c = std::move(stack_.back());
     stack_.pop_back();
+    const bool published = c.handle != nullptr;
+    if (!resolve_owner_take(c, stats)) continue;
+    if (published) ++spill_counters_.migrated;  // owner-won, but not free
     out.push_back(materialize(std::move(c), stats));
   }
   has_state_ = false;
   return out;
+}
+
+DetachedNode Runner::detach_state(ExpandStats* stats) {
+  assert(has_state_);
+  std::vector<term::TermRef> roots;
+  const bool with_answer = answer_ != term::kNullTerm;
+  roots.reserve(1 + state_.goals.size());
+  if (with_answer) roots.push_back(answer_);
+  for (const Goal& g : state_.goals) roots.push_back(g.term);
+
+  DetachedNode d;
+  std::vector<term::TermRef> out;
+  store_.compact_into(d.store, roots, out);
+  std::size_t k = 0;
+  if (with_answer) d.answer = out[k++];
+  d.goals.reserve(state_.goals.size());
+  for (const Goal& src : state_.goals) {
+    Goal g = src;
+    g.term = out[k++];
+    d.goals.push_back(g);
+  }
+  d.bound = state_.bound;
+  d.depth = state_.depth;
+  d.chain = std::move(state_.chain);
+  d.id = state_.id;
+  d.parent_id = state_.parent_id;
+  has_state_ = false;
+  if (stats) {
+    stats->cells_copied += d.store.size();
+    ++stats->detaches;
+  }
+  return d;
+}
+
+std::size_t Runner::publish_overflow(
+    unsigned owner, std::size_t keep,
+    std::vector<std::shared_ptr<SpillHandle>>& out) {
+  const std::size_t unpublished = stack_.size() - published_count_;
+  if (unpublished <= keep) return 0;
+  std::size_t k = unpublished - keep;
+  const std::size_t published = k;
+  // Published choices always form a stack prefix: publishing fills from
+  // the bottom, pops/grants/fulfills only ever remove published entries
+  // from inside it, and new choices push unpublished on top. So the scan
+  // starts at the prefix end — O(children), not O(depth), per expansion.
+  for (std::size_t i = published_count_; k > 0; ++i, --k) {
+    PendingChoice& c = stack_[i];
+    assert(c.handle == nullptr && "published prefix invariant violated");
+    auto h = std::make_shared<SpillHandle>();
+    h->bound = c.bound;
+    h->owner = owner;
+    h->claim_ping = claim_ping_;
+    c.handle = h;
+    out.push_back(std::move(h));
+    ++published_count_;
+    ++spill_counters_.published;
+  }
+  return published;
+}
+
+std::size_t Runner::fulfill_claims(ExpandStats* stats) {
+  // Claims pinged after this read are caught at the next boundary.
+  const std::uint64_t ping = claim_ping_->load(std::memory_order_acquire);
+  if (ping == serviced_ping_) return 0;
+  serviced_ping_ = ping;
+  std::size_t granted = 0;
+  // Published choices form a stack prefix (see publish_overflow), so the
+  // claim scan never needs to walk past it.
+  for (std::size_t i = 0; i < published_count_;) {
+    PendingChoice& c = stack_[i];
+    std::uint32_t expect = SpillHandle::kClaimed;
+    if (c.handle != nullptr &&
+        c.handle->state.compare_exchange_strong(expect, SpillHandle::kFulfilling,
+                                                std::memory_order_acq_rel)) {
+      PendingChoice taken = std::move(c);
+      stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(i));
+      --published_count_;
+      taken.handle->node = materialize_as_of(taken, stats);
+      taken.handle->state.store(SpillHandle::kReady,
+                                std::memory_order_release);
+      ++spill_counters_.granted;
+      ++granted;
+    } else {
+      ++i;
+    }
+  }
+  return granted;
+}
+
+DetachedNode Runner::materialize_as_of(const PendingChoice& c,
+                                       ExpandStats* stats) {
+  // Reconstruct the choice's parent state as of its checkpoint through the
+  // trail's as-of view: every binding trailed since the checkpoint is
+  // treated as undone, so the live derivation above it is untouched.
+  // (Bindings of post-checkpoint variables may be in the set too; they are
+  // unreachable under the view and therefore harmless.)
+  std::unordered_set<term::TermRef> undone;
+  for (const term::TermRef v : trail_.entries_since(c.cp.trail))
+    if (v < c.cp.store.cells) undone.insert(v);
+
+  const std::vector<Goal>& pg = *c.goals;
+  std::vector<term::TermRef> roots;
+  const bool with_answer = answer_ != term::kNullTerm;
+  roots.reserve(1 + pg.size());
+  if (with_answer) roots.push_back(answer_);
+  for (const Goal& g : pg) roots.push_back(g.term);
+
+  DetachedNode d;
+  std::vector<term::TermRef> out;
+  store_.compact_into_as_of(d.store, roots, out, undone);
+  std::size_t k = 0;
+  if (with_answer) d.answer = out[k++];
+  const term::TermRef goal0 = out[k];
+
+  // Apply the choice's clause inside the detached copy: rename head and
+  // body there and redo the unification this choice was filtered with —
+  // guaranteed to succeed, the compacted state being the very one it
+  // succeeded against.
+  const db::Clause& clause = ex_.program().clause(c.clause);
+  std::unordered_map<term::TermRef, term::TermRef> cmap;
+  const term::TermRef head = d.store.import(clause.store(), clause.head(), cmap);
+  std::vector<term::TermRef> body(clause.body().size());
+  for (std::size_t i = 0; i < body.size(); ++i)
+    body[i] = d.store.import(clause.store(), clause.body()[i], cmap);
+  term::Trail scratch;
+  const bool ok = term::unify(d.store, goal0, head, scratch,
+                              {.occurs_check = ex_.options().occurs_check});
+  assert(ok);
+  (void)ok;
+
+  d.goals.reserve(body.size() + pg.size() - 1);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    Goal g;
+    g.term = body[i];
+    g.src_clause = c.arc.key.callee;
+    g.src_literal = static_cast<std::uint32_t>(i);
+    d.goals.push_back(g);
+  }
+  for (std::size_t i = 1; i < pg.size(); ++i) {
+    Goal g = pg[i];
+    g.term = out[k + i];
+    d.goals.push_back(g);
+  }
+  d.bound = c.bound;
+  d.depth = c.depth;
+  d.chain = c.chain;
+  d.id = c.id;
+  d.parent_id = c.parent_id;
+  if (stats) {
+    stats->cells_copied += d.store.size();
+    ++stats->detaches;
+  }
+  return d;
 }
 
 Solution Runner::extract_solution(ExpandStats* stats) {

@@ -138,9 +138,15 @@ QueryResponse QueryService::run_admitted(const QueryRequest& req,
     po.deadline = deadline;
     po.update_weights = opts_.update_weights;
     po.scheduler = opts_.parallel_scheduler;
-    // Serving cares about saturated throughput: only pay detach copies
-    // when a worker is actually idle.
-    po.spill_policy = parallel::ParallelOptions::SpillPolicy::WhenStarving;
+    // Serving cares about saturated throughput: copy-on-steal publishes
+    // only bounds, and detach copies are paid exactly for the chains an
+    // idle worker actually claims (the starving() gate falls out for
+    // free — WhenStarving is the fallback on handle-less schedulers).
+    po.spill_policy = parallel::ParallelOptions::SpillPolicy::Lazy;
+    // Short served queries would pay a ticker-thread spawn per request for
+    // a mid-builtin-burst D-threshold check they never need; the per-
+    // expansion deadline check already bounds their latency.
+    po.preempt_interval = std::chrono::microseconds(0);
     parallel::ParallelEngine pe(*snap.program, weights_, &builtins_, po);
     auto r = pe.solve(q);
     resp.outcome = r.outcome;

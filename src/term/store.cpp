@@ -48,29 +48,51 @@ TermRef Store::deref(TermRef t) const {
   return t;
 }
 
-TermRef Store::import(const Store& src, TermRef t,
-                      std::unordered_map<TermRef, TermRef>& var_map) {
-  t = src.deref(t);
-  const Cell& c = src.cells_[t];
+namespace {
+
+/// deref that treats any variable in `undone` as unbound: its binding was
+/// made after the checkpoint being reconstructed. nullptr = plain deref.
+TermRef deref_maybe_as_of(const Store& s, TermRef t,
+                          const std::unordered_set<TermRef>* undone) {
+  while (s.is_var(t) && !s.is_unbound(t) &&
+         (undone == nullptr || !undone->contains(t)))
+    t = s.cell(t).a;
+  return t;
+}
+
+/// The one import traversal, shared by the live view (undone == nullptr)
+/// and the checkpoint as-of view.
+TermRef import_impl(Store& dst, const Store& src, TermRef t,
+                    std::unordered_map<TermRef, TermRef>& var_map,
+                    const std::unordered_set<TermRef>* undone) {
+  t = deref_maybe_as_of(src, t, undone);
+  const Cell& c = src.cell(t);
   switch (c.tag) {
     case Tag::Var: {
       if (auto it = var_map.find(t); it != var_map.end()) return it->second;
-      const TermRef v = make_var(Symbol{c.b});
+      const TermRef v = dst.make_var(Symbol{c.b});
       var_map.emplace(t, v);
       return v;
     }
     case Tag::Atom:
-      return make_atom(Symbol{c.a});
+      return dst.make_atom(Symbol{c.a});
     case Tag::Int:
-      return make_int(src.int_value(t));
+      return dst.make_int(src.int_value(t));
     case Tag::Struct: {
       std::vector<TermRef> kids(c.c);
       for (std::uint32_t i = 0; i < c.c; ++i)
-        kids[i] = import(src, src.args_[c.b + i], var_map);
-      return make_struct(Symbol{c.a}, kids);
+        kids[i] = import_impl(dst, src, src.arg(t, i), var_map, undone);
+      return dst.make_struct(Symbol{c.a}, kids);
     }
   }
   return kNullTerm;  // unreachable
+}
+
+}  // namespace
+
+TermRef Store::import(const Store& src, TermRef t,
+                      std::unordered_map<TermRef, TermRef>& var_map) {
+  return import_impl(*this, src, t, var_map, nullptr);
 }
 
 void Store::truncate(const Watermark& m) {
@@ -84,6 +106,16 @@ void Store::compact_into(Store& dst, std::span<const TermRef> roots,
   std::unordered_map<TermRef, TermRef> var_map;
   out.reserve(out.size() + roots.size());
   for (const TermRef r : roots) out.push_back(dst.import(*this, r, var_map));
+}
+
+void Store::compact_into_as_of(Store& dst, std::span<const TermRef> roots,
+                               std::vector<TermRef>& out,
+                               const std::unordered_set<TermRef>& undone) const {
+  if (undone.empty()) return compact_into(dst, roots, out);
+  std::unordered_map<TermRef, TermRef> var_map;
+  out.reserve(out.size() + roots.size());
+  for (const TermRef r : roots)
+    out.push_back(import_impl(dst, *this, r, var_map, &undone));
 }
 
 bool Store::equal(const Store& sa, TermRef a, const Store& sb, TermRef b) {

@@ -42,6 +42,10 @@ TEST(Parallel2, TinyLocalCapacityForcesSharing) {
   ParallelOptions o;
   o.workers = 4;
   o.local_capacity = 0;  // everything goes through the network
+  // Eager + static capacities: under the copy-on-steal default, choices
+  // stay on the owner's stack and local takes would be nonzero by design.
+  o.spill_policy = ParallelOptions::SpillPolicy::Eager;
+  o.adaptive_capacity = false;
   o.update_weights = false;
   ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(), o);
   const auto r = pe.solve(ip.parse_query("path(n0_0,Z,P)"));

@@ -133,7 +133,10 @@ TEST_P(WorkerCount, ParallelSolutionTextsIdenticalToLegacySequential) {
 
 TEST_P(WorkerCount, TinyLocalCapacityForcesMigrationAndStaysExact) {
   // Capacity 1 makes nearly every choice migrate through the network —
-  // the stress case for detach/materialize correctness.
+  // the stress case for detach/materialize correctness. Pinned to the
+  // eager-materializing policy with static capacities now that the
+  // engine defaults to copy-on-steal (which has its own storm stress in
+  // scheduler_test).
   search::SearchOptions o;
   o.update_weights = false;
   Interpreter legacy;
@@ -147,6 +150,8 @@ TEST_P(WorkerCount, TinyLocalCapacityForcesMigrationAndStaysExact) {
   po.workers = GetParam();
   po.local_capacity = 1;
   po.d_threshold = 0.0;
+  po.spill_policy = parallel::ParallelOptions::SpillPolicy::Eager;
+  po.adaptive_capacity = false;
   po.update_weights = false;
   parallel::ParallelEngine pe(par.program(), par.weights(), &par.builtins(),
                               po);
@@ -205,9 +210,13 @@ TEST_P(SchedulerGrid, SolutionSetsIdenticalToLegacyAcrossStrategies) {
 }
 
 TEST_P(SchedulerGrid, LazySpillMatchesEagerSpill) {
+  // Copy deferral must never change what is found: the starvation-gated
+  // policy and the copy-on-steal handle policy both have to be
+  // byte-identical to unconditional eager spilling.
+  using Spill = parallel::ParallelOptions::SpillPolicy;
   const auto [sched, workers] = GetParam();
   for (const Workload& w : workload_set()) {
-    auto run = [&](parallel::ParallelOptions::SpillPolicy spill) {
+    auto run = [&](Spill spill) {
       Interpreter ip;
       ip.consult_string(w.program);
       parallel::ParallelOptions po;
@@ -223,9 +232,12 @@ TEST_P(SchedulerGrid, LazySpillMatchesEagerSpill) {
       std::sort(got.begin(), got.end());
       return got;
     };
-    EXPECT_EQ(run(parallel::ParallelOptions::SpillPolicy::WhenStarving),
-              run(parallel::ParallelOptions::SpillPolicy::Eager))
-        << w.name << " workers=" << workers;
+    const auto eager = run(Spill::Eager);
+    for (const Spill deferred : {Spill::WhenStarving, Spill::Lazy}) {
+      EXPECT_EQ(run(deferred), eager)
+          << w.name << " workers=" << workers << " policy="
+          << (deferred == Spill::Lazy ? "lazy" : "when-starving");
+    }
   }
 }
 

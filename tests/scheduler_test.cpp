@@ -1,10 +1,13 @@
 // Work-stealing scheduler tests: deque/steal/termination unit behaviour,
-// the max_solutions exact-count fix under contention, and steal-storm
-// stress with tiny deques (the BLOG_TSAN CI job runs all of these under
-// the thread sanitizer).
+// the max_solutions exact-count fix under contention, copy-on-steal spill
+// handle lifecycle (claim CAS, owner fulfillment, invalidation races),
+// timer-driven D-threshold preemption, and steal-storm stress with tiny
+// deques (the BLOG_TSAN CI job runs all of these under the thread
+// sanitizer).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "blog/parallel/engine.hpp"
@@ -161,6 +164,123 @@ TEST(Scheduler, KindNamesAreStable) {
                "work-stealing");
 }
 
+// -------------------------------------------------- adaptive capacity ----
+
+TEST(AdaptiveCapacity, TracksStealPressure) {
+  SchedulerTuning t;
+  t.ewma_window = 1;  // alpha = 1: the EWMA tracks the last sample exactly
+  WorkStealingScheduler s(2, /*deque_capacity=*/8, t);
+  EXPECT_EQ(s.deque_capacity(0), 8u);  // seed until the first spill
+  // Unstolen spill with nobody idle: pressure sample 0 — the capacity
+  // grows above its seed (a lone-hot worker stops sharding its pool).
+  s.on_expanded(2);
+  std::vector<search::Node> b1;
+  b1.push_back(node_with_bound(1.0));
+  s.push_batch(0, std::move(b1));
+  EXPECT_GT(s.deque_capacity(0), 8u);
+  // A theft followed by the next spill: sample 1 — the capacity shrinks
+  // below the seed (a pressured pool sheds earlier).
+  ASSERT_TRUE(s.try_acquire_better(1, 1e9, 0.0).has_value());
+  s.on_expanded(2);
+  std::vector<search::Node> b2;
+  b2.push_back(node_with_bound(2.0));
+  s.push_batch(0, std::move(b2));
+  EXPECT_LT(s.deque_capacity(0), 8u);
+  s.stop();
+}
+
+TEST(AdaptiveCapacity, DisabledTuningPinsTheSeeds) {
+  SchedulerTuning t;
+  t.adaptive = false;
+  WorkStealingScheduler s(2, /*deque_capacity=*/8, t);
+  for (int i = 0; i < 10; ++i) {
+    s.on_expanded(2);
+    std::vector<search::Node> b;
+    b.push_back(node_with_bound(i));
+    s.push_batch(0, std::move(b));
+  }
+  EXPECT_EQ(s.deque_capacity(0), 8u);
+  EXPECT_EQ(s.local_capacity_hint(0, 5), 5u);
+  s.stop();
+}
+
+// ---------------------------------------------- copy-on-steal handles ----
+
+std::shared_ptr<search::SpillHandle> handle_with_bound(double b,
+                                                       unsigned owner) {
+  auto h = std::make_shared<search::SpillHandle>();
+  h->bound = b;
+  h->owner = owner;
+  h->claim_ping = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return h;
+}
+
+TEST(CopyOnSteal, ThiefClaimWaitsForOwnerFulfillment) {
+  WorkStealingScheduler s(2);
+  auto h = handle_with_bound(1.5, /*owner=*/0);
+  s.on_expanded(2);  // pretend one expansion produced the published chain
+  std::vector<std::shared_ptr<search::SpillHandle>> hs{h};
+  s.push_handles(0, std::move(hs));
+  ASSERT_TRUE(s.min_bound().has_value());
+  EXPECT_DOUBLE_EQ(*s.min_bound(), 1.5);  // the bound entered the network
+
+  // Fake owner: once a thief wins the claim CAS, materialize and deposit.
+  std::thread owner([&] {
+    while (h->state.load(std::memory_order_acquire) !=
+           search::SpillHandle::kClaimed)
+      std::this_thread::yield();
+    h->node = node_with_bound(1.5);
+    h->state.store(search::SpillHandle::kReady, std::memory_order_release);
+  });
+  auto n = s.acquire(1);  // claims the handle and waits for the deposit
+  owner.join();
+  ASSERT_TRUE(n.has_value());
+  EXPECT_DOUBLE_EQ(n->bound, 1.5);
+  EXPECT_EQ(h->claim_ping->load(), 1u);  // the claim pinged the owner
+  EXPECT_EQ(h->state.load(), search::SpillHandle::kTaken);
+  const auto st = s.stats();
+  EXPECT_EQ(st.handles_published, 1u);
+  EXPECT_EQ(st.handle_claims, 1u);
+  EXPECT_EQ(st.handle_grants, 1u);
+  s.stop();
+}
+
+TEST(CopyOnSteal, OwnerResolvedHandleIsStaleToThieves) {
+  WorkStealingScheduler s(2);
+  auto h = handle_with_bound(1.0, /*owner=*/0);
+  s.on_expanded(2);
+  std::vector<std::shared_ptr<search::SpillHandle>> hs{h};
+  s.push_handles(0, std::move(hs));
+  // The owner reclaims the choice in place (activate_top winning the CAS).
+  h->state.store(search::SpillHandle::kOwnerTaken);
+  // The entry still advertises bound 1.0, but a probing thief must see
+  // through it: pop, discard as stale, find nothing.
+  EXPECT_FALSE(s.try_acquire_better(1, 100.0, 0.0).has_value());
+  EXPECT_GE(s.stats().stale_discards, 1u);
+  EXPECT_FALSE(s.min_bound().has_value());  // deque publishes empty now
+  s.stop();
+}
+
+TEST(CopyOnSteal, DeadHandleAbandonsTheClaimingThief) {
+  WorkStealingScheduler s(2);
+  auto h = handle_with_bound(2.0, /*owner=*/0);
+  s.on_expanded(2);
+  std::vector<std::shared_ptr<search::SpillHandle>> hs{h};
+  s.push_handles(0, std::move(hs));
+  std::thread thief([&] {
+    // Claims, waits, sees kDead, gives up; the chain's death (on_expanded
+    // below) then terminates the acquire loop.
+    EXPECT_FALSE(s.acquire(1).has_value());
+  });
+  while (h->state.load(std::memory_order_acquire) !=
+         search::SpillHandle::kClaimed)
+    std::this_thread::yield();
+  // Owner shutting down: kill the claimed handle instead of fulfilling.
+  h->state.store(search::SpillHandle::kDead, std::memory_order_release);
+  s.on_expanded(0);  // the dropped chain leaves the outstanding count
+  thief.join();
+}
+
 // ------------------------------------- max_solutions exact-count (fix) --
 
 class SchedulerKindP : public ::testing::TestWithParam<SchedulerKind> {};
@@ -194,6 +314,7 @@ INSTANTIATE_TEST_SUITE_P(Both, SchedulerKindP,
 TEST(WorkStealingStress, TinyDequesManyWorkersStayExact) {
   // Deque capacity 1 forces constant offloads and steals; every answer
   // must still be found exactly once. Runs under TSan in CI (BLOG_TSAN).
+  // Adaptivity is pinned off so the 1-entry storm stays a storm.
   const std::string program = workloads::layered_dag(4, 3);
   const auto expected = sequential_expected(program, "path(n0_0,Z,P)");
   for (int run = 0; run < 3; ++run) {
@@ -201,12 +322,154 @@ TEST(WorkStealingStress, TinyDequesManyWorkersStayExact) {
     po.workers = 8;
     po.local_capacity = 1;
     po.steal_deque_capacity = 1;
+    po.adaptive_capacity = false;
     po.update_weights = false;
     po.scheduler = SchedulerKind::WorkStealing;
     const auto r = solve_parallel(program, "path(n0_0,Z,P)", po);
     EXPECT_EQ(texts(r), expected) << "run " << run;
     EXPECT_TRUE(r.exhausted);
   }
+}
+
+TEST(WorkStealingStress, LazyHandleStormStaysExact) {
+  // Copy-on-steal under maximum contention: capacity 1 publishes nearly
+  // every choice as a handle, so owners racing their own reclaims against
+  // thieves' claim CASes is the common case, not the corner. Every answer
+  // must still be found exactly once, run after run (TSan-verified in CI).
+  const std::string program = workloads::layered_dag(4, 3);
+  const auto expected = sequential_expected(program, "path(n0_0,Z,P)");
+  for (int run = 0; run < 3; ++run) {
+    ParallelOptions po;
+    po.workers = 8;
+    po.local_capacity = 1;
+    po.steal_deque_capacity = 1;
+    po.adaptive_capacity = false;
+    po.update_weights = false;
+    po.scheduler = SchedulerKind::WorkStealing;
+    po.spill_policy = Spill::Lazy;
+    const auto r = solve_parallel(program, "path(n0_0,Z,P)", po);
+    EXPECT_EQ(texts(r), expected) << "run " << run;
+    EXPECT_TRUE(r.exhausted);
+    std::uint64_t published = 0, reclaimed = 0, granted = 0, migrated = 0;
+    for (const auto& w : r.workers) {
+      published += w.handles_published;
+      reclaimed += w.handles_reclaimed;
+      granted += w.handles_granted;
+      migrated += w.handles_migrated;
+    }
+    EXPECT_GT(published, 0u) << "run " << run;
+    // Exhausted run: every published handle was consumed exactly once —
+    // reclaimed in place, granted to a thief, or rematerialized into a
+    // D-threshold migration batch.
+    EXPECT_EQ(reclaimed + granted + migrated, published) << "run " << run;
+  }
+}
+
+TEST(WorkStealingStress, LazyAbandonUnderStopRacesThievesCleanly) {
+  // Handle invalidation: a tiny max_solutions stops the search while
+  // owners still hold published handles and thieves hold fresh claims —
+  // the shutdown path must kill handles (kDead) without losing the exact
+  // count or hanging a claim-waiting thief. 10 runs to shake the race.
+  const std::string program = workloads::layered_dag(3, 3);
+  for (int run = 0; run < 10; ++run) {
+    ParallelOptions po;
+    po.workers = 8;
+    po.max_solutions = 3;
+    po.local_capacity = 1;
+    po.steal_deque_capacity = 1;
+    po.adaptive_capacity = false;
+    po.update_weights = false;
+    po.scheduler = SchedulerKind::WorkStealing;
+    po.spill_policy = Spill::Lazy;
+    const auto r = solve_parallel(program, "path(n0_0,Z,P)", po);
+    EXPECT_EQ(r.solutions.size(), 3u) << "run " << run;
+    EXPECT_EQ(r.outcome, search::Outcome::SolutionLimit);
+    EXPECT_FALSE(r.exhausted);
+  }
+}
+
+TEST(WorkStealingStress, LazyMigrationDetachAllRacesThievesCleanly) {
+  // §5 weight updates shift bounds between runs, so try_acquire_better
+  // keeps firing and detach_all migrates pools that still hold published
+  // handles — racing thieves claiming them. The solution set must not
+  // care who wins.
+  Interpreter ip;
+  ip.consult_string(workloads::layered_dag(3, 3));
+  for (int run = 0; run < 3; ++run) {
+    ParallelOptions po;
+    po.workers = 8;
+    po.local_capacity = 1;
+    po.steal_deque_capacity = 2;
+    po.adaptive_capacity = false;
+    po.scheduler = SchedulerKind::WorkStealing;
+    po.spill_policy = Spill::Lazy;
+    ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(), po);
+    const auto r = pe.solve(ip.parse_query("path(n0_0,Z,P)"));
+    EXPECT_EQ(r.solutions.size(), 40u) << "run " << run;
+  }
+}
+
+// -------------------------------------- timer-driven D-threshold check --
+
+/// StandardBuiltins plus a `slow` builtin that burns wall-clock: forces
+/// builtin bursts long enough for the preemption ticker to interrupt.
+class SlowBuiltins : public search::BuiltinEvaluator {
+public:
+  explicit SlowBuiltins(search::BuiltinEvaluator* inner) : inner_(inner) {}
+  Outcome eval(term::Store& s, term::TermRef goal,
+               term::Trail& trail) override {
+    const term::TermRef g = s.deref(goal);
+    if (s.is_atom(g) && s.atom_name(g) == slow_) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      return Outcome::True;
+    }
+    return inner_->eval(s, goal, trail);
+  }
+  [[nodiscard]] bool is_builtin(const db::Pred& p) const override {
+    return (p.arity == 0 && p.name == slow_) || inner_->is_builtin(p);
+  }
+
+private:
+  search::BuiltinEvaluator* inner_;
+  Symbol slow_ = intern("slow");
+};
+
+TEST(Preemption, SlowBuiltinBurstYieldsToTheTimer) {
+  // A chain of slow builtins runs far longer than the preemption period:
+  // the burst must yield mid-expansion (preemptions > 0) so the
+  // D-threshold check runs, and the answers must be exactly the ones the
+  // uninterrupted run finds.
+  Interpreter ip;
+  ip.consult_string(
+      "p(X) :- slow, slow, slow, slow, slow, q(X). q(1). q(2).");
+  SlowBuiltins slow(&ip.builtins());
+  ParallelOptions po;
+  po.workers = 2;
+  po.update_weights = false;
+  po.preempt_interval = std::chrono::microseconds(200);
+  ParallelEngine pe(ip.program(), ip.weights(), &slow, po);
+  const auto r = pe.solve(ip.parse_query("p(X)"));
+  EXPECT_EQ(r.solutions.size(), 2u);
+  EXPECT_TRUE(r.exhausted);
+  std::uint64_t preemptions = 0;
+  for (const auto& w : r.workers) preemptions += w.preemptions;
+  EXPECT_GT(preemptions, 0u);
+}
+
+TEST(Preemption, DisabledTimerNeverPreempts) {
+  Interpreter ip;
+  ip.consult_string("p(X) :- slow, slow, slow, q(X). q(1). q(2).");
+  SlowBuiltins slow(&ip.builtins());
+  ParallelOptions po;
+  po.workers = 2;
+  po.update_weights = false;
+  po.preempt_interval = std::chrono::microseconds(0);
+  ParallelEngine pe(ip.program(), ip.weights(), &slow, po);
+  const auto r = pe.solve(ip.parse_query("p(X)"));
+  EXPECT_EQ(r.solutions.size(), 2u);
+  std::uint64_t preemptions = 0;
+  for (const auto& w : r.workers) preemptions += w.preemptions;
+  EXPECT_EQ(preemptions, 0u);
 }
 
 TEST(WorkStealingStress, LazySpillKeepsTheSolutionSet) {
