@@ -1,10 +1,13 @@
-// Machine-readable perf tracking: runs the micro/parallel/spill/serving
-// headline workloads and emits BENCH_micro.json / BENCH_parallel.json /
-// BENCH_spill.json / BENCH_service.json (nodes/sec, cells_copied per
-// expansion, copy-on-steal traffic, queries/sec and cache hit rate), so
-// the perf trajectory of the engine is recorded PR over PR. CI's
-// perf-gate job compares this output against bench/baselines/ with
-// tools/bench_compare.py.
+// Machine-readable perf tracking: runs the micro/parallel/spill/numa/
+// serving headline workloads and emits BENCH_micro.json /
+// BENCH_parallel.json / BENCH_spill.json / BENCH_numa.json /
+// BENCH_service.json (nodes/sec, cells_copied per expansion,
+// copy-on-steal traffic, claim-wait latency, local vs remote steal split,
+// queries/sec and cache hit rate), so the perf trajectory of the engine
+// is recorded PR over PR. Every file carries a "host" record (NUMA node
+// count, CPUs per node, CPU model) so baselines compared across
+// heterogeneous machines stay interpretable. CI's perf-gate job compares
+// this output against bench/baselines/ with tools/bench_compare.py.
 //
 //   ./bench_json [output-dir]
 #include <algorithm>
@@ -16,6 +19,7 @@
 
 #include "blog/engine/interpreter.hpp"
 #include "blog/parallel/engine.hpp"
+#include "blog/parallel/topology.hpp"
 #include "blog/service/service.hpp"
 #include "blog/workloads/workloads.hpp"
 
@@ -26,6 +30,28 @@ namespace {
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The host record stamped into every BENCH_*.json. bench_compare.py
+/// warns (instead of gating) when baseline and current host disagree.
+void write_host(std::ofstream& out) {
+  const parallel::Topology& topo = parallel::Topology::system();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned nodes = topo.node_count();
+  std::string model = parallel::cpu_model_name();
+  for (char& c : model)
+    if (c == '"' || c == '\\') c = ' ';  // keep the JSON well-formed
+  // One entry per node: asymmetric layouts (offlined cores, CXL nodes)
+  // must not masquerade as symmetric ones in cross-host comparisons.
+  out << "  \"host\": {\"numa_nodes\": " << nodes << ", \"cpus_per_node\": [";
+  if (topo.nodes().empty()) {
+    out << hw;  // single-node fallback: all CPUs on the one node
+  } else {
+    for (std::size_t i = 0; i < topo.nodes().size(); ++i)
+      out << (i > 0 ? ", " : "") << topo.nodes()[i].cpus.size();
+  }
+  out << "], \"hardware_concurrency\": " << hw << ", \"cpu_model\": \""
+      << model << "\"},\n";
 }
 
 struct Entry {
@@ -44,6 +70,15 @@ struct Entry {
   std::uint64_t handles_reclaimed = 0;
   std::uint64_t handles_granted = 0;
   std::uint64_t handles_migrated = 0;
+  // Locality + claim-wait traffic (numa entries only).
+  bool has_numa = false;
+  std::uint64_t steals_local = 0;
+  std::uint64_t steals_remote = 0;
+  std::uint64_t claim_wait_spins = 0;
+  std::uint64_t claim_wait_us = 0;
+  std::uint64_t mailbox_parked = 0;
+  std::uint64_t mailbox_drained = 0;
+  std::uint64_t stale_refreshes = 0;
 
   [[nodiscard]] double nodes_per_sec() const {
     return secs > 0.0 ? static_cast<double>(nodes) / secs : 0.0;
@@ -59,6 +94,7 @@ void write_json(const std::string& path, const std::vector<Entry>& entries,
                 const std::vector<std::pair<std::string, double>>& summary = {}) {
   std::ofstream out(path);
   out << "{\n";
+  write_host(out);
   for (const auto& [k, v] : summary) out << "  \"" << k << "\": " << v << ",\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
@@ -76,6 +112,14 @@ void write_json(const std::string& path, const std::vector<Entry>& entries,
           << ", \"handles_reclaimed\": " << e.handles_reclaimed
           << ", \"handles_granted\": " << e.handles_granted
           << ", \"handles_migrated\": " << e.handles_migrated;
+    if (e.has_numa)
+      out << ", \"steals_local\": " << e.steals_local
+          << ", \"steals_remote\": " << e.steals_remote
+          << ", \"claim_wait_spins\": " << e.claim_wait_spins
+          << ", \"claim_wait_us\": " << e.claim_wait_us
+          << ", \"mailbox_parked\": " << e.mailbox_parked
+          << ", \"mailbox_drained\": " << e.mailbox_drained
+          << ", \"stale_refreshes\": " << e.stale_refreshes;
     out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   out << "}\n";
@@ -105,7 +149,8 @@ Entry run_parallel(const std::string& name, const std::string& program,
                    parallel::SchedulerKind sched,
                    parallel::ParallelOptions::SpillPolicy spill,
                    std::size_t max_nodes = 1'000'000,
-                   std::size_t local_capacity = 8, bool adaptive = false) {
+                   std::size_t local_capacity = 8, bool adaptive = false,
+                   bool claim_mailboxes = true) {
   engine::Interpreter ip;
   ip.consult_string(program);
   parallel::ParallelOptions po;
@@ -116,6 +161,7 @@ Entry run_parallel(const std::string& name, const std::string& program,
   po.max_nodes = max_nodes;
   po.local_capacity = local_capacity;
   po.adaptive_capacity = adaptive;
+  po.claim_mailboxes = claim_mailboxes;
   parallel::ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(), po);
   // Untimed warm-up: repopulates the pages the previous entry's teardown
   // returned to the OS, so the timed run measures the scheduler rather
@@ -139,6 +185,13 @@ Entry run_parallel(const std::string& name, const std::string& program,
   e.has_spill = spill == parallel::ParallelOptions::SpillPolicy::Lazy;
   e.lock_acquisitions = r.network.lock_acquisitions;
   e.steals = r.network.steals;
+  e.steals_local = r.network.steals_local;
+  e.steals_remote = r.network.steals_remote;
+  e.claim_wait_spins = r.network.claim_wait_spins;
+  e.claim_wait_us = r.network.claim_wait_us;
+  e.mailbox_parked = r.network.mailbox_parked;
+  e.mailbox_drained = r.network.mailbox_drained;
+  e.stale_refreshes = r.network.stale_refreshes;
   return e;
 }
 
@@ -253,6 +306,7 @@ void write_service_json(const std::string& path,
                         double serial_cold_qps) {
   std::ofstream out(path);
   out << "{\n";
+  write_host(out);
   out << "  \"serial_cold\": {\"queries_per_sec\": " << serial_cold_qps
       << "},\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -387,6 +441,58 @@ int main(int argc, char** argv) {
     }
   }
   write_json(dir + "BENCH_spill.json", sp, sp_summary);
+
+  // Locality-aware scheduling headline: the same deep binary-countdown
+  // under copy-on-steal, with the legacy claim-wait spin vs claim-wait
+  // mailboxes. Mailboxes eliminate the thief-side spin/sleep on claimed
+  // handles by construction (claim_wait_spins collapses to ~0) while the
+  // claim→deposit latency (claim_wait_us) overlaps useful scanning; the
+  // local/remote steal split records how victim scans respect the node
+  // topology (all-local on single-node hosts). Adaptivity is pinned off
+  // so both modes see identical publish pressure.
+  std::vector<Entry> numa;
+  for (const unsigned w : {2u, 4u, 8u}) {
+    for (const auto [mail, tag] :
+         {std::pair{false, "_spin"}, std::pair{true, "_mailbox"}}) {
+      Entry e = run_parallel("deep_w" + std::to_string(w) + tag, deep,
+                             "probe", w, parallel::SchedulerKind::WorkStealing,
+                             Spill::Lazy, kDeepNodes, kDeepCapacity,
+                             /*adaptive=*/false, mail);
+      e.has_numa = true;
+      numa.push_back(e);
+    }
+  }
+  std::vector<std::pair<std::string, double>> numa_summary;
+  {
+    const Entry *spin = nullptr, *mail = nullptr;
+    std::uint64_t spin_all = 0, mail_all = 0;
+    for (const Entry& e : numa) {
+      if (e.name == "deep_w8_spin") spin = &e;
+      if (e.name == "deep_w8_mailbox") mail = &e;
+      (e.name.ends_with("_spin") ? spin_all : mail_all) += e.claim_wait_spins;
+    }
+    if (spin != nullptr && mail != nullptr) {
+      // Floor the mailbox denominators: by construction they are ~0.
+      numa_summary.emplace_back(
+          "deep_w8_spin_reduction",
+          static_cast<double>(spin->claim_wait_spins) /
+              static_cast<double>(std::max<std::uint64_t>(
+                  1, mail->claim_wait_spins)));
+      // All worker counts pooled: this is what CI gates (>= 5x) — the w8
+      // number alone rides on few enough claims that a quiet run could
+      // dip under the floor without any code change.
+      numa_summary.emplace_back(
+          "spin_reduction_all",
+          static_cast<double>(spin_all) /
+              static_cast<double>(std::max<std::uint64_t>(1, mail_all)));
+      numa_summary.emplace_back(
+          "deep_w8_mailbox_speedup",
+          spin->nodes_per_sec() > 0.0
+              ? mail->nodes_per_sec() / spin->nodes_per_sec()
+              : 0.0);
+    }
+  }
+  write_json(dir + "BENCH_numa.json", numa, numa_summary);
 
   // Serving layer: queries/sec under concurrent clients with the answer
   // cache, against the serial-cold multiset-identical baseline (16 clients'

@@ -1,9 +1,10 @@
-// The shared global frontier — the software analogue of §6's
-// minimum-seeking network plus priority circuit: it always hands out the
-// globally lowest-bound chain, granting one waiting processor at a time.
-// It also owns distributed termination: a count of chains "in flight"
-// (queued anywhere or being expanded) reaches zero exactly when the whole
-// OR-tree has been consumed.
+/// \file
+/// \brief The shared global frontier — the software analogue of §6's
+/// minimum-seeking network plus priority circuit: it always hands out the
+/// globally lowest-bound chain, granting one waiting processor at a time.
+/// It also owns distributed termination: a count of chains "in flight"
+/// (queued anywhere or being expanded) reaches zero exactly when the whole
+/// OR-tree has been consumed.
 #pragma once
 
 #include <condition_variable>
@@ -17,6 +18,8 @@
 
 namespace blog::parallel {
 
+/// Single-lock realization of the Scheduler interface (the legacy path,
+/// kept behind `ParallelOptions::scheduler` for regression comparison).
 class GlobalFrontier final : public Scheduler {
 public:
   /// `initial_inflight` is the number of root chains about to be pushed.
@@ -48,7 +51,9 @@ public:
 
   /// Abort: wake everyone, pop_blocking() returns nullopt from now on.
   void stop() override;
+  /// True once stop() has been called.
   [[nodiscard]] bool stopped() const override;
+  /// True while some worker is blocked in pop_blocking().
   [[nodiscard]] bool starving() const override {
     return waiting_.load(std::memory_order_relaxed) > 0;
   }
@@ -56,7 +61,9 @@ public:
   /// True once every chain has been consumed (or stop() was called).
   [[nodiscard]] bool done() const;
 
+  /// Historical alias kept for the bench reporters.
   using Stats = SchedulerStats;
+  /// Snapshot of the traffic counters.
   [[nodiscard]] Stats stats() const override;
 
   // --- Scheduler interface (worker ids are irrelevant here) --------------

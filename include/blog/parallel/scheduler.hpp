@@ -1,29 +1,54 @@
-// Scheduler abstraction for the thread-parallel OR-engine.
-//
-// §6's machine lets a freed processor acquire the chain with the minimum
-// bound through a dedicated minimum-seeking network. Two software
-// realizations live behind this interface:
-//
-//   - GlobalFrontier (minnet.hpp): one mutex-guarded min-heap — the
-//     faithful but serializing analogue of the central network. Every
-//     spill, migration and idle-worker pop takes the one lock.
-//   - WorkStealingScheduler (below): each worker owns a bounded deque of
-//     detached choices; spills and D-threshold migrations land in the
-//     owner's deque (overflow is offloaded to the least-loaded victim),
-//     and idle workers *steal half* of the best victim's deque. The
-//     minimum-seeking behaviour survives as a lock-free array of
-//     per-worker published minima that idle workers scan to pick the
-//     victim holding the globally lowest bound. Termination is detected
-//     distributedly by an outstanding-work counter instead of a central
-//     condition variable.
-//
-// On top of materialized nodes, the work-stealing scheduler carries
-// **copy-on-steal spill handles** (search::SpillHandle): lightweight deque
-// entries whose state still lives, free, on the owning worker's pending
-// stack. §6 only requires the *bound* to be visible to the network; the
-// deep copy is deferred to the moment a thief actually wins the handle's
-// claim CAS, at which point the owner materializes the checkpointed state
-// and deposits it in the handle. Owner-reclaimed spills never copy.
+/// \file
+/// \brief Scheduler abstraction for the thread-parallel OR-engine.
+///
+/// §6's machine lets a freed processor acquire the chain with the minimum
+/// bound through a dedicated minimum-seeking network. Two software
+/// realizations live behind this interface:
+///
+///   - GlobalFrontier (minnet.hpp): one mutex-guarded min-heap — the
+///     faithful but serializing analogue of the central network. Every
+///     spill, migration and idle-worker pop takes the one lock.
+///   - WorkStealingScheduler (below): each worker owns a bounded deque of
+///     detached choices; spills and D-threshold migrations land in the
+///     owner's deque (overflow is offloaded to the least-loaded victim),
+///     and idle workers *steal half* of the best victim's deque. The
+///     minimum-seeking behaviour survives as a lock-free array of
+///     per-worker published minima that idle workers scan to pick the
+///     victim holding the globally lowest bound. Termination is detected
+///     distributedly by an outstanding-work counter instead of a central
+///     condition variable.
+///
+/// On top of materialized nodes, the work-stealing scheduler carries
+/// **copy-on-steal spill handles** (search::SpillHandle): lightweight deque
+/// entries whose state still lives, free, on the owning worker's pending
+/// stack. §6 only requires the *bound* to be visible to the network; the
+/// deep copy is deferred to the moment a thief actually wins the handle's
+/// claim CAS, at which point the owner materializes the checkpointed state
+/// and deposits it in the handle. Owner-reclaimed spills never copy.
+///
+/// Three locality/latency refinements close the gap to the paper's
+/// topology-aware machine (see docs/ARCHITECTURE.md for the protocol
+/// walk-through):
+///
+///   - **NUMA-aware victim choice.** Every deque is tagged with the NUMA
+///     node its worker is placed on (round-robin over the detected
+///     topology, topology.hpp). Victim scans prefer the minimum-holding
+///     deque on the scanner's own node and cross the interconnect only
+///     when a remote minimum beats the best local one by more than a
+///     configurable locality bias. Single-node hosts take the exact
+///     pre-NUMA scan.
+///   - **Claim-wait mailboxes.** A thief that wins a handle's claim CAS no
+///     longer spins until the owner deposits the copy: the claimed handle
+///     is parked in the thief's private mailbox and the thief keeps
+///     scanning other victims while the materialization is in flight. The
+///     mailbox is drained — ready deposits consumed, surplus re-parked
+///     into the thief's deque so the network sees it — at the next
+///     acquire/D-threshold boundary.
+///   - **Stale-bound refresh.** A deque whose published minimum has not
+///     been re-published for longer than a threshold is swept by its owner
+///     at the next expansion boundary (Scheduler::maintain), discarding
+///     resolved copy-on-steal entries and re-publishing from live ones, so
+///     idle scans stop chasing dead bounds.
 #pragma once
 
 #include <atomic>
@@ -38,44 +63,84 @@
 
 namespace blog::parallel {
 
+/// Which realization of §6's minimum-seeking network distributes work.
 enum class SchedulerKind {
-  GlobalFrontier,  // single shared min-heap, one lock (legacy)
-  WorkStealing,    // per-worker deques + steal-half (default)
+  GlobalFrontier,  ///< single shared min-heap, one lock (legacy)
+  WorkStealing,    ///< per-worker deques + steal-half (default)
 };
 
+/// Stable display name of a scheduler kind ("global-frontier" /
+/// "work-stealing"), used by benches and test failure messages.
 const char* scheduler_kind_name(SchedulerKind k);
 
 /// Shared traffic counters. `lock_acquisitions` counts every mutex lock
 /// any scheduler path takes — the headline contention metric the
 /// work-stealing rewrite exists to shrink.
 struct SchedulerStats {
-  std::uint64_t pushes = 0;             // chains entering any queue
-  std::uint64_t pops = 0;               // chains handed to processors
-  std::uint64_t grants = 0;             // idle (blocking) acquisitions
-  std::uint64_t steals = 0;             // chains moved by steal-half
-  std::uint64_t steal_attempts = 0;     // victim scans that found a target
-  std::uint64_t offloads = 0;           // overflow batches pushed to a victim
-  std::uint64_t lock_acquisitions = 0;  // mutex locks taken, all paths
+  std::uint64_t pushes = 0;             ///< chains entering any queue
+  std::uint64_t pops = 0;               ///< chains handed to processors
+  std::uint64_t grants = 0;             ///< idle (blocking) acquisitions
+  std::uint64_t steals = 0;             ///< chains moved by steal-half
+  std::uint64_t steal_attempts = 0;     ///< victim scans that found a target
+  std::uint64_t offloads = 0;           ///< overflow batches pushed to a victim
+  std::uint64_t lock_acquisitions = 0;  ///< mutex locks taken, all paths
+  /// Cross-worker transfers whose thief and victim deque share a NUMA
+  /// node. steals_local + steals_remote == steals on multi-node hosts;
+  /// single-node hosts count everything local.
+  std::uint64_t steals_local = 0;
+  std::uint64_t steals_remote = 0;      ///< transfers that crossed nodes
   // Copy-on-steal traffic (work-stealing scheduler only).
-  std::uint64_t handles_published = 0;  // lazy entries entering deques
-  std::uint64_t handle_claims = 0;      // thief claim CASes won
-  std::uint64_t handle_grants = 0;      // claims that yielded a node
-  std::uint64_t stale_discards = 0;     // dead/reclaimed entries dropped
+  std::uint64_t handles_published = 0;  ///< lazy entries entering deques
+  std::uint64_t handle_claims = 0;      ///< thief claim CASes won
+  std::uint64_t handle_grants = 0;      ///< claims that yielded a node
+  std::uint64_t stale_discards = 0;     ///< dead/reclaimed entries dropped
+  /// Claim-wait traffic. With mailboxes on, spins stay ~0 by construction
+  /// (the thief never waits); `claim_wait_us` then measures the in-flight
+  /// latency from claim to drain rather than blocked wall time.
+  std::uint64_t claim_wait_spins = 0;   ///< yield/sleep iterations while waiting
+  std::uint64_t claim_wait_us = 0;      ///< µs from claim won to node in hand
+  std::uint64_t mailbox_parked = 0;     ///< claims parked into thief mailboxes
+  std::uint64_t mailbox_drained = 0;    ///< deposits consumed from mailboxes
+  /// Proactive owner-side re-publications of a stale published minimum.
+  std::uint64_t stale_refreshes = 0;
 };
 
-/// Tuning of the work-stealing scheduler's adaptive bounds. Each worker
-/// tracks an EWMA of its steal pressure — were any of its entries stolen
-/// (or was anyone starving) since its last spill? — and scales both its
-/// deque capacity and the suggested engine-side local capacity around the
-/// configured seeds: pressure 0.5 is neutral, 0 grows toward the upper
-/// bound (lone-hot workers stop sharding their pool), 1 shrinks toward
-/// the lower bound (saturated pools shed earlier).
+/// Tuning of the work-stealing scheduler's adaptive bounds and locality
+/// behaviour. Each worker tracks an EWMA of its steal pressure — were any
+/// of its entries stolen (or was anyone starving) since its last spill? —
+/// and scales both its deque capacity and the suggested engine-side local
+/// capacity around the configured seeds: pressure 0.5 is neutral, 0 grows
+/// toward the upper bound (lone-hot workers stop sharding their pool), 1
+/// shrinks toward the lower bound (saturated pools shed earlier).
 struct SchedulerTuning {
-  bool adaptive = true;
-  std::uint32_t ewma_window = 64;   // EWMA horizon, in spill events
-  std::size_t min_capacity = 4;     // adaptive lower bound
-  std::size_t max_capacity = 512;   // adaptive upper bound
-  std::size_t local_capacity_seed = 8;  // engine local_capacity seed
+  bool adaptive = true;             ///< float capacities with steal pressure
+  std::uint32_t ewma_window = 64;   ///< EWMA horizon, in spill events
+  std::size_t min_capacity = 4;     ///< adaptive lower bound
+  std::size_t max_capacity = 512;   ///< adaptive upper bound
+  std::size_t local_capacity_seed = 8;  ///< engine local_capacity seed
+  /// Use the detected host topology (topology.hpp) to tag deques with
+  /// NUMA node ids and bias victim scans toward same-node deques. On a
+  /// single-node host this is a no-op regardless of the flag.
+  bool numa_aware = true;
+  /// Explicit worker→node assignment (tests, custom placement). Empty =
+  /// round-robin over Topology::system() when `numa_aware`, else all 0.
+  std::vector<std::uint32_t> worker_nodes;
+  /// Bound units a *remote-node* published minimum must beat the best
+  /// same-node candidate by before a scan crosses the interconnect.
+  double locality_bias = 1.0;
+  /// Park won handle claims in the thief's mailbox (keep scanning while
+  /// the owner's copy is in flight) instead of spin/sleep-waiting.
+  bool claim_mailboxes = true;
+  /// Most claims a thief may hold in its mailbox at once. The cap keeps
+  /// an idle thief on an oversubscribed host from hoovering up every
+  /// published handle (each claim forces its owner into a deep copy)
+  /// before any owner gets CPU time to fulfill; at the cap the thief
+  /// backs off and drains instead of claiming further.
+  std::uint32_t mailbox_claim_limit = 1;
+  /// Re-publish a deque whose published minimum is older than this many
+  /// microseconds at the owner's next maintain() boundary. 0 disables
+  /// the stale-bound refresh.
+  std::uint32_t stale_refresh_us = 500;
 };
 
 /// What the worker loop needs from a scheduler. Worker ids let the
@@ -114,6 +179,11 @@ public:
     return fallback;
   }
 
+  /// Periodic owner-side housekeeping, called by `worker`'s loop once per
+  /// expansion boundary. The work-stealing scheduler uses it for the
+  /// stale-bound refresh; the global frontier has nothing to maintain.
+  virtual void maintain(unsigned worker) { (void)worker; }
+
   /// §6's D-threshold test: if some queued chain's bound is lower than
   /// `local_min - d`, acquire it (the caller migrates its pool out first
   /// or right after). Non-blocking; nullopt = keep working locally.
@@ -133,6 +203,7 @@ public:
 
   /// Abort: acquire() returns nullopt from now on.
   virtual void stop() = 0;
+  /// True once stop() has been called.
   [[nodiscard]] virtual bool stopped() const = 0;
 
   /// Lock-free: true while some worker is idle (blocked in acquire())
@@ -141,12 +212,14 @@ public:
   /// starvation signal behind SpillPolicy::WhenStarving.
   [[nodiscard]] virtual bool starving() const = 0;
 
+  /// Snapshot of the shared traffic counters.
   [[nodiscard]] virtual SchedulerStats stats() const = 0;
 };
 
 /// Work-stealing scheduler: per-worker bounded deques, lock-free published
-/// minima, steal-half, counter-based distributed termination, copy-on-steal
-/// spill handles, adaptive per-worker capacities.
+/// minima, NUMA-biased steal-half, counter-based distributed termination,
+/// copy-on-steal spill handles with claim-wait mailboxes, adaptive
+/// per-worker capacities, and owner-driven stale-bound refresh.
 class WorkStealingScheduler final : public Scheduler {
 public:
   /// `deque_capacity` seeds each worker's deque bound; a push that
@@ -167,6 +240,7 @@ public:
       std::vector<std::shared_ptr<search::SpillHandle>> hs) override;
   [[nodiscard]] std::size_t local_capacity_hint(
       unsigned worker, std::size_t fallback) const override;
+  void maintain(unsigned worker) override;
   std::optional<search::Node> try_acquire_better(unsigned worker,
                                                  double local_min,
                                                  double d) override;
@@ -187,6 +261,10 @@ public:
   /// adaptivity is off). Exposed for tests and the bench reporter.
   [[nodiscard]] std::size_t deque_capacity(unsigned worker) const;
 
+  /// NUMA node `worker`'s deque is tagged with (0 on single-node hosts).
+  /// Exposed for tests and the bench reporter.
+  [[nodiscard]] std::uint32_t worker_node(unsigned worker) const;
+
 private:
   // One deque entry: either a materialized chain (`lazy == nullptr`) or a
   // copy-on-steal handle whose state still lives on the owner's stack.
@@ -205,6 +283,12 @@ private:
       return a.seq > b.seq;
     }
   };
+  // A claimed copy-on-steal handle parked in its thief's mailbox while
+  // the owner's materialization is in flight.
+  struct MailEntry {
+    std::shared_ptr<search::SpillHandle> handle;
+    std::int64_t claimed_at_us;  // steady-clock stamp of the claim win
+  };
   // One worker's deque plus its published (lock-free readable) summary
   // and adaptive bounds. Padded so scans of neighbours' summaries never
   // false-share.
@@ -213,6 +297,12 @@ private:
     std::vector<Entry> pool;  // std::*_heap managed, front = minimum bound
     std::atomic<double> pub_min;
     std::atomic<std::uint32_t> pub_size{0};
+    // NUMA node this worker is placed on; victim scans read it lock-free
+    // alongside the min/size summary.
+    std::uint32_t node = 0;
+    // Steady-clock stamp (µs) of the last publish(); the owner's
+    // maintain() sweeps + re-publishes when it goes stale.
+    std::atomic<std::int64_t> pub_stamp_us{0};
     // Adaptive bounds, published alongside the size/min summary.
     std::atomic<std::uint32_t> cap{64};
     std::atomic<std::uint32_t> local_hint{8};
@@ -220,11 +310,16 @@ private:
     // since its last spill — the steal-pressure sample source.
     std::atomic<std::uint32_t> thefts_since_push{0};
     float pressure = 0.5f;  // EWMA, owner-updated under `mu`
+    // Claim-wait mailbox: handles this worker (as thief) has claimed and
+    // is waiting on. Touched only by the owning worker's thread — never
+    // locked. Owners communicate exclusively through the handle states.
+    std::vector<MailEntry> mail;
   };
 
   enum class ClaimWait {
     Blocking,  // idle acquire: wait for the owner (stop-aware)
     Bounded,   // D-threshold probe: bounded spin, then un-claim
+    Mailbox,   // park the claim in the thief's mailbox, keep scanning
   };
 
   void publish(Deque& d);
@@ -245,20 +340,40 @@ private:
   /// The shared spill path of push_batch/push_handles: enqueue on `self`'s
   /// deque, sweep stale entries, shed overflow to a starving peer, adapt.
   void enqueue_spill(unsigned self, std::vector<Entry> es);
+  /// Record one cross-worker transfer from `victim_deque` to `thief` in
+  /// the steals counter and its local/remote locality split.
+  void record_steal(unsigned thief, unsigned victim_deque, std::uint64_t n);
+  /// Locality-biased victim selection over the published minima: the best
+  /// same-node candidate wins unless a remote-node candidate beats it by
+  /// more than `locality_bias`. Only candidates strictly below
+  /// `require_below` qualify; `deques_.size()` = none found.
+  unsigned pick_victim(unsigned self, double require_below,
+                       bool include_self) const;
   /// Steal the best chain of `victim` for `thief`; when `bulk`, also move
   /// half of the remainder into the thief's deque (idle steal-half).
   /// Returns nullopt if the victim is empty, no longer beats
   /// `require_below` (stale published minimum), or a lazy target was lost
-  /// to its owner / un-claimed — callers rescan.
+  /// to its owner / un-claimed / parked in the mailbox — callers rescan.
+  /// `claim_capped` (may be null) is set when the best entry was a
+  /// claimable handle but the thief's mailbox is at its claim cap: the
+  /// caller should back off and drain rather than hot-rescan the victim.
   std::optional<search::Node> steal_from(unsigned thief, unsigned victim,
                                          double require_below, bool bulk,
-                                         ClaimWait wait);
+                                         ClaimWait wait,
+                                         bool* claim_capped = nullptr);
   /// Wait on a claimed handle until the owner deposits the node (kReady),
   /// kills it (kDead), or — in Bounded mode — the spin budget runs out
-  /// and the claim is reverted and re-parked on `thief`'s deque.
+  /// and the claim is reverted and re-parked on `thief`'s deque. In
+  /// Mailbox mode the handle is parked in `thief`'s mailbox instead and
+  /// nullopt returns immediately (the thief keeps scanning).
   std::optional<search::Node> await_claim(
       unsigned thief, std::shared_ptr<search::SpillHandle> h,
       std::uint64_t entry_seq, ClaimWait wait);
+  /// Drain `self`'s mailbox: drop dead entries, consume the best ready
+  /// deposit whose bound is strictly below `require_below`, re-park every
+  /// other ready deposit into `self`'s deque so the network sees it.
+  std::optional<search::Node> drain_mailbox(unsigned self,
+                                            double require_below);
 
   std::vector<std::unique_ptr<Deque>> deques_;
   std::size_t capacity_seed_;
@@ -271,8 +386,11 @@ private:
   // Stats, updated with relaxed atomics (hot-path friendly).
   std::atomic<std::uint64_t> pushes_{0}, pops_{0}, grants_{0}, steals_{0},
       steal_attempts_{0}, offloads_{0}, locks_{0};
+  std::atomic<std::uint64_t> steals_local_{0}, steals_remote_{0};
   std::atomic<std::uint64_t> handles_published_{0}, handle_claims_{0},
       handle_grants_{0}, stale_discards_{0};
+  std::atomic<std::uint64_t> claim_wait_spins_{0}, claim_wait_us_{0},
+      mailbox_parked_{0}, mailbox_drained_{0}, stale_refreshes_{0};
 };
 
 /// Factory used by the parallel engine (and anything else that wants a

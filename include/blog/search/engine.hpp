@@ -1,6 +1,7 @@
-// Sequential OR-tree search driver: one frontier, one worker. Implements
-// depth-first (Prolog), breadth-first, and B-LOG best-first with
-// branch-and-bound pruning and §5 weight adaptation.
+/// \file
+/// \brief Sequential OR-tree search driver: one frontier, one worker.
+/// Implements depth-first (Prolog), breadth-first, and B-LOG best-first
+/// with branch-and-bound pruning and §5 weight adaptation.
 #pragma once
 
 #include <chrono>
@@ -18,11 +19,12 @@ namespace blog::search {
 /// truncated one so serving layers can tell clients (and caches) the
 /// difference instead of silently handing back a partial result.
 enum class Outcome : std::uint8_t {
-  Exhausted,       // frontier emptied: the OR-tree was fully explored
-  SolutionLimit,   // stopped after max_solutions answers
-  BudgetExceeded,  // node budget or wall-clock deadline hit
+  Exhausted,       ///< frontier emptied: the OR-tree was fully explored
+  SolutionLimit,   ///< stopped after max_solutions answers
+  BudgetExceeded,  ///< node budget or wall-clock deadline hit
 };
 
+/// Stable display name of an outcome.
 const char* outcome_name(Outcome o);
 
 /// True when `deadline` is set (non-epoch) and has passed. Engines check
@@ -32,51 +34,58 @@ inline bool deadline_passed(std::chrono::steady_clock::time_point deadline) {
          std::chrono::steady_clock::now() >= deadline;
 }
 
+/// Configuration of one sequential solve.
 struct SearchOptions {
-  Strategy strategy = Strategy::BestFirst;
+  Strategy strategy = Strategy::BestFirst;  ///< open-list policy
   std::size_t max_solutions = std::numeric_limits<std::size_t>::max();
-  std::size_t max_nodes = 1'000'000;   // expansion budget (safety net)
-  // Wall-clock cutoff (steady clock); default (epoch) = none.
+      ///< stop after this many answers
+  std::size_t max_nodes = 1'000'000;  ///< expansion budget (safety net)
+  /// Wall-clock cutoff (steady clock); default (epoch) = none.
   std::chrono::steady_clock::time_point deadline{};
-  bool update_weights = true;          // apply §5 updates as chains resolve
-  // Branch & bound: once an incumbent solution is known, prune frontier
-  // nodes whose bound exceeds incumbent + margin. All successful chains
-  // share the same bound in the theoretical model, so margin 0 keeps
-  // completeness once weights have converged; a fresh database needs a
-  // generous margin (or pruning off) to stay complete.
+  bool update_weights = true;  ///< apply §5 updates as chains resolve
+  /// Branch & bound: once an incumbent solution is known, prune frontier
+  /// nodes whose bound exceeds incumbent + margin. All successful chains
+  /// share the same bound in the theoretical model, so margin 0 keeps
+  /// completeness once weights have converged; a fresh database needs a
+  /// generous margin (or pruning off) to stay complete.
   bool prune_with_incumbent = false;
-  double prune_margin = 0.0;
-  ExpanderOptions expander;
+  double prune_margin = 0.0;  ///< see prune_with_incumbent
+  ExpanderOptions expander;   ///< resolution-step options
 };
 
+/// Counters of one sequential solve.
 struct SearchStats {
-  std::size_t nodes_expanded = 0;
-  std::size_t children_generated = 0;
-  std::size_t solutions = 0;
-  std::size_t failures = 0;
-  std::size_t depth_cutoffs = 0;
-  std::size_t pruned = 0;
-  std::size_t max_frontier = 0;
-  ExpandStats expand;
+  std::size_t nodes_expanded = 0;      ///< expansions performed
+  std::size_t children_generated = 0;  ///< children pushed
+  std::size_t solutions = 0;           ///< answers found
+  std::size_t failures = 0;            ///< failed chains
+  std::size_t depth_cutoffs = 0;       ///< DepthLimit outcomes
+  std::size_t pruned = 0;              ///< nodes pruned by branch & bound
+  std::size_t max_frontier = 0;        ///< peak open-list size
+  ExpandStats expand;                  ///< resolution-step work counters
 };
 
+/// Everything a sequential solve returns.
 struct SearchResult {
-  std::vector<Solution> solutions;
-  SearchStats stats;
-  Outcome outcome = Outcome::BudgetExceeded;  // set on every return path
-  bool exhausted = false;  // frontier emptied (search space fully explored)
+  std::vector<Solution> solutions;  ///< recorded answers
+  SearchStats stats;                ///< work counters
+  Outcome outcome = Outcome::BudgetExceeded;  ///< set on every return path
+  bool exhausted = false;  ///< frontier emptied (space fully explored)
 };
 
 /// Observer hooks for tree recording (theory module, traces, machine sim).
 struct SearchObserver {
-  std::function<void(const Node&)> on_pop;
+  std::function<void(const Node&)> on_pop;       ///< node popped
   std::function<void(const Node&, const std::vector<Node>&)> on_expand;
-  std::function<void(const Node&)> on_solution;
-  std::function<void(const Node&)> on_failure;
+      ///< node expanded into children
+  std::function<void(const Node&)> on_solution;  ///< answer recorded
+  std::function<void(const Node&)> on_failure;   ///< chain failed
 };
 
+/// The sequential search driver.
 class SearchEngine {
 public:
+  /// Bind to a program/weight store/builtins; all must outlive the engine.
   SearchEngine(const db::Program& program, db::WeightStore& weights,
                BuiltinEvaluator* builtins);
 
@@ -89,6 +98,7 @@ public:
   SearchResult solve(const Query& q, const SearchOptions& opts,
                      SearchObserver* observer = nullptr);
 
+  /// The weight store §5 updates mutate.
   [[nodiscard]] db::WeightStore& weights() { return weights_; }
 
 private:

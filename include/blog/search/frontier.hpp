@@ -1,5 +1,7 @@
-// Frontier (open list) policies: the only difference between Prolog-style
-// depth-first, breadth-first and B-LOG best-first search (§3).
+/// \file
+/// \brief Frontier (open list) policies: the only difference between
+/// Prolog-style depth-first, breadth-first and B-LOG best-first search
+/// (§3).
 #pragma once
 
 #include <deque>
@@ -12,17 +14,23 @@
 
 namespace blog::search {
 
+/// Which open-list policy drives the sequential search (§3).
 enum class Strategy { DepthFirst, BreadthFirst, BestFirst };
 
+/// Stable display name of a strategy ("depth-first" etc.).
 const char* strategy_name(Strategy s);
 
 /// Abstract open list.
 class Frontier {
 public:
   virtual ~Frontier() = default;
+  /// Add a node.
   virtual void push(Node n) = 0;
+  /// Remove and return the node the policy explores next.
   virtual Node pop() = 0;
+  /// True when no nodes are queued.
   [[nodiscard]] virtual bool empty() const = 0;
+  /// Number of queued nodes.
   [[nodiscard]] virtual std::size_t size() const = 0;
   /// Smallest bound currently in the frontier. O(1) on every policy:
   /// BestFirst reads the heap top, DepthFirst keeps a running-minimum
@@ -104,6 +112,7 @@ private:
   std::uint64_t seq_ = 0;
 };
 
+/// Frontier factory by strategy.
 std::unique_ptr<Frontier> make_frontier(Strategy s);
 
 }  // namespace blog::search

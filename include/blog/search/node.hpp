@@ -1,14 +1,15 @@
-// OR-tree nodes and the resolution (expansion) step.
-//
-// A `DetachedNode` is a full, independent copy of the computation state —
-// its own term store, the remaining goal list, and the instantiated answer
-// template. Detached nodes are the unit of *migration*: they are what the
-// global frontier / minimum-seeking network exchanges between workers and
-// what observers see. Within a worker, execution is trail-based and
-// in-place (see runner.hpp); a detached copy is materialized only when a
-// subtree is spilled, migrated, or recorded as a solution. The arcs from
-// the root are kept as a shared immutable chain so that bounds and §5
-// weight updates can walk leaf→root cheaply.
+/// \file
+/// \brief OR-tree nodes and the resolution (expansion) step.
+///
+/// A `DetachedNode` is a full, independent copy of the computation state —
+/// its own term store, the remaining goal list, and the instantiated answer
+/// template. Detached nodes are the unit of *migration*: they are what the
+/// global frontier / minimum-seeking network exchanges between workers and
+/// what observers see. Within a worker, execution is trail-based and
+/// in-place (see runner.hpp); a detached copy is materialized only when a
+/// subtree is spilled, migrated, or recorded as a solution. The arcs from
+/// the root are kept as a shared immutable chain so that bounds and §5
+/// weight updates can walk leaf→root cheaply.
 #pragma once
 
 #include <atomic>
@@ -26,23 +27,23 @@ namespace blog::search {
 /// A pending goal together with its provenance: which clause body literal
 /// introduced it (the caller side of the Figure-4 weighted pointer).
 struct Goal {
-  term::TermRef term = term::kNullTerm;
-  db::ClauseId src_clause = db::kQueryClause;
-  std::uint32_t src_literal = 0;
+  term::TermRef term = term::kNullTerm;        ///< the goal term
+  db::ClauseId src_clause = db::kQueryClause;  ///< clause that introduced it
+  std::uint32_t src_literal = 0;               ///< body literal index
 };
 
 /// One resolution decision (an arc of the OR-tree).
 struct Arc {
-  db::PointerKey key;
-  double weight = 0.0;             // weight read at decision time
-  db::WeightKind kind_at_use = db::WeightKind::Unknown;
+  db::PointerKey key;    ///< which weighted pointer was followed
+  double weight = 0.0;   ///< weight read at decision time
+  db::WeightKind kind_at_use = db::WeightKind::Unknown;  ///< kind then
 };
 
 /// Immutable leafward-growing chain of arcs (shared between siblings'
 /// descendants).
 struct Chain {
-  Arc arc;
-  std::shared_ptr<const Chain> parent;
+  Arc arc;                              ///< the decision at this step
+  std::shared_ptr<const Chain> parent;  ///< rootward remainder
 };
 
 using ChainPtr = std::shared_ptr<const Chain>;
@@ -53,15 +54,16 @@ std::uint32_t chain_length(const Chain* c);
 /// Search-tree node owning its full state (the migration unit). Value
 /// type: freely movable, copyable for observers.
 struct DetachedNode {
-  term::Store store;
-  std::vector<Goal> goals;          // goals[0] is resolved next
-  term::TermRef answer = term::kNullTerm;  // instantiated query template
-  double bound = 0.0;               // sum of arc weights root→here
-  std::uint32_t depth = 0;          // number of arcs
-  ChainPtr chain;
-  std::uint64_t id = 0;
-  std::uint64_t parent_id = 0;
+  term::Store store;                ///< owned compacted term store
+  std::vector<Goal> goals;          ///< goals[0] is resolved next
+  term::TermRef answer = term::kNullTerm;  ///< instantiated query template
+  double bound = 0.0;               ///< sum of arc weights root→here
+  std::uint32_t depth = 0;          ///< number of arcs
+  ChainPtr chain;                   ///< decision chain for §5 updates
+  std::uint64_t id = 0;             ///< node id
+  std::uint64_t parent_id = 0;      ///< parent node id
 
+  /// True when no goals remain: the node is an answer.
   [[nodiscard]] bool is_leaf_solution() const { return goals.empty(); }
 };
 
@@ -72,49 +74,53 @@ using Node = DetachedNode;
 /// A recorded answer: the instantiated template compacted into its own
 /// store, plus the rendered text.
 struct Solution {
-  term::Store store;
-  term::TermRef answer = term::kNullTerm;
-  double bound = 0.0;
-  std::uint32_t depth = 0;
-  std::string text;  // rendered answer term
+  term::Store store;  ///< owned store holding the answer term
+  term::TermRef answer = term::kNullTerm;  ///< instantiated template
+  double bound = 0.0;       ///< bound of the successful chain
+  std::uint32_t depth = 0;  ///< derivation depth
+  std::string text;         ///< rendered answer term
 };
 
 /// A query ready to run: goal terms plus the answer template, in one store.
 struct Query {
-  term::Store store;
-  std::vector<term::TermRef> goals;
-  term::TermRef answer = term::kNullTerm;
+  term::Store store;                 ///< store the goal terms live in
+  std::vector<term::TermRef> goals;  ///< conjunction to prove
+  term::TermRef answer = term::kNullTerm;  ///< answer template to report
 };
 
 /// Hook for evaluating builtin goals. Deterministic builtins only: they
 /// bind in `s` (trailing via `trail`) and succeed or fail.
 class BuiltinEvaluator {
 public:
+  /// What evaluating a goal did.
   enum class Outcome { NotBuiltin, True, Fail };
   virtual ~BuiltinEvaluator() = default;
+  /// Evaluate `goal` in `s`, trailing bindings through `trail`.
   virtual Outcome eval(term::Store& s, term::TermRef goal, term::Trail& trail) = 0;
   /// Pure check (no evaluation) used by goal-selection policies.
   [[nodiscard]] virtual bool is_builtin(const db::Pred&) const { return false; }
 };
 
+/// Work counters of the resolution step (unification effort, copies).
 struct ExpandStats {
-  std::size_t unify_attempts = 0;
-  std::size_t unify_successes = 0;
-  std::size_t unify_cells = 0;    // cells visited by unification (work proxy)
-  // Cells deep-copied into independent states. In-place (trail) execution
-  // copies nothing per expansion; this counts only detach points — spills
-  // to a frontier, migrations through the network, recorded solutions —
-  // plus, on the legacy materializing path, whole child states.
+  std::size_t unify_attempts = 0;   ///< head unifications tried
+  std::size_t unify_successes = 0;  ///< ...that succeeded
+  std::size_t unify_cells = 0;  ///< cells visited by unification (work proxy)
+  /// Cells deep-copied into independent states. In-place (trail) execution
+  /// copies nothing per expansion; this counts only detach points — spills
+  /// to a frontier, migrations through the network, recorded solutions —
+  /// plus, on the legacy materializing path, whole child states.
   std::size_t cells_copied = 0;
-  std::size_t builtin_calls = 0;
-  std::size_t detaches = 0;       // independent states materialized
+  std::size_t builtin_calls = 0;  ///< builtin goals evaluated
+  std::size_t detaches = 0;       ///< independent states materialized
 };
 
+/// How one node's expansion ended.
 enum class NodeOutcome {
-  Expanded,   // children produced
-  Solution,   // node had no goals
-  Failure,    // no clause matched / builtin failed: a failed chain (§5)
-  DepthLimit, // cut off, not a semantic failure
+  Expanded,   ///< children produced
+  Solution,   ///< node had no goals
+  Failure,    ///< no clause matched / builtin failed: a failed chain (§5)
+  DepthLimit, ///< cut off, not a semantic failure
 };
 
 /// Which pending goal to resolve next. The paper's §2 model traverses
@@ -122,28 +128,30 @@ enum class NodeOutcome {
 /// default) is leftmost. Selection is restricted to the prefix of goals
 /// before the first builtin so arithmetic stays correctly sequenced.
 enum class GoalOrder {
-  Leftmost,         // Prolog order
-  SmallestFanout,   // first-fail: fewest candidate clauses first
-  CheapestPointer,  // goal whose best candidate arc has the least weight
+  Leftmost,         ///< Prolog order
+  SmallestFanout,   ///< first-fail: fewest candidate clauses first
+  CheapestPointer,  ///< goal whose best candidate arc has the least weight
 };
 
+/// Options of the shared resolution step.
 struct ExpanderOptions {
-  bool first_arg_indexing = true;
-  bool occurs_check = false;
-  std::uint32_t max_depth = 512;
-  bool use_weights = true;  // false: every arc weighs 1 (uniform costs)
-  GoalOrder goal_order = GoalOrder::Leftmost;
-  // Conditional weights (§5 future work): key each pointer weight also by
-  // the clause chosen one step earlier ("conditional information").
+  bool first_arg_indexing = true;  ///< index candidates by first argument
+  bool occurs_check = false;       ///< occurs check during unification
+  std::uint32_t max_depth = 512;   ///< depth cutoff (DepthLimit outcome)
+  bool use_weights = true;  ///< false: every arc weighs 1 (uniform costs)
+  GoalOrder goal_order = GoalOrder::Leftmost;  ///< selection policy
+  /// Conditional weights (§5 future work): key each pointer weight also by
+  /// the clause chosen one step earlier ("conditional information").
   bool conditional_weights = false;
 };
 
 /// Result of one resolution step.
 struct ExpandOutput {
-  NodeOutcome outcome = NodeOutcome::Failure;
-  std::vector<Node> children;  // for Expanded, in clause (Prolog) order
-  Node final_node;             // the node after builtin evaluation, for
-                               // Solution / Failure / DepthLimit outcomes
+  NodeOutcome outcome = NodeOutcome::Failure;  ///< how the step ended
+  std::vector<Node> children;  ///< for Expanded, in clause (Prolog) order
+  /// The node after builtin evaluation, for Solution / Failure /
+  /// DepthLimit outcomes.
+  Node final_node;
 };
 
 /// The resolution step shared by the sequential engine, the thread-parallel

@@ -1,18 +1,19 @@
-// In-place (trail-based) node execution.
-//
-// A `Runner` executes a derivation destructively inside one worker-local
-// term store. Resolving a goal binds variables through the trail and
-// records the untried alternatives as lightweight `PendingChoice`s — a
-// clause id, a shallow goal list, a bound and a store/trail checkpoint.
-// Nothing is deep-copied per expansion; backtracking to a choice rolls the
-// trail back and truncates the arena to the checkpoint.
-//
-// A full, independent `DetachedNode` (an owned compacted store) is
-// materialized only when a choice leaves the worker: spilled to a shared
-// frontier, migrated through the minimum-seeking network, or recorded as a
-// solution. This is the copy-on-migration scheme of mature OR-parallel
-// systems; the paper's §6 machine likewise copies state only between
-// processors' local memories.
+/// \file
+/// \brief In-place (trail-based) node execution.
+///
+/// A `Runner` executes a derivation destructively inside one worker-local
+/// term store. Resolving a goal binds variables through the trail and
+/// records the untried alternatives as lightweight `PendingChoice`s — a
+/// clause id, a shallow goal list, a bound and a store/trail checkpoint.
+/// Nothing is deep-copied per expansion; backtracking to a choice rolls the
+/// trail back and truncates the arena to the checkpoint.
+///
+/// A full, independent `DetachedNode` (an owned compacted store) is
+/// materialized only when a choice leaves the worker: spilled to a shared
+/// frontier, migrated through the minimum-seeking network, or recorded as a
+/// solution. This is the copy-on-migration scheme of mature OR-parallel
+/// systems; the paper's §6 machine likewise copies state only between
+/// processors' local memories.
 #pragma once
 
 #include <unordered_map>
@@ -45,20 +46,28 @@ namespace blog::search {
 /// The claim CAS is the whole race resolution between an owner
 /// activating/rolling back a choice and a thief stealing it: exactly one
 /// side wins, and a thief that loses treats the deque entry as stale.
+///
+/// How the thief waits out kClaimed→kReady is the scheduler's choice
+/// (the owner-side protocol above is identical either way): the legacy
+/// claim-wait spins/sleeps on the handle until the deposit lands, while
+/// **claim-wait mailboxes** (the default) park the claimed handle in the
+/// thief's private mailbox so the thief keeps scanning other victims and
+/// consumes the deposit at a later acquire boundary. See
+/// docs/ARCHITECTURE.md for both transition tables.
 struct SpillHandle {
   enum State : std::uint32_t {
-    kAvailable,   // published; owner reclaim and thief claim race the CAS
-    kOwnerTaken,  // owner won: activated (or migrated) in place
-    kClaimed,     // a thief won; the owner must materialize for it
-    kFulfilling,  // owner is deep-copying the checkpointed state
-    kReady,       // `node` valid; only the claiming thief may take it
-    kDead,        // invalidated: owner dropped the choice under stop
-    kTaken,       // the claiming thief consumed `node` (terminal)
+    kAvailable,   ///< published; owner reclaim and thief claim race the CAS
+    kOwnerTaken,  ///< owner won: activated (or migrated) in place
+    kClaimed,     ///< a thief won; the owner must materialize for it
+    kFulfilling,  ///< owner is deep-copying the checkpointed state
+    kReady,       ///< `node` valid; only the claiming thief may take it
+    kDead,        ///< invalidated: owner dropped the choice under stop
+    kTaken,       ///< the claiming thief consumed `node` (terminal)
   };
-  std::atomic<std::uint32_t> state{kAvailable};
-  double bound = 0.0;
-  unsigned owner = 0;  // worker id whose Runner holds the choice
-  DetachedNode node;   // deposited by the owner; valid once kReady
+  std::atomic<std::uint32_t> state{kAvailable};  ///< the State word
+  double bound = 0.0;  ///< published bound (what the network sees)
+  unsigned owner = 0;  ///< worker id whose Runner holds the choice
+  DetachedNode node;   ///< deposited by the owner; valid once kReady
   /// Lock-free wake hint: thieves bump it after a claim; the owner's
   /// engine loop polls it each expansion boundary (Runner::
   /// has_pending_claims) and services claims via fulfill_claims.
@@ -83,18 +92,18 @@ struct SpillHandle {
 /// PendingChoice copies no term cells, and the parent goal list is shared
 /// by all siblings of one expansion.
 struct PendingChoice {
-  std::shared_ptr<const std::vector<Goal>> goals;  // parent goal list
-  db::ClauseId clause = 0;      // alternative clause to apply
-  Arc arc;                      // weight read at decision time (§5)
-  double bound = 0.0;           // child bound = parent bound + arc weight
-  std::uint32_t depth = 0;      // child depth
-  ChainPtr chain;               // child chain (arc consed on the parent's)
-  std::uint64_t id = 0;
-  std::uint64_t parent_id = 0;
-  term::Checkpoint cp;          // parent state to restore before applying
-  // Non-null once published as a copy-on-steal spill: the scheduler holds
-  // the same handle, and every owner-side consumption of this choice must
-  // first win the handle's claim CAS.
+  std::shared_ptr<const std::vector<Goal>> goals;  ///< parent goal list
+  db::ClauseId clause = 0;      ///< alternative clause to apply
+  Arc arc;                      ///< weight read at decision time (§5)
+  double bound = 0.0;           ///< child bound = parent bound + arc weight
+  std::uint32_t depth = 0;      ///< child depth
+  ChainPtr chain;               ///< child chain (arc consed on the parent's)
+  std::uint64_t id = 0;         ///< child node id
+  std::uint64_t parent_id = 0;  ///< parent node id
+  term::Checkpoint cp;          ///< parent state to restore before applying
+  /// Non-null once published as a copy-on-steal spill: the scheduler holds
+  /// the same handle, and every owner-side consumption of this choice must
+  /// first win the handle's claim CAS.
   std::shared_ptr<SpillHandle> handle;
 };
 
@@ -116,25 +125,26 @@ public:
   // --- current state -----------------------------------------------------
   /// The current node, minus the store it lives in.
   struct State {
-    std::vector<Goal> goals;
-    double bound = 0.0;
-    std::uint32_t depth = 0;
-    ChainPtr chain;
-    std::uint64_t id = 0;
-    std::uint64_t parent_id = 0;
+    std::vector<Goal> goals;      ///< remaining goals (goals[0] next)
+    double bound = 0.0;           ///< sum of arc weights root→here
+    std::uint32_t depth = 0;      ///< number of arcs root→here
+    ChainPtr chain;               ///< decision chain for §5 updates
+    std::uint64_t id = 0;         ///< node id
+    std::uint64_t parent_id = 0;  ///< parent node id
   };
   [[nodiscard]] bool has_state() const { return has_state_; }
   [[nodiscard]] const State& state() const { return state_; }
   [[nodiscard]] const term::Store& store() const { return store_; }
   [[nodiscard]] term::TermRef answer() const { return answer_; }
 
+  /// What one expand() call did.
   struct StepResult {
-    NodeOutcome outcome = NodeOutcome::Failure;
-    std::size_t children = 0;  // pending choices pushed (Expanded only)
-    // True when a preemption epoch tick interrupted a builtin burst before
-    // the resolution step ran: the state is intact (`has_state()` stays
-    // true) and the caller may run its D-threshold check, then call
-    // expand() again to resume where the burst left off.
+    NodeOutcome outcome = NodeOutcome::Failure;  ///< how the step ended
+    std::size_t children = 0;  ///< pending choices pushed (Expanded only)
+    /// True when a preemption epoch tick interrupted a builtin burst before
+    /// the resolution step ran: the state is intact (`has_state()` stays
+    /// true) and the caller may run its D-threshold check, then call
+    /// expand() again to resume where the burst left off.
     bool preempted = false;
   };
 
@@ -220,13 +230,15 @@ public:
   void abandon_state() { has_state_ = false; }
 
   // --- copy-on-steal spill handles ---------------------------------------
+  /// Copy-on-steal outcome counters of this runner's published handles.
   struct SpillCounters {
-    std::uint64_t published = 0;       // handles handed to the scheduler
-    std::uint64_t reclaimed_free = 0;  // owner won the CAS: zero copies
-    std::uint64_t granted = 0;         // a thief won: one deep copy paid
-    std::uint64_t migrated = 0;        // owner won during detach_all: the
-                                       // choice left with the batch (copied)
-    std::uint64_t invalidated = 0;     // killed (kDead) on drop/shutdown
+    std::uint64_t published = 0;       ///< handles handed to the scheduler
+    std::uint64_t reclaimed_free = 0;  ///< owner won the CAS: zero copies
+    std::uint64_t granted = 0;         ///< a thief won: one deep copy paid
+    /// Owner won during detach_all: the choice left with the batch
+    /// (copied, but not granted to any thief).
+    std::uint64_t migrated = 0;
+    std::uint64_t invalidated = 0;     ///< killed (kDead) on drop/shutdown
   };
   [[nodiscard]] const SpillCounters& spill_counters() const {
     return spill_counters_;

@@ -1,4 +1,6 @@
-// §5 weight-update rules, applied to chains when searches fail or succeed.
+/// \file
+/// \brief §5 weight-update rules, applied to chains when searches fail or
+/// succeed.
 #pragma once
 
 #include "blog/db/weights.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "blog/parallel/topology.hpp"
 #include "blog/search/runner.hpp"
 #include "blog/search/update.hpp"
 
@@ -65,6 +66,12 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
 
   for (;;) {
     if (net.stopped()) break;
+
+    // --- scheduler housekeeping ------------------------------------------
+    // Stale-bound refresh: once per expansion boundary the scheduler may
+    // sweep this worker's deque and re-publish a minimum that has gone
+    // stale (resolved copy-on-steal entries nobody re-published over).
+    net.maintain(worker);
 
     // --- service copy-on-steal claims ------------------------------------
     // Thieves that won a claim CAS wait for us to materialize the
@@ -258,6 +265,22 @@ ParallelResult ParallelEngine::solve(const search::Query& q) {
   tuning.adaptive = opts_.adaptive_capacity;
   tuning.ewma_window = opts_.capacity_ewma_window;
   tuning.local_capacity_seed = opts_.local_capacity;
+  tuning.numa_aware = opts_.numa_aware;
+  tuning.locality_bias = opts_.numa_locality_bias;
+  tuning.claim_mailboxes = opts_.claim_mailboxes;
+  tuning.mailbox_claim_limit = opts_.mailbox_claim_limit;  // scheduler clamps
+  tuning.stale_refresh_us = static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+      opts_.stale_refresh_interval.count(), 0,
+      std::numeric_limits<std::uint32_t>::max()));
+  // Worker→node placement mirrors the scheduler's deque tagging (both
+  // derive it round-robin from the same detected topology); single-node
+  // hosts skip placement and pinning entirely, as does the legacy
+  // GlobalFrontier — it has no node-aware victim choice, and pinning its
+  // workers to node subsets would skew the very legacy-vs-new
+  // comparison it is kept around for.
+  const Topology& topo = Topology::system();
+  const bool multi_node = opts_.numa_aware && !topo.single_node() &&
+                          opts_.scheduler == SchedulerKind::WorkStealing;
   const std::unique_ptr<Scheduler> net = make_scheduler(
       opts_.scheduler, opts_.workers, opts_.steal_deque_capacity, tuning);
   net->push_root(expander.make_root(q));
@@ -297,6 +320,11 @@ ParallelResult ParallelEngine::solve(const search::Query& q) {
   threads.reserve(opts_.workers);
   for (unsigned w = 0; w < opts_.workers; ++w) {
     threads.emplace_back([&, w] {
+      if (multi_node) {
+        const unsigned node = topo.node_of_worker(w);
+        result.workers[w].numa_node = node;
+        if (opts_.numa_pin_workers) pin_current_thread_to_node(topo, node);
+      }
       worker_loop(expander, *net, w, result.workers[w], solutions, sol_mu,
                   node_budget, solutions_left, stop_cause,
                   tick ? &preempt_epoch : nullptr);

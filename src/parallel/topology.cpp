@@ -1,0 +1,135 @@
+#include "blog/parallel/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace blog::parallel {
+namespace {
+
+std::string read_first_line(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+}  // namespace
+
+std::vector<unsigned> parse_cpulist(const std::string& s) {
+  std::vector<unsigned> cpus;
+  std::size_t i = 0;
+  const auto read_num = [&](unsigned& out) {
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+      return false;
+    unsigned v = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+      v = v * 10 + static_cast<unsigned>(s[i++] - '0');
+    out = v;
+    return true;
+  };
+  while (i < s.size()) {
+    unsigned lo = 0;
+    if (!read_num(lo)) break;
+    unsigned hi = lo;
+    if (i < s.size() && s[i] == '-') {
+      ++i;
+      if (!read_num(hi)) break;
+    }
+    for (unsigned c = lo; c <= hi && hi - lo < 4096; ++c) cpus.push_back(c);
+    if (i < s.size() && s[i] == ',') ++i;
+    else break;
+  }
+  return cpus;
+}
+
+Topology Topology::detect() {
+  namespace fs = std::filesystem;
+  std::vector<NumaNode> nodes;
+  std::error_code ec;
+  const fs::path root = "/sys/devices/system/node";
+  if (fs::is_directory(root, ec) && !ec) {
+    for (const auto& entry : fs::directory_iterator(root, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("node", 0) != 0 || name.size() <= 4) continue;
+      unsigned id = 0;
+      bool numeric = true;
+      for (std::size_t i = 4; i < name.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+          numeric = false;
+          break;
+        }
+        id = id * 10 + static_cast<unsigned>(name[i] - '0');
+      }
+      if (!numeric) continue;
+      NumaNode n;
+      n.id = id;
+      n.cpus = parse_cpulist(read_first_line(entry.path() / "cpulist"));
+      // Memory-only nodes (no CPUs) cannot host workers; skip them.
+      if (!n.cpus.empty()) nodes.push_back(std::move(n));
+    }
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const NumaNode& a, const NumaNode& b) { return a.id < b.id; });
+  // Re-number densely so node ids are usable as array indices regardless
+  // of sysfs gaps (offlined nodes).
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    nodes[i].id = static_cast<unsigned>(i);
+  if (nodes.size() <= 1) return Topology{};  // single-node fallback
+  return Topology{std::move(nodes)};
+}
+
+const Topology& Topology::system() {
+  static const Topology topo = detect();
+  return topo;
+}
+
+const std::vector<unsigned>& Topology::cpus_of(unsigned node) const {
+  static const std::vector<unsigned> kNone;
+  if (node >= nodes_.size()) return kNone;
+  return nodes_[node].cpus;
+}
+
+bool pin_current_thread_to_node(const Topology& topo, unsigned node) {
+#if defined(__linux__)
+  const std::vector<unsigned>& cpus = topo.cpus_of(node);
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const unsigned c : cpus) {
+    if (c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)topo;
+  (void)node;
+  return false;
+#endif
+}
+
+std::string cpu_model_name() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    // x86 says "model name", arm says "Processor" or per-core "CPU part";
+    // take the first self-describing key we recognize.
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.rfind("model name", 0) == 0 || line.rfind("Processor", 0) == 0 ||
+        line.rfind("Hardware", 0) == 0) {
+      std::string v = line.substr(colon + 1);
+      while (!v.empty() && v.front() == ' ') v.erase(v.begin());
+      return v;
+    }
+  }
+  return {};
+}
+
+}  // namespace blog::parallel

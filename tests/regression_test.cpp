@@ -241,6 +241,40 @@ TEST_P(SchedulerGrid, LazySpillMatchesEagerSpill) {
   }
 }
 
+TEST_P(SchedulerGrid, MailboxClaimWaitMatchesSpinWait) {
+  // Claim-wait mailboxes only change *when* a thief receives a claimed
+  // deposit (parked and drained later vs blocked on the handle) — never
+  // what is found. Both claim-wait modes must produce byte-identical
+  // solution sets under copy-on-steal. On single-node hosts this also
+  // pins the NUMA fallback path: worker placement and victim scans must
+  // behave exactly as before.
+  using Spill = parallel::ParallelOptions::SpillPolicy;
+  const auto [sched, workers] = GetParam();
+  for (const Workload& w : workload_set()) {
+    auto run = [&](bool mailboxes) {
+      Interpreter ip;
+      ip.consult_string(w.program);
+      parallel::ParallelOptions po;
+      po.workers = workers;
+      po.update_weights = false;
+      po.scheduler = sched;
+      po.spill_policy = Spill::Lazy;
+      po.claim_mailboxes = mailboxes;
+      po.local_capacity = 1;  // publish nearly everything: maximize claims
+      parallel::ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(),
+                                  po);
+      const auto r = pe.solve(ip.parse_query(w.query));
+      std::vector<std::string> got;
+      for (const auto& s : r.solutions) got.push_back(s.text);
+      std::sort(got.begin(), got.end());
+      return got;
+    };
+    EXPECT_EQ(run(true), run(false))
+        << w.name << " workers=" << workers << " scheduler="
+        << parallel::scheduler_kind_name(sched);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SchedulerWorkers, SchedulerGrid,
     ::testing::Combine(

@@ -1,6 +1,7 @@
 // Work-stealing scheduler tests: deque/steal/termination unit behaviour,
 // the max_solutions exact-count fix under contention, copy-on-steal spill
 // handle lifecycle (claim CAS, owner fulfillment, invalidation races),
+// claim-wait mailboxes, NUMA-biased victim choice, stale-bound refresh,
 // timer-driven D-threshold preemption, and steal-storm stress with tiny
 // deques (the BLOG_TSAN CI job runs all of these under the thread
 // sanitizer).
@@ -11,6 +12,7 @@
 #include <thread>
 
 #include "blog/parallel/engine.hpp"
+#include "blog/parallel/topology.hpp"
 #include "blog/workloads/workloads.hpp"
 
 namespace blog::parallel {
@@ -204,6 +206,101 @@ TEST(AdaptiveCapacity, DisabledTuningPinsTheSeeds) {
   s.stop();
 }
 
+// ------------------------------------------------------ NUMA topology ----
+
+TEST(Topology, ParseCpulistHandlesRangesAndSingles) {
+  EXPECT_EQ(parse_cpulist("0-3,8,10-11"),
+            (std::vector<unsigned>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(parse_cpulist("5"), (std::vector<unsigned>{5}));
+  EXPECT_TRUE(parse_cpulist("").empty());
+  EXPECT_TRUE(parse_cpulist("garbage").empty());
+}
+
+TEST(Topology, RoundRobinWorkerPlacement) {
+  Topology t({{0, {0, 1}}, {1, {2, 3}}});
+  EXPECT_EQ(t.node_count(), 2u);
+  EXPECT_FALSE(t.single_node());
+  EXPECT_EQ(t.node_of_worker(0), 0u);
+  EXPECT_EQ(t.node_of_worker(1), 1u);
+  EXPECT_EQ(t.node_of_worker(2), 0u);
+  EXPECT_EQ(t.cpus_of(1), (std::vector<unsigned>{2, 3}));
+  EXPECT_TRUE(t.cpus_of(7).empty());
+}
+
+TEST(Topology, SystemDetectionFallsBackToAtLeastOneNode) {
+  // Whatever the host looks like, detection must yield a usable topology
+  // (>= 1 node) and a total worker placement.
+  const Topology& t = Topology::system();
+  EXPECT_GE(t.node_count(), 1u);
+  EXPECT_LT(t.node_of_worker(13), t.node_count());
+}
+
+TEST(Numa, IdleScanPrefersLocalNodeWithinBias) {
+  // Workers 0 and 2 share node 0; worker 1 sits on node 1. The remote
+  // deque holds 5.0, the local one 5.5: within the 1.0 locality bias the
+  // scan must stay on-node (5.0 is not better than 5.5 - 1.0), so the
+  // idle thief takes the local 5.5 first and crosses the interconnect
+  // only for the remainder.
+  SchedulerTuning t;
+  t.worker_nodes = {0, 1, 0};
+  t.locality_bias = 1.0;
+  WorkStealingScheduler s(3, /*deque_capacity=*/64, t);
+  EXPECT_EQ(s.worker_node(0), 0u);
+  EXPECT_EQ(s.worker_node(1), 1u);
+  s.on_expanded(3);  // two chains about to be queued
+  std::vector<search::Node> remote, local;
+  remote.push_back(node_with_bound(5.0));
+  local.push_back(node_with_bound(5.5));
+  s.push_batch(1, std::move(remote));
+  s.push_batch(2, std::move(local));
+  EXPECT_DOUBLE_EQ(s.acquire(0)->bound, 5.5);  // local first
+  EXPECT_DOUBLE_EQ(s.acquire(0)->bound, 5.0);  // then remote
+  const auto st = s.stats();
+  EXPECT_GE(st.steals_local, 1u);
+  EXPECT_GE(st.steals_remote, 1u);
+  EXPECT_EQ(st.steals_local + st.steals_remote, st.steals);
+  s.stop();
+}
+
+TEST(Numa, RemoteVictimWinsWhenBeatingTheBias) {
+  // Remote 1.0 vs local 5.0 under bias 1.0: the remote minimum beats the
+  // local candidate by more than the bias, so the scan crosses nodes —
+  // §6's minimum-seeking still dominates when the gap is real.
+  SchedulerTuning t;
+  t.worker_nodes = {0, 0, 1};
+  t.locality_bias = 1.0;
+  WorkStealingScheduler s(3, /*deque_capacity=*/64, t);
+  s.on_expanded(3);
+  std::vector<search::Node> local, remote;
+  local.push_back(node_with_bound(5.0));
+  remote.push_back(node_with_bound(1.0));
+  s.push_batch(1, std::move(local));
+  s.push_batch(2, std::move(remote));
+  EXPECT_DOUBLE_EQ(s.acquire(0)->bound, 1.0);
+  EXPECT_GE(s.stats().steals_remote, 1u);
+  s.stop();
+}
+
+TEST(Numa, TryAcquireBetterPrefersLocalNodeWithinBias) {
+  // D-threshold probe with both a local (5.0) and a slightly better
+  // remote (4.5) candidate under the threshold: within the bias the
+  // migration stays on-node.
+  SchedulerTuning t;
+  t.worker_nodes = {0, 0, 1};
+  t.locality_bias = 1.0;
+  WorkStealingScheduler s(3, /*deque_capacity=*/64, t);
+  s.on_expanded(3);
+  std::vector<search::Node> local, remote;
+  local.push_back(node_with_bound(5.0));
+  remote.push_back(node_with_bound(4.5));
+  s.push_batch(1, std::move(local));
+  s.push_batch(2, std::move(remote));
+  auto got = s.try_acquire_better(0, 100.0, 0.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->bound, 5.0);
+  s.stop();
+}
+
 // ---------------------------------------------- copy-on-steal handles ----
 
 std::shared_ptr<search::SpillHandle> handle_with_bound(double b,
@@ -279,6 +376,234 @@ TEST(CopyOnSteal, DeadHandleAbandonsTheClaimingThief) {
   h->state.store(search::SpillHandle::kDead, std::memory_order_release);
   s.on_expanded(0);  // the dropped chain leaves the outstanding count
   thief.join();
+}
+
+// ---------------------------------------------- claim-wait mailboxes ----
+
+TEST(Mailbox, ClaimParksAndDrainsTheOwnerDeposit) {
+  // Mailbox mode (the default): the thief's claim parks the handle and
+  // acquire keeps polling without a single claim-wait spin; the owner's
+  // deposit is consumed from the mailbox on a later poll.
+  WorkStealingScheduler s(2);
+  auto h = handle_with_bound(1.5, /*owner=*/0);
+  s.on_expanded(2);
+  std::vector<std::shared_ptr<search::SpillHandle>> hs{h};
+  s.push_handles(0, std::move(hs));
+
+  std::thread owner([&] {
+    while (h->state.load(std::memory_order_acquire) !=
+           search::SpillHandle::kClaimed)
+      std::this_thread::yield();
+    h->node = node_with_bound(1.5);
+    h->state.store(search::SpillHandle::kReady, std::memory_order_release);
+  });
+  auto n = s.acquire(1);
+  owner.join();
+  ASSERT_TRUE(n.has_value());
+  EXPECT_DOUBLE_EQ(n->bound, 1.5);
+  EXPECT_EQ(h->state.load(), search::SpillHandle::kTaken);
+  const auto st = s.stats();
+  EXPECT_EQ(st.mailbox_parked, 1u);
+  EXPECT_EQ(st.mailbox_drained, 1u);
+  EXPECT_EQ(st.claim_wait_spins, 0u);  // never blocked on the claim
+  EXPECT_EQ(st.handle_claims, 1u);
+  EXPECT_EQ(st.handle_grants, 1u);
+  s.stop();
+}
+
+TEST(Mailbox, SpinWaitModeNeverTouchesMailboxes) {
+  SchedulerTuning t;
+  t.claim_mailboxes = false;
+  WorkStealingScheduler s(2, /*deque_capacity=*/64, t);
+  auto h = handle_with_bound(2.5, /*owner=*/0);
+  s.on_expanded(2);
+  std::vector<std::shared_ptr<search::SpillHandle>> hs{h};
+  s.push_handles(0, std::move(hs));
+  std::thread owner([&] {
+    while (h->state.load(std::memory_order_acquire) !=
+           search::SpillHandle::kClaimed)
+      std::this_thread::yield();
+    h->node = node_with_bound(2.5);
+    h->state.store(search::SpillHandle::kReady, std::memory_order_release);
+  });
+  auto n = s.acquire(1);
+  owner.join();
+  ASSERT_TRUE(n.has_value());
+  const auto st = s.stats();
+  EXPECT_EQ(st.mailbox_parked, 0u);
+  EXPECT_EQ(st.mailbox_drained, 0u);
+  s.stop();
+}
+
+TEST(Mailbox, SurplusDepositsAreReparkedIntoTheThiefsDeque) {
+  // Two handles from the same owner: the polling thief claims both while
+  // idle, the owner deposits both, and the drain hands the thief the
+  // better one while re-parking the other into the thief's deque — so the
+  // surplus deposit re-enters the network instead of idling privately.
+  // (The claim limit must admit two parked claims: the fake owner below
+  // deposits only once both are claimed.)
+  SchedulerTuning tuning;
+  tuning.mailbox_claim_limit = 2;
+  WorkStealingScheduler s(2, /*deque_capacity=*/64, tuning);
+  auto h1 = handle_with_bound(1.0, /*owner=*/0);
+  auto h2 = handle_with_bound(2.0, /*owner=*/0);
+  s.on_expanded(3);
+  std::vector<std::shared_ptr<search::SpillHandle>> hs{h1, h2};
+  s.push_handles(0, std::move(hs));
+
+  std::thread owner([&] {
+    for (const auto& h : {h1, h2}) {
+      while (h->state.load(std::memory_order_acquire) !=
+             search::SpillHandle::kClaimed)
+        std::this_thread::yield();
+    }
+    // Both claims parked; deposit both at once.
+    h1->node = node_with_bound(1.0);
+    h1->state.store(search::SpillHandle::kReady, std::memory_order_release);
+    h2->node = node_with_bound(2.0);
+    h2->state.store(search::SpillHandle::kReady, std::memory_order_release);
+  });
+  EXPECT_DOUBLE_EQ(s.acquire(1)->bound, 1.0);  // best deposit
+  owner.join();
+  EXPECT_DOUBLE_EQ(s.acquire(1)->bound, 2.0);  // re-parked surplus
+  const auto st = s.stats();
+  EXPECT_EQ(st.mailbox_parked, 2u);
+  EXPECT_EQ(st.mailbox_drained, 2u);
+  EXPECT_EQ(st.handle_grants, 2u);
+  s.stop();
+}
+
+TEST(Mailbox, ClaimLimitStopsFurtherClaimsUntilDrained) {
+  // Default claim limit 1: with one claim already parked, the thief must
+  // not claim the second published handle — it backs off and drains
+  // instead, and only the next acquisition claims the second one. This is
+  // what keeps an idle thief on an oversubscribed host from forcing every
+  // owner into a deep copy at once.
+  WorkStealingScheduler s(2);
+  auto h1 = handle_with_bound(1.0, /*owner=*/0);
+  auto h2 = handle_with_bound(2.0, /*owner=*/0);
+  s.on_expanded(3);
+  std::vector<std::shared_ptr<search::SpillHandle>> hs{h1, h2};
+  s.push_handles(0, std::move(hs));
+
+  std::thread owner([&] {
+    for (const auto& h : {h1, h2}) {
+      while (h->state.load(std::memory_order_acquire) !=
+             search::SpillHandle::kClaimed)
+        std::this_thread::yield();
+      h->node = node_with_bound(h->bound);
+      h->state.store(search::SpillHandle::kReady, std::memory_order_release);
+    }
+  });
+  EXPECT_DOUBLE_EQ(s.acquire(1)->bound, 1.0);
+  // The second handle was never claimed while the first sat in the
+  // mailbox: the cap held the thief to one in-flight claim.
+  EXPECT_EQ(h2->state.load(), search::SpillHandle::kAvailable);
+  EXPECT_EQ(s.stats().mailbox_parked, 1u);
+  EXPECT_DOUBLE_EQ(s.acquire(1)->bound, 2.0);
+  owner.join();
+  EXPECT_EQ(s.stats().mailbox_parked, 2u);
+  s.stop();
+}
+
+TEST(Mailbox, ZeroClaimLimitIsClampedToOne) {
+  // A zero cap would make `mail.size() >= limit` always true and
+  // silently turn off handle stealing; the scheduler clamps it at
+  // construction so every build path stays safe.
+  SchedulerTuning t;
+  t.mailbox_claim_limit = 0;
+  WorkStealingScheduler s(2, /*deque_capacity=*/64, t);
+  auto h = handle_with_bound(1.0, /*owner=*/0);
+  s.on_expanded(2);
+  std::vector<std::shared_ptr<search::SpillHandle>> hs{h};
+  s.push_handles(0, std::move(hs));
+  std::thread owner([&] {
+    while (h->state.load(std::memory_order_acquire) !=
+           search::SpillHandle::kClaimed)
+      std::this_thread::yield();
+    h->node = node_with_bound(1.0);
+    h->state.store(search::SpillHandle::kReady, std::memory_order_release);
+  });
+  EXPECT_DOUBLE_EQ(s.acquire(1)->bound, 1.0);  // the claim still happened
+  owner.join();
+  s.stop();
+}
+
+TEST(Mailbox, DeadDepositIsDroppedOnDrain) {
+  WorkStealingScheduler s(2);
+  auto h = handle_with_bound(3.0, /*owner=*/0);
+  s.on_expanded(2);
+  std::vector<std::shared_ptr<search::SpillHandle>> hs{h};
+  s.push_handles(0, std::move(hs));
+  std::thread thief([&] { EXPECT_FALSE(s.acquire(1).has_value()); });
+  while (h->state.load(std::memory_order_acquire) !=
+         search::SpillHandle::kClaimed)
+    std::this_thread::yield();
+  // Owner shutting down: the claimed handle dies instead of being
+  // fulfilled; the thief's drain must drop it and terminate cleanly.
+  h->state.store(search::SpillHandle::kDead, std::memory_order_release);
+  s.on_expanded(0);
+  thief.join();
+  const auto st = s.stats();
+  EXPECT_EQ(st.mailbox_parked, 1u);
+  EXPECT_EQ(st.mailbox_drained, 0u);
+}
+
+// -------------------------------------------------- stale-bound refresh --
+
+TEST(StaleRefresh, OwnerRepublishesAStaleMinimum) {
+  // A published handle the owner reclaimed in place leaves a dead bound
+  // advertised to every idle scan. Nobody steals here — the owner's own
+  // maintain() must sweep and re-publish once the interval passes.
+  SchedulerTuning t;
+  t.stale_refresh_us = 1;
+  WorkStealingScheduler s(2, /*deque_capacity=*/64, t);
+  auto h = handle_with_bound(1.0, /*owner=*/0);
+  s.on_expanded(2);
+  std::vector<std::shared_ptr<search::SpillHandle>> hs{h};
+  s.push_handles(0, std::move(hs));
+  ASSERT_TRUE(s.min_bound().has_value());  // dead bound still advertised
+  h->state.store(search::SpillHandle::kOwnerTaken);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  s.maintain(0);
+  EXPECT_FALSE(s.min_bound().has_value());  // refreshed to empty
+  const auto st = s.stats();
+  EXPECT_GE(st.stale_refreshes, 1u);
+  EXPECT_GE(st.stale_discards, 1u);
+  s.stop();
+}
+
+TEST(StaleRefresh, DisabledIntervalLeavesTheBoundAlone) {
+  SchedulerTuning t;
+  t.stale_refresh_us = 0;  // refresh off
+  WorkStealingScheduler s(2, /*deque_capacity=*/64, t);
+  auto h = handle_with_bound(1.0, /*owner=*/0);
+  s.on_expanded(2);
+  std::vector<std::shared_ptr<search::SpillHandle>> hs{h};
+  s.push_handles(0, std::move(hs));
+  h->state.store(search::SpillHandle::kOwnerTaken);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  s.maintain(0);
+  EXPECT_TRUE(s.min_bound().has_value());  // dead bound still up
+  EXPECT_EQ(s.stats().stale_refreshes, 0u);
+  s.stop();
+}
+
+TEST(StaleRefresh, FreshPublishIsNotRefreshed) {
+  // A minimum published a moment ago must not be swept: the interval
+  // gates the owner-side lock to one per stale period.
+  SchedulerTuning t;
+  t.stale_refresh_us = 60'000'000;  // one minute: never stale in-test
+  WorkStealingScheduler s(2, /*deque_capacity=*/64, t);
+  auto h = handle_with_bound(1.0, /*owner=*/0);
+  s.on_expanded(2);
+  std::vector<std::shared_ptr<search::SpillHandle>> hs{h};
+  s.push_handles(0, std::move(hs));
+  h->state.store(search::SpillHandle::kOwnerTaken);
+  s.maintain(0);
+  EXPECT_TRUE(s.min_bound().has_value());
+  EXPECT_EQ(s.stats().stale_refreshes, 0u);
+  s.stop();
 }
 
 // ------------------------------------- max_solutions exact-count (fix) --
@@ -362,6 +687,53 @@ TEST(WorkStealingStress, LazyHandleStormStaysExact) {
     // reclaimed in place, granted to a thief, or rematerialized into a
     // D-threshold migration batch.
     EXPECT_EQ(reclaimed + granted + migrated, published) << "run " << run;
+  }
+}
+
+TEST(WorkStealingStress, MailboxStormStaysExact) {
+  // Claim-wait mailboxes under maximum contention: capacity 1 publishes
+  // nearly every choice, so thieves park claims while still scanning and
+  // owners deposit into mailboxes concurrently — with the stale-bound
+  // refresh running at a deliberately hot 1µs interval on top. Every
+  // answer must still be found exactly once (TSan-verified in CI).
+  const std::string program = workloads::layered_dag(4, 3);
+  const auto expected = sequential_expected(program, "path(n0_0,Z,P)");
+  for (int run = 0; run < 3; ++run) {
+    ParallelOptions po;
+    po.workers = 8;
+    po.local_capacity = 1;
+    po.steal_deque_capacity = 1;
+    po.adaptive_capacity = false;
+    po.update_weights = false;
+    po.scheduler = SchedulerKind::WorkStealing;
+    po.spill_policy = Spill::Lazy;
+    po.claim_mailboxes = true;
+    po.stale_refresh_interval = std::chrono::microseconds(1);
+    const auto r = solve_parallel(program, "path(n0_0,Z,P)", po);
+    EXPECT_EQ(texts(r), expected) << "run " << run;
+    EXPECT_TRUE(r.exhausted);
+  }
+}
+
+TEST(WorkStealingStress, SpinWaitStormStaysExact) {
+  // The legacy claim-wait path (mailboxes off) stays a supported
+  // configuration; keep it under the same storm so both waits are
+  // sanitizer-covered.
+  const std::string program = workloads::layered_dag(4, 3);
+  const auto expected = sequential_expected(program, "path(n0_0,Z,P)");
+  for (int run = 0; run < 3; ++run) {
+    ParallelOptions po;
+    po.workers = 8;
+    po.local_capacity = 1;
+    po.steal_deque_capacity = 1;
+    po.adaptive_capacity = false;
+    po.update_weights = false;
+    po.scheduler = SchedulerKind::WorkStealing;
+    po.spill_policy = Spill::Lazy;
+    po.claim_mailboxes = false;
+    const auto r = solve_parallel(program, "path(n0_0,Z,P)", po);
+    EXPECT_EQ(texts(r), expected) << "run " << run;
+    EXPECT_TRUE(r.exhausted);
   }
 }
 

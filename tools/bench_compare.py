@@ -26,6 +26,12 @@ Usage:
                               the current run (e.g.
                               BENCH_spill.json:deep_w8_copy_reduction:2.0)
 
+Every BENCH_*.json carries a "host" record (NUMA node count, CPUs per
+node, hardware concurrency, CPU model) written by bench_json. The host
+record is never gated; when baseline and current hosts disagree the
+mismatch is printed as a WARN so cross-machine comparisons are
+interpretable instead of silently misleading.
+
 Exit status 0 when every gate holds, 1 otherwise; prints a table either way.
 """
 
@@ -38,6 +44,21 @@ import sys
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def check_host(name, base, cur):
+    """Warn (never fail) when the two runs came from different hardware."""
+    bhost, chost = base.get("host"), cur.get("host")
+    if not isinstance(bhost, dict) or not isinstance(chost, dict):
+        return
+    fields = ("numa_nodes", "cpus_per_node", "hardware_concurrency",
+              "cpu_model")
+    diffs = [f"{k}: {bhost.get(k)!r} -> {chost.get(k)!r}"
+             for k in fields if bhost.get(k) != chost.get(k)]
+    if diffs:
+        print(f"WARN {name}: host topology mismatch vs baseline "
+              f"({'; '.join(diffs)}); throughput ratios may reflect the "
+              f"hardware, not the code")
 
 
 def main():
@@ -70,8 +91,9 @@ def main():
             failures.append(f"{name}: missing from current run")
             continue
         cur = load(cur_path)
+        check_host(name, base, cur)
         for entry, bvals in base.items():
-            if not isinstance(bvals, dict):
+            if entry == "host" or not isinstance(bvals, dict):
                 continue
             cvals = cur.get(entry)
             if not isinstance(cvals, dict):
