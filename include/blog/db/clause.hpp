@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "blog/db/head_code.hpp"
 #include "blog/term/store.hpp"
 
 namespace blog::db {
@@ -45,6 +46,9 @@ public:
   /// copy cycles proportional to this.
   [[nodiscard]] std::size_t term_cells() const { return cells_; }
 
+  /// The head compiled to WAM-lite bytecode (done once, at construction).
+  [[nodiscard]] const HeadCode& head_code() const { return code_; }
+
   [[nodiscard]] std::string to_string() const;
 
 private:
@@ -53,6 +57,7 @@ private:
   std::vector<term::TermRef> body_;
   Pred pred_;
   std::size_t cells_ = 0;
+  HeadCode code_;
 };
 
 /// Predicate of a callable term (atom or struct) in `s`; arity 0 for atoms.

@@ -1,0 +1,118 @@
+/// \file
+/// \brief WAM-lite head-unification bytecode.
+///
+/// Each clause head is compiled once, at load, into a flat instruction
+/// vector executed directly against the live store + trail. The structural
+/// path pays, per candidate clause per expansion, a full head import
+/// (fresh cells for every head subterm) followed by general unification
+/// and a rollback; the compiled path rejects a failing candidate after
+/// reading exactly the goal cells that disagree, and binds a succeeding
+/// one in a single pass without materializing the head at all.
+///
+/// Instruction order is the exact traversal order of `term::unify` (an
+/// explicit stack popped from the back, i.e. argument lists processed
+/// right-to-left), and the binding direction (goal side binds to head
+/// side) is reproduced instruction by instruction — so every binding,
+/// every representative variable, and therefore every rendered answer is
+/// byte-identical to the structural path's.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blog/term/unify.hpp"
+
+namespace blog::db {
+
+/// The opcode list, X-macro style (see SNIPPETS' capsule dispatch table):
+/// every consumer — the enum, the name table, the dispatch loop's
+/// completeness assert — is generated from this single list.
+#define BLOG_HEAD_OPS(X) \
+  X(GetStruct) /* a = functor symbol, b = arity */                    \
+  X(GetAtom)   /* a = atom symbol */                                  \
+  X(GetInt)    /* a = index into the int constant table */            \
+  X(GetVar)    /* first occurrence: a = slot, b = var name symbol */  \
+  X(GetValue)  /* repeat occurrence: a = slot; full unify vs slot */
+
+/// Head-unification opcodes.
+enum class HeadOp : std::uint8_t {
+#define X(id) k##id,
+  BLOG_HEAD_OPS(X)
+#undef X
+      kCount_,  ///< number of opcodes (bookkeeping, never executed)
+};
+
+/// Stable display name of an opcode ("GetStruct", ...).
+[[nodiscard]] const char* head_op_name(HeadOp op);
+
+/// One head instruction. Meaning of `a`/`b` per opcode: see BLOG_HEAD_OPS.
+struct HeadInstr {
+  HeadOp op = HeadOp::kGetVar;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// A compiled clause head: the instruction vector plus its constant and
+/// slot tables. Value type, compiled once per clause at load.
+class HeadCode {
+public:
+  HeadCode() = default;
+
+  /// Compile `head` (living in the clause's own store `s`). Non-struct
+  /// heads (atoms — arity-0 predicates) compile to an empty program:
+  /// predicate dispatch already proved the match.
+  [[nodiscard]] static HeadCode compile(const term::Store& s,
+                                        term::TermRef head);
+
+  [[nodiscard]] std::span<const HeadInstr> code() const { return code_; }
+  [[nodiscard]] bool empty() const { return code_.empty(); }
+
+  /// Integer constant table (GetInt operands).
+  [[nodiscard]] std::int64_t int_at(std::uint32_t i) const { return ints_[i]; }
+
+  /// Number of distinct head variables (= slots a matcher must provide).
+  [[nodiscard]] std::uint32_t slot_count() const {
+    return static_cast<std::uint32_t>(slot_vars_.size());
+  }
+  /// The clause-store variable captured by slot `i` — the key under which
+  /// a body import must map it to the matcher's live binding.
+  [[nodiscard]] term::TermRef slot_var(std::uint32_t i) const {
+    return slot_vars_[i];
+  }
+
+private:
+  std::vector<HeadInstr> code_;
+  std::vector<std::int64_t> ints_;
+  std::vector<term::TermRef> slot_vars_;
+};
+
+/// Executes compiled heads against a live store. Holds reusable scratch
+/// (the term stack and the slot array) so matching allocates nothing in
+/// steady state. One matcher per Runner; not thread-safe.
+class HeadMatcher {
+public:
+  /// Match `goal` (deref'd to a struct of the clause's predicate — the
+  /// caller's candidate lookup guarantees this) against `hc`. Bindings go
+  /// through `trail`; on failure the caller is expected to roll back to
+  /// its pre-candidate checkpoint, exactly as after a failed structural
+  /// unification. `opts.occurs_check` applies to GetValue's embedded
+  /// unification (the only place a cycle can arise: every other binding
+  /// target is a freshly allocated cell).
+  [[nodiscard]] bool match(term::Store& s, term::Trail& trail,
+                           term::TermRef goal, const HeadCode& hc,
+                           const term::UnifyOptions& opts = {},
+                           term::UnifyStats* stats = nullptr);
+
+  /// Live binding of head-variable slot `i` after a successful match.
+  /// Pre-seeding an import var_map with slot_var(i) → slot(i) renames a
+  /// clause body straight onto these bindings.
+  [[nodiscard]] term::TermRef slot(std::uint32_t i) const { return slots_[i]; }
+
+private:
+  std::vector<term::TermRef> stack_;
+  std::vector<term::TermRef> slots_;
+  std::vector<term::TermRef> wargs_;  // write-mode fresh-args scratch
+};
+
+}  // namespace blog::db

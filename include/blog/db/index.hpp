@@ -1,0 +1,91 @@
+/// \file
+/// \brief Hash-bucketed first-argument clause index.
+///
+/// The per-goal linear filter this replaces rescanned every clause of a
+/// predicate on every expansion (and copied the surviving ids into a fresh
+/// vector). The index precomputes, at clause-load time, one candidate
+/// bucket per *principal functor key* of the head's first argument — atom
+/// id, integer value, or functor/arity — with var-headed clauses merged
+/// into every bucket in textual order. Lookup is then a single hash probe
+/// returning a span into the prebuilt bucket: O(1) and allocation-free no
+/// matter how many facts the predicate has.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "blog/db/clause.hpp"
+
+namespace blog::db {
+
+/// Principal functor of a head's first argument, the unit of first-argument
+/// indexing: two non-variable first arguments can only unify when their
+/// keys are equal.
+struct FirstArgKey {
+  /// Which principal functor category the key encodes.
+  enum class Kind : std::uint8_t { Atom, Int, Struct };
+  Kind kind = Kind::Atom;      ///< category of the first argument
+  std::uint64_t value = 0;     ///< symbol id (Atom/Struct) or int64 bits (Int)
+  std::uint32_t arity = 0;     ///< functor arity (Struct only, else 0)
+
+  friend bool operator==(const FirstArgKey&, const FirstArgKey&) = default;
+};
+
+/// Hash for FirstArgKey (same splitmix-style mixing as PointerKeyHash).
+struct FirstArgKeyHash {
+  std::size_t operator()(const FirstArgKey& k) const noexcept {
+    std::uint64_t h = static_cast<std::uint64_t>(k.kind);
+    h = h * 0x9e3779b97f4a7c15ULL + k.value;
+    h = h * 0x9e3779b97f4a7c15ULL + k.arity;
+    return std::hash<std::uint64_t>{}(h);
+  }
+};
+
+/// First-argument key of a term (deref'd); std::nullopt for variables —
+/// the "matches every bucket" case.
+[[nodiscard]] std::optional<FirstArgKey> first_arg_key(const term::Store& s,
+                                                       term::TermRef t);
+
+/// Per-predicate clause buckets, maintained incrementally as clauses are
+/// added (so snapshot-copied programs keep a live index without a rebuild
+/// pass). Bucket contents preserve textual clause order — the invariant
+/// every search strategy's clause selection relies on.
+class ClauseIndex {
+public:
+  /// Register clause `id` (its position in the program) under its
+  /// predicate and first-argument key. Ids must be added in increasing
+  /// (textual) order.
+  void add(const Clause& c, ClauseId id);
+
+  /// Every clause of predicate `p`, in textual order.
+  [[nodiscard]] const std::vector<ClauseId>& all(const Pred& p) const;
+
+  /// First-argument-indexed candidates for `goal` (living in `s`): the
+  /// prebuilt bucket whose clauses' first arguments could unify with the
+  /// goal's. Non-struct goals and goals with an unbound first argument get
+  /// every clause; an unseen key gets only the var-headed clauses. The
+  /// span aliases index storage — valid until the next add().
+  [[nodiscard]] std::span<const ClauseId> lookup(const Pred& p,
+                                                 const term::Store& s,
+                                                 term::TermRef goal) const;
+
+  /// All predicates with at least one clause.
+  [[nodiscard]] std::vector<Pred> predicates() const;
+
+private:
+  struct Buckets {
+    std::vector<ClauseId> all;       ///< every clause, textual order
+    std::vector<ClauseId> var_only;  ///< clauses whose first arg is a var
+    /// One bucket per first-argument key: the keyed clauses merged with
+    /// var_only, textual order.
+    std::unordered_map<FirstArgKey, std::vector<ClauseId>, FirstArgKeyHash>
+        keyed;
+  };
+
+  std::unordered_map<Pred, Buckets, PredHash> preds_;
+  std::vector<ClauseId> empty_;
+};
+
+}  // namespace blog::db

@@ -8,11 +8,13 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "blog/db/clause.hpp"
+#include "blog/db/index.hpp"
 
 namespace blog::db {
 
@@ -64,9 +66,13 @@ public:
   [[nodiscard]] const std::vector<ClauseId>& candidates(const Pred& p) const;
 
   /// Candidate clauses filtered by first-argument indexing: clauses whose
-  /// head's first argument cannot unify with `first_arg` are skipped.
-  [[nodiscard]] std::vector<ClauseId> candidates_indexed(
-      const Pred& p, const term::Store& s, term::TermRef goal) const;
+  /// head's first argument cannot unify with the goal's are skipped. O(1)
+  /// hash-bucket lookup into the load-time ClauseIndex; the returned span
+  /// aliases index storage and stays valid until the next add_clause.
+  [[nodiscard]] std::span<const ClauseId> candidates_indexed(
+      const Pred& p, const term::Store& s, term::TermRef goal) const {
+    return index_.lookup(p, s, goal);
+  }
 
   [[nodiscard]] const std::vector<Clause>& clauses() const { return clauses_; }
 
@@ -80,8 +86,7 @@ public:
 
 private:
   std::vector<Clause> clauses_;
-  std::unordered_map<Pred, std::vector<ClauseId>, PredHash> index_;
-  std::vector<ClauseId> empty_;
+  ClauseIndex index_;
 };
 
 }  // namespace blog::db

@@ -136,6 +136,12 @@ enum class GoalOrder {
 /// Options of the shared resolution step.
 struct ExpanderOptions {
   bool first_arg_indexing = true;  ///< index candidates by first argument
+  /// Match clause heads with the compiled WAM-lite bytecode (db::HeadCode)
+  /// instead of import-then-unify. Answers are byte-identical either way;
+  /// false keeps the structural path selectable for regression comparison.
+  /// Only the in-place engines (Runner) consult this — the legacy
+  /// materializing expander always unifies structurally.
+  bool head_bytecode = true;
   bool occurs_check = false;       ///< occurs check during unification
   std::uint32_t max_depth = 512;   ///< depth cutoff (DepthLimit outcome)
   bool use_weights = true;  ///< false: every arc weighs 1 (uniform costs)
@@ -188,8 +194,10 @@ public:
   /// score reads the same weight make_arc will charge.
   void select_goal(const term::Store& store, std::vector<Goal>& goals,
                    const Chain* parent_chain = nullptr) const;
-  /// Candidate clauses for `goal` under the indexing option.
-  [[nodiscard]] std::vector<db::ClauseId> candidates_for(
+  /// Candidate clauses for `goal` under the indexing option. The span
+  /// aliases the program's clause index (immutable while solving) — no
+  /// per-goal copy is made on either the indexed or the unindexed path.
+  [[nodiscard]] std::span<const db::ClauseId> candidates_for(
       const term::Store& store, const Goal& goal) const;
   /// Arc for resolving `goal` with `clause`, reading the weight now
   /// (decision time) per the §5 model.

@@ -171,8 +171,10 @@ public:
     return stack_[i];  // 0 = shallowest (bottom), pending()-1 = top
   }
   [[nodiscard]] double top_bound() const { return stack_.back().bound; }
-  /// Smallest bound among pending choices (linear scan; the stack is
-  /// short-lived and capacity-bounded in every engine).
+  /// Smallest bound among pending choices. O(1): a running min-prefix
+  /// array is maintained alongside the stack (every push/pop is O(1); the
+  /// rare mid-stack erases recompute only the suffix), so the per-
+  /// expansion D-threshold check costs nothing even on deep stacks.
   [[nodiscard]] double min_pending_bound() const;
 
   /// Roll back to the top choice's checkpoint and apply its clause in
@@ -282,14 +284,28 @@ private:
   /// claim CAS (true — the choice is ours) or grant a thief's claim via
   /// rollback-based materialization (false — the choice is consumed).
   bool resolve_owner_take(PendingChoice& c, ExpandStats* stats);
-  [[nodiscard]] std::vector<db::ClauseId> candidates(const Goal& goal) const;
+  [[nodiscard]] std::span<const db::ClauseId> candidates(
+      const Goal& goal) const;
   term::TermRef rename_clause(const db::Clause& clause,
                               std::vector<term::TermRef>& body);
+  /// Match `goal` against `clause`'s head: compiled bytecode when
+  /// options().head_bytecode, otherwise import-then-unify (the structural
+  /// reference path). Bindings are trailed either way; the caller owns the
+  /// checkpoint/rollback.
+  bool match_head(const db::Clause& clause, term::TermRef goal,
+                  term::UnifyStats* ustats);
+
+  // min-prefix maintenance (see min_pending_bound)
+  void push_min(double bound);
+  void pop_min() { minb_.pop_back(); }
+  void rebuild_min(std::size_t from);
 
   const Expander& ex_;
   term::Store store_;
   term::Trail trail_;
   std::vector<PendingChoice> stack_;
+  /// minb_[i] = min bound of stack_[0..i]; parallel to stack_.
+  std::vector<double> minb_;
   State state_;
   term::TermRef answer_ = term::kNullTerm;
   bool has_state_ = false;
@@ -307,6 +323,7 @@ private:
   std::unordered_map<term::TermRef, term::TermRef> vmap_;
   std::vector<term::TermRef> body_;
   std::vector<PendingChoice> fresh_;
+  db::HeadMatcher matcher_;
 };
 
 }  // namespace blog::search

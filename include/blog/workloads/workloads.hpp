@@ -53,4 +53,15 @@ std::string needle_tree(Rng& rng, int depth, int fanout);
 /// List utilities (append/member/len/reverse) used by several tests.
 std::string list_library();
 
+/// A company-style deductive database with `employees` employees spread
+/// over `departments` departments: works_in/2 and salary_band/2 facts
+/// keyed by employee atom (e<i>), manages/2 keyed by manager atom, plus
+/// the views `boss(E,M)` and `peer(A,B)`. Point lookups like
+/// `works_in(e123,D)` are the first-argument-indexing headline workload:
+/// a linear scan touches every fact, the hash bucket touches one.
+std::string deductive_db(int employees, int departments);
+
+/// A ground point-lookup query into deductive_db: works_in(e<i>,D).
+std::string deductive_db_lookup(int employee);
+
 }  // namespace blog::workloads

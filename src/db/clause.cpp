@@ -10,6 +10,7 @@ Clause::Clause(term::Store store, term::TermRef head,
   pred_ = pred_of(store_, head_);
   cells_ = store_.reachable_cells(head_);
   for (const auto g : body_) cells_ += store_.reachable_cells(g);
+  code_ = HeadCode::compile(store_, head_);
 }
 
 std::string Clause::to_string() const {

@@ -1,0 +1,168 @@
+#include "blog/db/head_code.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace blog::db {
+
+const char* head_op_name(HeadOp op) {
+  static constexpr const char* kNames[] = {
+#define X(id) #id,
+      BLOG_HEAD_OPS(X)
+#undef X
+  };
+  static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
+                static_cast<std::size_t>(HeadOp::kCount_));
+  return kNames[static_cast<std::size_t>(op)];
+}
+
+namespace {
+
+/// Emit the instructions matching subterm `t`, children in *reverse*
+/// argument order — the traversal order of term::unify's explicit stack.
+void emit(const term::Store& s, term::TermRef t,
+          std::vector<HeadInstr>& code, std::vector<std::int64_t>& ints,
+          std::vector<term::TermRef>& slot_vars,
+          std::unordered_map<term::TermRef, std::uint32_t>& slot_of) {
+  t = s.deref(t);  // clause stores hold unbound vars; deref is a no-op
+  switch (s.tag(t)) {
+    case term::Tag::Var: {
+      const auto it = slot_of.find(t);
+      if (it != slot_of.end()) {
+        code.push_back({HeadOp::kGetValue, it->second, 0});
+      } else {
+        const auto slot = static_cast<std::uint32_t>(slot_vars.size());
+        slot_of.emplace(t, slot);
+        slot_vars.push_back(t);
+        code.push_back({HeadOp::kGetVar, slot, s.var_name(t).id()});
+      }
+      break;
+    }
+    case term::Tag::Atom:
+      code.push_back({HeadOp::kGetAtom, s.atom_name(t).id(), 0});
+      break;
+    case term::Tag::Int:
+      code.push_back(
+          {HeadOp::kGetInt, static_cast<std::uint32_t>(ints.size()), 0});
+      ints.push_back(s.int_value(t));
+      break;
+    case term::Tag::Struct:
+      code.push_back({HeadOp::kGetStruct, s.functor(t).id(), s.arity(t)});
+      for (std::uint32_t i = s.arity(t); i-- > 0;)
+        emit(s, s.arg(t, i), code, ints, slot_vars, slot_of);
+      break;
+  }
+}
+
+}  // namespace
+
+HeadCode HeadCode::compile(const term::Store& s, term::TermRef head) {
+  HeadCode hc;
+  head = s.deref(head);
+  if (!s.is_struct(head)) return hc;  // atom head: predicate match suffices
+  std::unordered_map<term::TermRef, std::uint32_t> slot_of;
+  for (std::uint32_t i = s.arity(head); i-- > 0;)
+    emit(s, s.arg(head, i), hc.code_, hc.ints_, hc.slot_vars_, slot_of);
+  return hc;
+}
+
+bool HeadMatcher::match(term::Store& s, term::Trail& trail, term::TermRef goal,
+                        const HeadCode& hc, const term::UnifyOptions& opts,
+                        term::UnifyStats* stats) {
+  slots_.assign(hc.slot_count(), term::kNullTerm);
+  stack_.clear();
+  if (!hc.empty()) {
+    goal = s.deref(goal);
+    assert(s.is_struct(goal) && "non-empty head code implies a struct goal "
+                                "(candidate lookup matched the predicate)");
+    for (std::uint32_t i = 0; i < s.arity(goal); ++i)
+      stack_.push_back(s.arg(goal, i));
+  }
+
+  for (const HeadInstr& ins : hc.code()) {
+    assert(!stack_.empty());
+    const term::TermRef t = s.deref(stack_.back());
+    stack_.pop_back();
+    if (stats) ++stats->cells_visited;
+    switch (ins.op) {
+      case HeadOp::kGetStruct: {
+        const Symbol f{ins.a};
+        const std::uint32_t n = ins.b;
+        if (s.is_struct(t)) {
+          if (s.functor(t) != f || s.arity(t) != n) return false;
+          for (std::uint32_t i = 0; i < n; ++i)
+            stack_.push_back(s.arg(t, i));
+        } else if (s.is_unbound(t)) {
+          // Write mode: build the head struct over fresh variables and
+          // bind the goal variable to it. The struct contains only cells
+          // allocated after `t`, so no occurs check is needed.
+          wargs_.clear();
+          for (std::uint32_t i = 0; i < n; ++i)
+            wargs_.push_back(s.make_var());
+          const term::TermRef st = s.make_struct(f, wargs_);
+          s.bind(t, st);
+          trail.push(t);
+          if (stats) ++stats->bindings;
+          for (std::uint32_t i = 0; i < n; ++i) stack_.push_back(wargs_[i]);
+        } else {
+          return false;
+        }
+        break;
+      }
+      case HeadOp::kGetAtom: {
+        const Symbol name{ins.a};
+        if (s.is_atom(t)) {
+          if (s.atom_name(t) != name) return false;
+        } else if (s.is_unbound(t)) {
+          s.bind(t, s.make_atom(name));
+          trail.push(t);
+          if (stats) ++stats->bindings;
+        } else {
+          return false;
+        }
+        break;
+      }
+      case HeadOp::kGetInt: {
+        const std::int64_t v = hc.int_at(ins.a);
+        if (s.is_int(t)) {
+          if (s.int_value(t) != v) return false;
+        } else if (s.is_unbound(t)) {
+          s.bind(t, s.make_int(v));
+          trail.push(t);
+          if (stats) ++stats->bindings;
+        } else {
+          return false;
+        }
+        break;
+      }
+      case HeadOp::kGetVar:
+        if (s.is_unbound(t)) {
+          // The structural path binds the goal variable to the (renamed,
+          // named) head variable, making the head variable the
+          // representative — reproduce that exactly, or rendered answers
+          // would print the goal-side name.
+          const term::TermRef fresh = s.make_var(Symbol{ins.b});
+          s.bind(t, fresh);
+          trail.push(t);
+          if (stats) ++stats->bindings;
+          slots_[ins.a] = fresh;
+        } else {
+          slots_[ins.a] = t;
+        }
+        break;
+      case HeadOp::kGetValue:
+        // Repeat occurrence: general unification against the slot's
+        // binding, goal side first (the structural argument order).
+        if (!term::unify(s, t, slots_[ins.a], trail, opts, stats))
+          return false;
+        break;
+      case HeadOp::kCount_:
+        assert(false && "kCount_ is not an executable opcode");
+        return false;
+    }
+  }
+  assert(stack_.empty() && "compiled code consumes exactly the goal tree");
+  return true;
+}
+
+}  // namespace blog::db

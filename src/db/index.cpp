@@ -1,0 +1,72 @@
+#include "blog/db/index.hpp"
+
+namespace blog::db {
+
+std::optional<FirstArgKey> first_arg_key(const term::Store& s,
+                                         term::TermRef t) {
+  t = s.deref(t);
+  if (s.is_atom(t))
+    return FirstArgKey{FirstArgKey::Kind::Atom, s.atom_name(t).id(), 0};
+  if (s.is_int(t))
+    return FirstArgKey{FirstArgKey::Kind::Int,
+                       static_cast<std::uint64_t>(s.int_value(t)), 0};
+  if (s.is_struct(t))
+    return FirstArgKey{FirstArgKey::Kind::Struct, s.functor(t).id(),
+                       s.arity(t)};
+  return std::nullopt;  // variable: compatible with every key
+}
+
+void ClauseIndex::add(const Clause& c, ClauseId id) {
+  Buckets& b = preds_[c.pred()];
+  b.all.push_back(id);
+
+  const term::Store& cs = c.store();
+  const term::TermRef h = cs.deref(c.head());
+  // Atom heads (arity 0) have no first argument; they behave like
+  // var-headed clauses, but an arity-0 predicate can never be reached
+  // through a keyed lookup (the goal is an atom, not a struct), so the
+  // distinction is moot — `all` serves those goals.
+  const std::optional<FirstArgKey> key =
+      cs.is_struct(h) ? first_arg_key(cs, cs.arg(h, 0)) : std::nullopt;
+
+  if (!key) {
+    // A var-headed clause matches any first argument: it joins every
+    // existing bucket, and seeds every future one (via var_only). Ids are
+    // added in increasing order, so appending preserves textual order.
+    b.var_only.push_back(id);
+    for (auto& [k, bucket] : b.keyed) bucket.push_back(id);
+    return;
+  }
+  auto [it, fresh] = b.keyed.try_emplace(*key);
+  if (fresh) it->second = b.var_only;  // earlier var-headed clauses first
+  it->second.push_back(id);
+}
+
+const std::vector<ClauseId>& ClauseIndex::all(const Pred& p) const {
+  const auto it = preds_.find(p);
+  return it == preds_.end() ? empty_ : it->second.all;
+}
+
+std::span<const ClauseId> ClauseIndex::lookup(const Pred& p,
+                                              const term::Store& s,
+                                              term::TermRef goal) const {
+  const auto pit = preds_.find(p);
+  if (pit == preds_.end()) return {};
+  const Buckets& b = pit->second;
+  goal = s.deref(goal);
+  if (!s.is_struct(goal)) return b.all;
+  const std::optional<FirstArgKey> key = first_arg_key(s, s.arg(goal, 0));
+  if (!key) return b.all;  // unbound first argument matches everything
+  const auto it = b.keyed.find(*key);
+  return it != b.keyed.end() ? std::span<const ClauseId>(it->second)
+                             : std::span<const ClauseId>(b.var_only);
+}
+
+std::vector<Pred> ClauseIndex::predicates() const {
+  std::vector<Pred> out;
+  out.reserve(preds_.size());
+  for (const auto& [p, b] : preds_) out.push_back(p);
+  return out;
+}
+
+}  // namespace blog::db

@@ -26,7 +26,7 @@ void flatten_conj(const term::Store& s, term::TermRef t,
 
 ClauseId Program::add_clause(Clause c) {
   const auto id = static_cast<ClauseId>(clauses_.size());
-  index_[c.pred()].push_back(id);
+  index_.add(c, id);
   clauses_.push_back(std::move(c));
   return id;
 }
@@ -56,52 +56,10 @@ void Program::consult_string(std::string_view text) {
 }
 
 const std::vector<ClauseId>& Program::candidates(const Pred& p) const {
-  auto it = index_.find(p);
-  return it == index_.end() ? empty_ : it->second;
+  return index_.all(p);
 }
 
-std::vector<ClauseId> Program::candidates_indexed(const Pred& p,
-                                                  const term::Store& s,
-                                                  term::TermRef goal) const {
-  const auto& all = candidates(p);
-  goal = s.deref(goal);
-  if (!s.is_struct(goal)) return all;
-  const term::TermRef a0 = s.deref(s.arg(goal, 0));
-  if (s.is_var(a0)) return all;
-
-  std::vector<ClauseId> out;
-  out.reserve(all.size());
-  for (const ClauseId id : all) {
-    const Clause& c = clauses_[id];
-    const term::Store& cs = c.store();
-    const term::TermRef h = cs.deref(c.head());
-    if (!cs.is_struct(h)) continue;
-    const term::TermRef h0 = cs.deref(cs.arg(h, 0));
-    // Keep the clause unless the first args are distinct non-variable
-    // principal functors.
-    if (cs.is_var(h0)) {
-      out.push_back(id);
-      continue;
-    }
-    bool compatible = false;
-    if (s.is_atom(a0) && cs.is_atom(h0)) {
-      compatible = s.atom_name(a0) == cs.atom_name(h0);
-    } else if (s.is_int(a0) && cs.is_int(h0)) {
-      compatible = s.int_value(a0) == cs.int_value(h0);
-    } else if (s.is_struct(a0) && cs.is_struct(h0)) {
-      compatible = s.functor(a0) == cs.functor(h0) && s.arity(a0) == cs.arity(h0);
-    }
-    if (compatible) out.push_back(id);
-  }
-  return out;
-}
-
-std::vector<Pred> Program::predicates() const {
-  std::vector<Pred> out;
-  out.reserve(index_.size());
-  for (const auto& [p, ids] : index_) out.push_back(p);
-  return out;
-}
+std::vector<Pred> Program::predicates() const { return index_.predicates(); }
 
 std::size_t Program::pointer_count() const {
   std::size_t n = 0;

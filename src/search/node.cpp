@@ -58,7 +58,7 @@ void Expander::select_goal(const term::Store& store, std::vector<Goal>& goals,
   double best_score = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < limit; ++i) {
     const Goal& g = goals[i];
-    const std::vector<db::ClauseId> cands = candidates_for(store, g);
+    const std::span<const db::ClauseId> cands = candidates_for(store, g);
     double score;
     if (opts_.goal_order == GoalOrder::SmallestFanout) {
       score = static_cast<double>(cands.size());
@@ -86,12 +86,12 @@ void Expander::select_goal(const term::Store& store, std::vector<Goal>& goals,
   }
 }
 
-std::vector<db::ClauseId> Expander::candidates_for(const term::Store& store,
-                                                   const Goal& goal) const {
+std::span<const db::ClauseId> Expander::candidates_for(
+    const term::Store& store, const Goal& goal) const {
   const db::Pred pred = db::pred_of(store, goal.term);
-  return opts_.first_arg_indexing
-             ? program_.candidates_indexed(pred, store, goal.term)
-             : program_.candidates(pred);
+  if (opts_.first_arg_indexing)
+    return program_.candidates_indexed(pred, store, goal.term);
+  return program_.candidates(pred);
 }
 
 Arc Expander::make_arc(const Goal& goal, db::ClauseId clause,
@@ -177,7 +177,7 @@ void Expander::expand(DetachedNode n, ExpandOutput& out, ExpandStats* stats) con
 
   select_goal(n.store, n.goals, n.chain.get());
   const Goal& goal = n.goals.front();
-  const std::vector<db::ClauseId> cands = candidates_for(n.store, goal);
+  const std::span<const db::ClauseId> cands = candidates_for(n.store, goal);
 
   bool any = false;
   for (const db::ClauseId cid : cands) {

@@ -107,22 +107,19 @@ Runner::StepResult Runner::expand(ExpandStats* stats,
 
   ex_.select_goal(store_, state_.goals, state_.chain.get());
   const Goal goal = state_.goals.front();
-  const std::vector<db::ClauseId> cands = candidates(goal);
+  const std::span<const db::ClauseId> cands = candidates(goal);
 
-  // Filter candidates against the live state: rename only the head, unify,
-  // record the survivors as pending choices, roll everything back.
+  // Filter candidates against the live state: match the head (compiled
+  // bytecode, or rename-then-unify on the structural path), record the
+  // survivors as pending choices, roll everything back.
   const term::Checkpoint cp = term::checkpoint(store_, trail_);
   fresh_.clear();
   // One shared copy of the parent goal list serves every sibling choice.
   std::shared_ptr<const std::vector<Goal>> shared_goals;
   for (const db::ClauseId cid : cands) {
     const db::Clause& clause = ex_.program().clause(cid);
-    vmap_.clear();
-    const term::TermRef head =
-        store_.import(clause.store(), clause.head(), vmap_);
     term::UnifyStats ustats;
-    const bool ok = term::unify(store_, goal.term, head, trail_,
-                                {.occurs_check = opts.occurs_check}, &ustats);
+    const bool ok = match_head(clause, goal.term, &ustats);
     if (stats) {
       ++stats->unify_attempts;
       stats->unify_cells += ustats.cells_visited;
@@ -153,27 +150,71 @@ Runner::StepResult Runner::expand(ExpandStats* stats,
   const std::size_t n = fresh_.size();
   // Reverse clause order onto the stack: the top is the first clause, so
   // depth-first activation reproduces Prolog's traversal.
-  for (auto it = fresh_.rbegin(); it != fresh_.rend(); ++it)
+  for (auto it = fresh_.rbegin(); it != fresh_.rend(); ++it) {
     stack_.push_back(std::move(*it));
+    push_min(stack_.back().bound);
+  }
   fresh_.clear();
   return {NodeOutcome::Expanded, n};
 }
 
-std::vector<db::ClauseId> Runner::candidates(const Goal& goal) const {
+bool Runner::match_head(const db::Clause& clause, term::TermRef goal,
+                        term::UnifyStats* ustats) {
+  const ExpanderOptions& opts = ex_.options();
+  if (opts.head_bytecode) {
+    return matcher_.match(store_, trail_, goal, clause.head_code(),
+                          {.occurs_check = opts.occurs_check}, ustats);
+  }
+  vmap_.clear();
+  const term::TermRef head =
+      store_.import(clause.store(), clause.head(), vmap_);
+  return term::unify(store_, goal, head, trail_,
+                     {.occurs_check = opts.occurs_check}, ustats);
+}
+
+std::span<const db::ClauseId> Runner::candidates(const Goal& goal) const {
   return ex_.candidates_for(store_, goal);
+}
+
+void Runner::push_min(double bound) {
+  minb_.push_back(minb_.empty() ? bound : std::min(minb_.back(), bound));
+}
+
+void Runner::rebuild_min(std::size_t from) {
+  minb_.resize(stack_.size());
+  for (std::size_t i = from; i < stack_.size(); ++i)
+    minb_[i] = i == 0 ? stack_[i].bound : std::min(minb_[i - 1], stack_[i].bound);
 }
 
 double Runner::min_pending_bound() const {
   assert(!stack_.empty());
-  double m = stack_.front().bound;
-  for (const PendingChoice& c : stack_) m = std::min(m, c.bound);
-  return m;
+  assert(minb_.size() == stack_.size());
+  return minb_.back();
 }
 
 void Runner::reapply(const PendingChoice& c) {
   term::rollback(store_, trail_, c.cp);
-  const term::TermRef head =
-      rename_clause(ex_.program().clause(c.clause), body_);
+  const db::Clause& clause = ex_.program().clause(c.clause);
+  if (ex_.options().head_bytecode) {
+    // Redo of the bytecode match this choice was filtered with; the state
+    // is identical, so it must succeed. Mapping each head-variable slot
+    // onto its live binding then renames the body straight into the match
+    // — the head itself is never imported.
+    const db::HeadCode& hc = clause.head_code();
+    const bool ok =
+        matcher_.match(store_, trail_, c.goals->front().term, hc,
+                       {.occurs_check = ex_.options().occurs_check});
+    assert(ok);
+    (void)ok;
+    vmap_.clear();
+    for (std::uint32_t i = 0; i < hc.slot_count(); ++i)
+      vmap_[hc.slot_var(i)] = matcher_.slot(i);
+    body_.resize(clause.body().size());
+    for (std::size_t i = 0; i < body_.size(); ++i)
+      body_[i] = store_.import(clause.store(), clause.body()[i], vmap_);
+    return;
+  }
+  const term::TermRef head = rename_clause(clause, body_);
   // Redo of the unification this choice was filtered with; the state is
   // identical, so it must succeed.
   const bool ok =
@@ -242,6 +283,7 @@ bool Runner::activate_top(ExpandStats* stats) {
   assert(!stack_.empty());
   PendingChoice c = std::move(stack_.back());
   stack_.pop_back();
+  pop_min();
   const bool published = c.handle != nullptr;
   if (!resolve_owner_take(c, stats)) return false;  // granted to a thief
   if (published) {
@@ -276,6 +318,7 @@ void Runner::drop_top() {
   assert(!stack_.empty());
   resolve_for_drop(stack_.back());
   stack_.pop_back();
+  pop_min();
 }
 
 std::size_t Runner::prune_pending(double cutoff) {
@@ -285,6 +328,7 @@ std::size_t Runner::prune_pending(double cutoff) {
   std::erase_if(stack_, [&](const PendingChoice& c) {
     return c.handle == nullptr && c.bound > cutoff;
   });
+  rebuild_min(0);
   return before - stack_.size();
 }
 
@@ -344,6 +388,7 @@ DetachedNode Runner::detach_sibling(std::size_t index, ExpandStats* stats) {
          "detach_sibling requires a choice checkpointed at the current "
          "level; use detach_all for older choices");
   stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(index));
+  rebuild_min(index);
   return materialize(std::move(c), stats);
 }
 
@@ -362,6 +407,7 @@ void Runner::detach_overflow(std::size_t base, std::size_t keep,
   }
   stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(base),
                stack_.begin() + static_cast<std::ptrdiff_t>(base + k));
+  rebuild_min(base);
 }
 
 std::vector<DetachedNode> Runner::detach_all(ExpandStats* stats) {
@@ -380,6 +426,7 @@ std::vector<DetachedNode> Runner::detach_all(ExpandStats* stats) {
     if (published) ++spill_counters_.migrated;  // owner-won, but not free
     out.push_back(materialize(std::move(c), stats));
   }
+  minb_.clear();
   has_state_ = false;
   return out;
 }
@@ -458,6 +505,7 @@ std::size_t Runner::fulfill_claims(ExpandStats* stats) {
                                                 std::memory_order_acq_rel)) {
       PendingChoice taken = std::move(c);
       stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(i));
+      rebuild_min(i);
       --published_count_;
       taken.handle->node = materialize_as_of(taken, stats);
       taken.handle->state.store(SpillHandle::kReady,

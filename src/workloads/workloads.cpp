@@ -171,4 +171,24 @@ reverse(L,R) :- rev(L,[],R).
 )";
 }
 
+std::string deductive_db(int employees, int departments) {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(employees) * 64);
+  s += "boss(E,M) :- works_in(E,D), manages(M,D).\n";
+  s += "peer(A,B) :- works_in(A,D), works_in(B,D).\n";
+  for (int d = 0; d < departments; ++d)
+    s += "manages(m" + std::to_string(d) + ",d" + std::to_string(d) + ").\n";
+  static const char* kBands[] = {"junior", "mid", "senior", "staff"};
+  for (int e = 0; e < employees; ++e) {
+    const std::string emp = "e" + std::to_string(e);
+    s += "works_in(" + emp + ",d" + std::to_string(e % departments) + ").\n";
+    s += "salary_band(" + emp + "," + kBands[e % 4] + ").\n";
+  }
+  return s;
+}
+
+std::string deductive_db_lookup(int employee) {
+  return "works_in(e" + std::to_string(employee) + ",D)";
+}
+
 }  // namespace blog::workloads

@@ -282,6 +282,129 @@ INSTANTIATE_TEST_SUITE_P(
                           parallel::SchedulerKind::WorkStealing),
         ::testing::Values(1u, 2u, 4u, 8u)));
 
+// ------------------------------------- compile layer (index × bytecode) --
+
+/// Workloads stressing the compile layer specifically: var-headed clauses
+/// interleaved with keyed ones, 0-arity goals, and int / atom / struct
+/// first arguments, queried both through a bound key and through an
+/// unbound first argument.
+std::vector<Workload> compile_layer_workloads() {
+  const std::string mixed = R"(
+    k(a,1). k(b,2). k(C,var1) :- m(C). k(7,seven). k(g(x),gee).
+    k(g(x,y),gee2). k(a,3). k(D,var2) :- m(D). m(a). m(b).
+  )";
+  auto all = workload_set();
+  all.push_back({"mixed_keyed", mixed, "k(a,V)"});
+  all.push_back({"mixed_int", mixed, "k(7,V)"});
+  all.push_back({"mixed_struct", mixed, "k(g(x),V)"});
+  all.push_back({"mixed_open", mixed, "k(K,V)"});
+  all.push_back({"mixed_miss", mixed, "k(zz,V)"});
+  all.push_back({"zero_arity",
+                 "run :- step(S), emit(S). step(a). step(b). emit(a).",
+                 "run"});
+  return all;
+}
+
+/// (first_arg_indexing, head_bytecode, workers): every combination must be
+/// byte-identical to the legacy materializing engine — the structural-
+/// unification reference path kept selectable exactly for this comparison.
+class IndexBytecodeGrid
+    : public ::testing::TestWithParam<std::tuple<bool, bool, unsigned>> {};
+
+TEST_P(IndexBytecodeGrid, SequentialSolutionsIdenticalToLegacyAcrossStrategies) {
+  const auto [indexing, bytecode, workers] = GetParam();
+  if (workers != 1) GTEST_SKIP() << "worker axis covered by the parallel test";
+  for (const Workload& w : compile_layer_workloads()) {
+    for (const auto strat :
+         {search::Strategy::DepthFirst, search::Strategy::BreadthFirst,
+          search::Strategy::BestFirst}) {
+      search::SearchOptions ref;
+      ref.strategy = strat;
+      ref.update_weights = false;
+      Interpreter legacy;
+      legacy.consult_string(w.program);
+      const auto expected = solve_detached(legacy, w.query, ref);
+
+      search::SearchOptions o = ref;
+      o.expander.first_arg_indexing = indexing;
+      o.expander.head_bytecode = bytecode;
+      Interpreter ip;
+      ip.consult_string(w.program);
+      const auto got = ip.solve(w.query, o);
+      EXPECT_EQ(solution_texts(got), solution_texts(expected))
+          << w.name << " / " << search::strategy_name(strat)
+          << " indexing=" << indexing << " bytecode=" << bytecode;
+      if (strat == search::Strategy::DepthFirst) {
+        // Prolog order, not just set equality.
+        ASSERT_EQ(got.solutions.size(), expected.solutions.size()) << w.name;
+        for (std::size_t i = 0; i < got.solutions.size(); ++i)
+          EXPECT_EQ(got.solutions[i].text, expected.solutions[i].text)
+              << w.name << " solution " << i;
+      }
+    }
+  }
+}
+
+TEST_P(IndexBytecodeGrid, ParallelSolutionsIdenticalToLegacy) {
+  const auto [indexing, bytecode, workers] = GetParam();
+  for (const Workload& w : compile_layer_workloads()) {
+    search::SearchOptions ref;
+    ref.update_weights = false;
+    Interpreter legacy;
+    legacy.consult_string(w.program);
+    const auto expected = solution_texts(solve_detached(legacy, w.query, ref));
+
+    Interpreter par;
+    par.consult_string(w.program);
+    parallel::ParallelOptions po;
+    po.workers = workers;
+    po.update_weights = false;
+    po.expander.first_arg_indexing = indexing;
+    po.expander.head_bytecode = bytecode;
+    parallel::ParallelEngine pe(par.program(), par.weights(), &par.builtins(),
+                                po);
+    const auto r = pe.solve(par.parse_query(w.query));
+    std::vector<std::string> got;
+    for (const auto& s : r.solutions) got.push_back(s.text);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << w.name << " workers=" << workers
+                             << " indexing=" << indexing
+                             << " bytecode=" << bytecode;
+    EXPECT_TRUE(r.exhausted) << w.name;
+  }
+}
+
+TEST_P(IndexBytecodeGrid, OccursCheckOnStaysIdentical) {
+  const auto [indexing, bytecode, workers] = GetParam();
+  if (workers != 1) GTEST_SKIP() << "occurs-check axis is sequential";
+  // Repeated head variables + partially instantiated goals: the cases
+  // where GetValue's embedded unification must apply the occurs check
+  // exactly as the structural path does.
+  const Workload w{"occurs",
+                   "eq(X,X). wrap(Y,g(Y)). probe(A,B) :- eq(A,g(B)), "
+                   "wrap(B,A).",
+                   "probe(P,Q)"};
+  search::SearchOptions ref;
+  ref.update_weights = false;
+  ref.expander.occurs_check = true;
+  Interpreter legacy;
+  legacy.consult_string(w.program);
+  const auto expected = solution_texts(solve_detached(legacy, w.query, ref));
+
+  search::SearchOptions o = ref;
+  o.expander.first_arg_indexing = indexing;
+  o.expander.head_bytecode = bytecode;
+  Interpreter ip;
+  ip.consult_string(w.program);
+  EXPECT_EQ(solution_texts(ip.solve(w.query, o)), expected)
+      << "indexing=" << indexing << " bytecode=" << bytecode;
+}
+
+INSTANTIATE_TEST_SUITE_P(CompileLayer, IndexBytecodeGrid,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Values(1u, 2u, 8u)));
+
 // ------------------------------------------------------- copy accounting --
 
 TEST(InplaceRegression, DeepRecursionCopiesAtLeastFiveTimesFewerCells) {

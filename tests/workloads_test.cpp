@@ -93,5 +93,20 @@ TEST(Workloads, ListLibraryConsultsCleanly) {
   EXPECT_EQ(ip.program().size(), 9u);
 }
 
+TEST(Workloads, DeductiveDbLookupsAndViews) {
+  Interpreter ip;
+  ip.consult_string(deductive_db(40, 4));
+  // 2 view rules + 4 manages + 40 works_in + 40 salary_band.
+  EXPECT_EQ(ip.program().size(), 86u);
+  // Point lookup: exactly one department per employee.
+  const auto r = ip.solve(deductive_db_lookup(17));
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(r.solutions[0].text, "D=d1");  // 17 mod 4
+  // The boss view joins works_in with manages.
+  EXPECT_EQ(ip.solve("boss(e17,M)").solutions.size(), 1u);
+  // Each department holds 10 of the 40 employees.
+  EXPECT_EQ(ip.solve("works_in(E,d0)").solutions.size(), 10u);
+}
+
 }  // namespace
 }  // namespace blog::workloads
