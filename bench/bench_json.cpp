@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "blog/engine/interpreter.hpp"
+#include "blog/obs/trace.hpp"
 #include "blog/parallel/engine.hpp"
 #include "blog/parallel/topology.hpp"
 #include "blog/service/service.hpp"
@@ -294,6 +295,12 @@ struct ServiceEntry {
   double repeat_rate = 0.0;
   double speedup_vs_serial_cold = 0.0;
   bool answers_match_cold = true;
+  // Per-query wall latency from the service.latency_ms histogram
+  // (interpolated percentiles; bench_compare.py gates these lower-better).
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
 
   [[nodiscard]] double qps() const {
     return secs > 0.0 ? static_cast<double>(requests) / secs : 0.0;
@@ -338,6 +345,10 @@ ServiceEntry run_service(unsigned clients, double serial_cold_qps) {
   const auto stats = svc.stats();
   e.cache_hit_rate = static_cast<double>(stats.cache_hits) /
                      static_cast<double>(e.requests);
+  e.latency_p50_ms = stats.latency_p50_ms;
+  e.latency_p95_ms = stats.latency_p95_ms;
+  e.latency_p99_ms = stats.latency_p99_ms;
+  e.latency_mean_ms = stats.latency_mean_ms;
   // Every request beyond a query's first occurrence is a repeat.
   std::vector<bool> seen(query_pool().size(), false);
   std::size_t repeats = 0;
@@ -380,6 +391,10 @@ void write_service_json(const std::string& path,
         << ", \"cache_hit_rate\": " << e.cache_hit_rate
         << ", \"repeat_rate\": " << e.repeat_rate
         << ", \"speedup_vs_serial_cold\": " << e.speedup_vs_serial_cold
+        << ", \"latency_p50_ms\": " << e.latency_p50_ms
+        << ", \"latency_p95_ms\": " << e.latency_p95_ms
+        << ", \"latency_p99_ms\": " << e.latency_p99_ms
+        << ", \"latency_mean_ms\": " << e.latency_mean_ms
         << ", \"answers_match_cold\": "
         << (e.answers_match_cold ? "true" : "false") << "}"
         << (i + 1 < entries.size() ? "," : "") << "\n";
@@ -408,7 +423,51 @@ int main(int argc, char** argv) {
                                  search::Strategy::BestFirst));
   micro.push_back(run_sequential("family_bestfirst", workloads::figure1_family(),
                                  "gf(sam,G)", search::Strategy::BestFirst));
-  write_json(dir + "BENCH_micro.json", micro);
+  // Flight-recorder overhead: the same bounded deep-countdown expansion
+  // loop with tracing off (the default null sink — must stay free) and
+  // with a live ring attached. Best-of-3 per arm to shave scheduler
+  // jitter; CI gates trace_overhead_ratio (traced / null nodes-per-sec)
+  // at >= 0.95, the <= 5% acceptance bar.
+  const auto run_traced_deep = [](const char* name, obs::TraceSink* sink) {
+    const std::string deep_probe =
+        "t(l). t(n(L,R)) :- t(L), t(R). probe :- t(T), fail.";
+    engine::Interpreter ip;
+    ip.consult_string(deep_probe);
+    search::SearchOptions o;
+    o.strategy = search::Strategy::DepthFirst;
+    o.update_weights = false;
+    o.max_nodes = 120'000;
+    o.trace = sink;
+    Entry best;
+    best.name = name;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = Clock::now();
+      const auto r = ip.solve("probe", o);
+      const double secs = seconds_since(t0);
+      if (best.nodes == 0 || secs < best.secs) {
+        best.secs = secs;
+        best.nodes = r.stats.nodes_expanded;
+        best.cells_copied = r.stats.expand.cells_copied;
+        best.solutions = r.solutions.size();
+      }
+    }
+    return best;
+  };
+  obs::TraceSink overhead_sink;
+  micro.push_back(run_traced_deep("deep_countdown_trace_null", nullptr));
+  micro.push_back(run_traced_deep("deep_countdown_trace_ring",
+                                  &overhead_sink));
+  std::vector<std::pair<std::string, double>> micro_summary;
+  {
+    const Entry& null_arm = micro[micro.size() - 2];
+    const Entry& ring_arm = micro[micro.size() - 1];
+    micro_summary.emplace_back(
+        "trace_overhead_ratio",
+        null_arm.nodes_per_sec() > 0.0
+            ? ring_arm.nodes_per_sec() / null_arm.nodes_per_sec()
+            : 0.0);
+  }
+  write_json(dir + "BENCH_micro.json", micro, micro_summary);
 
   // Compile-layer headline: ground fact lookups against a 4000-employee
   // deductive database. structural_scan is the engine as it stood before

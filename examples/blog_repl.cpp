@@ -11,13 +11,17 @@
 //   ?- :budget nodes 10000   % nodes | solutions | ms (0 = unlimited)
 //   ?- :tree gf(sam,G)       % print the searched OR-tree
 //   ?- :session end          % §5: merge session weights conservatively
-//   ?- :stats                % service counters (cache, admission, epoch)
+//   ?- :stats                % service counters + latency percentiles
+//   ?- :trace on             % attach the flight recorder
+//   ?- :trace dump t.json    % export Chrome/Perfetto trace JSON
 //   ?- :halt
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "blog/obs/chrome_trace.hpp"
 #include "blog/service/service.hpp"
 #include "blog/term/reader.hpp"
 #include "blog/trace/tree.hpp"
@@ -30,6 +34,7 @@ namespace {
 struct ReplState {
   service::QueryService svc;
   service::QueryRequest req;  // text overwritten per query
+  std::unique_ptr<obs::TraceSink> sink;  // owned flight recorder (:trace)
 };
 
 void run_query(ReplState& st, const std::string& text) {
@@ -141,6 +146,8 @@ bool command(ReplState& st, const std::string& line) {
     std::printf(
         "queries %llu (cache hits %llu, truncated %llu, rejected %llu, "
         "parse errors %llu)\n"
+        "latency: n=%llu mean %.3fms p50 %.3fms p95 %.3fms p99 %.3fms "
+        "max %.3fms\n"
         "cache: %llu hits / %llu misses, %llu inserted, %llu evicted, "
         "%llu invalidated\n"
         "admission: %llu admitted (%llu queued), epoch %llu, %zu clauses\n",
@@ -149,6 +156,9 @@ bool command(ReplState& st, const std::string& line) {
         static_cast<unsigned long long>(s.truncated),
         static_cast<unsigned long long>(s.rejected),
         static_cast<unsigned long long>(s.parse_errors),
+        static_cast<unsigned long long>(s.latency_count), s.latency_mean_ms,
+        s.latency_p50_ms, s.latency_p95_ms, s.latency_p99_ms,
+        s.latency_max_ms,
         static_cast<unsigned long long>(s.cache.hits),
         static_cast<unsigned long long>(s.cache.misses),
         static_cast<unsigned long long>(s.cache.insertions),
@@ -157,6 +167,37 @@ bool command(ReplState& st, const std::string& line) {
         static_cast<unsigned long long>(s.admission.admitted),
         static_cast<unsigned long long>(s.admission.queued),
         static_cast<unsigned long long>(s.epoch), s.program_clauses);
+  } else if (cmd == "metrics") {
+    std::printf("%s", st.svc.metrics().dump_text().c_str());
+  } else if (cmd == "trace") {
+    std::string sub;
+    is >> sub;
+    if (sub == "on") {
+      if (!st.sink) st.sink = std::make_unique<obs::TraceSink>();
+      st.svc.set_trace(st.sink.get());
+      std::printf("%% flight recorder on (%llu events so far)\n",
+                  static_cast<unsigned long long>(st.sink->recorded()));
+    } else if (sub == "off") {
+      st.svc.set_trace(nullptr);
+      std::printf("%% flight recorder off\n");
+    } else if (sub == "dump") {
+      std::string path;
+      is >> path;
+      if (st.sink == nullptr || path.empty()) {
+        std::printf(st.sink == nullptr ? "%% no trace yet — :trace on first\n"
+                                       : "usage: :trace dump <file>\n");
+      } else if (obs::write_chrome_trace(*st.sink, path)) {
+        std::printf("%% wrote %s (%llu events, %llu dropped) — load in "
+                    "ui.perfetto.dev\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(st.sink->recorded()),
+                    static_cast<unsigned long long>(st.sink->dropped()));
+      } else {
+        std::printf("error: cannot write %s\n", path.c_str());
+      }
+    } else {
+      std::printf("usage: :trace on|off|dump <file>\n");
+    }
   } else if (cmd == "consult") {
     std::string path;
     is >> path;
@@ -173,7 +214,7 @@ bool command(ReplState& st, const std::string& line) {
     std::printf("%% loaded the Figure 1 family database\n");
   } else {
     std::printf("commands: :strategy :workers :budget :tree :session :stats "
-                ":consult :demo :halt\n");
+                ":metrics :trace :consult :demo :halt\n");
   }
   return true;
 }

@@ -1,0 +1,29 @@
+#pragma once
+/// \file
+/// \brief Chrome trace-event JSON export for TraceSink captures.
+///
+/// Writes the format consumed by Perfetto (https://ui.perfetto.dev) and
+/// chrome://tracing: a top-level object with a `traceEvents` array.
+/// Scheduler/runner events become instant events (`ph:"i"`) on one thread
+/// lane per worker; `QueryBegin`/`QueryEnd` pairs become async spans
+/// (`ph:"b"`/`ph:"e"`, id = query id) so overlapping queries nest visually.
+/// `otherData` carries the recorded/dropped totals that
+/// tools/trace_summary.py validates (CI fails on dropped > 0).
+
+#include <iosfwd>
+#include <string>
+
+#include "blog/obs/trace.hpp"
+
+namespace blog::obs {
+
+/// Serialize `sink`'s surviving events as Chrome trace-event JSON onto
+/// `out`. Writers must be quiescent. Lanes below kClientLaneBase are named
+/// "worker N", lanes at or above it "client N".
+void write_chrome_trace(const TraceSink& sink, std::ostream& out);
+
+/// Convenience overload: write the trace to `path`. Returns false if the
+/// file could not be opened.
+bool write_chrome_trace(const TraceSink& sink, const std::string& path);
+
+}  // namespace blog::obs

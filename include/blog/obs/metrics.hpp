@@ -1,0 +1,122 @@
+#pragma once
+/// \file
+/// \brief MetricsRegistry: named counters / gauges / histograms.
+///
+/// Unifies the scattered per-subsystem atomic counters behind one named
+/// registry so a live dump (repl `:stats`, bench emission, a future
+/// /metrics endpoint) can walk every metric without knowing each
+/// subsystem's Stats struct. Three metric kinds:
+///
+///   - Counter: monotonic atomic u64 (relaxed increments, live-safe reads).
+///   - Gauge: last-set double (atomic, live-safe).
+///   - HistogramMetric: a mutex-guarded blog::Histogram + Accumulator pair,
+///     exposing interpolated percentiles, mean, min/max. Used for the
+///     QueryService per-query wall-latency distribution (p50/p95/p99).
+///
+/// Metric objects are owned by the registry and never move once created,
+/// so call sites bind a `Counter&` once and increment lock-free forever.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "blog/support/stats.hpp"
+
+namespace blog::obs {
+
+/// Monotonic event counter (relaxed atomic increments).
+class Counter {
+ public:
+  /// Add `delta` (relaxed; safe from any thread).
+  void inc(std::uint64_t delta = 1) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Current total (live-safe).
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (atomic double; safe from any thread).
+class Gauge {
+ public:
+  /// Overwrite the gauge.
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  /// Current value (live-safe).
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket latency/size distribution with interpolated percentiles.
+/// Observation and reads take a per-metric mutex — intended for
+/// once-per-query rates, not per-expansion hot paths.
+class HistogramMetric {
+ public:
+  /// \param lo,hi,buckets Forwarded to blog::Histogram (samples outside
+  ///   [lo, hi) clamp to the edge buckets).
+  HistogramMetric(double lo, double hi, std::size_t buckets);
+
+  /// Record one sample.
+  void observe(double x);
+
+  /// Interpolated percentile (p in [0,100]); lo if no samples yet.
+  double percentile(double p) const;
+  /// Number of samples observed.
+  std::uint64_t count() const;
+  /// Mean of all samples (0 if none).
+  double mean() const;
+  /// Smallest sample (0 if none).
+  double min() const;
+  /// Largest sample (0 if none).
+  double max() const;
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+  Accumulator acc_;
+};
+
+/// Name-keyed owner of counters, gauges and histograms.
+///
+/// `counter("service.queries")` returns a stable reference, creating the
+/// metric on first use; lookups take the registry mutex, so bind references
+/// once at setup and use them lock-free afterwards. `dump_text()` /
+/// `dump_json()` render every registered metric in name order.
+class MetricsRegistry {
+ public:
+  /// Find-or-create the named counter. The reference stays valid for the
+  /// registry's lifetime.
+  Counter& counter(const std::string& name);
+
+  /// Find-or-create the named gauge.
+  Gauge& gauge(const std::string& name);
+
+  /// Find-or-create the named histogram. `lo`/`hi`/`buckets` apply only on
+  /// creation; a later lookup with different bounds returns the original.
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t buckets);
+
+  /// Human-readable dump, one metric per line, sorted by name. Histograms
+  /// print count/mean/p50/p95/p99/max.
+  std::string dump_text() const;
+
+  /// JSON object keyed by metric name; histograms become objects with
+  /// count/mean/p50/p95/p99/min/max fields.
+  std::string dump_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> hists_;
+};
+
+}  // namespace blog::obs

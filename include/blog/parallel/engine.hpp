@@ -97,6 +97,11 @@ struct ParallelOptions {
   /// changes). 0 disables the timer.
   std::chrono::microseconds preempt_interval{500};
   search::ExpanderOptions expander;  ///< resolution-step options
+  /// Flight recorder (obs/trace.hpp). When non-null, workers and the
+  /// scheduler record steal/spill/migration/preemption/solution events
+  /// into it; null (the default) costs one branch per site. The sink must
+  /// outlive the solve call.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Per-worker counters of one solve run (one entry per worker thread in

@@ -58,6 +58,7 @@
 #include <optional>
 #include <vector>
 
+#include "blog/obs/trace.hpp"      // obs::TraceSink (flight recorder)
 #include "blog/search/node.hpp"
 #include "blog/search/runner.hpp"  // search::SpillHandle
 
@@ -76,6 +77,13 @@ const char* scheduler_kind_name(SchedulerKind k);
 /// Shared traffic counters. `lock_acquisitions` counts every mutex lock
 /// any scheduler path takes — the headline contention metric the
 /// work-stealing rewrite exists to shrink.
+///
+/// Every field is backed by its own relaxed atomic and is **monotonic**
+/// (except none — all only grow), so Scheduler::stats() may be called from
+/// any thread at any time during a live run: the snapshot is a set of
+/// individually-consistent monotone counters, never a half-written struct.
+/// Cross-counter invariants (e.g. steals == steals_local + steals_remote)
+/// hold exactly only at quiescence.
 struct SchedulerStats {
   std::uint64_t pushes = 0;             ///< chains entering any queue
   std::uint64_t pops = 0;               ///< chains handed to processors
@@ -103,6 +111,10 @@ struct SchedulerStats {
   std::uint64_t mailbox_drained = 0;    ///< deposits consumed from mailboxes
   /// Proactive owner-side re-publications of a stale published minimum.
   std::uint64_t stale_refreshes = 0;
+  /// Total on_expanded() calls — chains consumed engine-wide. Unlike
+  /// ParallelResult::WorkerStats (plain structs populated only at join),
+  /// this is live-safe: repl `:stats` and trace flushes read it mid-run.
+  std::uint64_t expansions = 0;
 };
 
 /// Tuning of the work-stealing scheduler's adaptive bounds and locality
@@ -141,6 +153,10 @@ struct SchedulerTuning {
   /// microseconds at the owner's next maintain() boundary. 0 disables
   /// the stale-bound refresh.
   std::uint32_t stale_refresh_us = 500;
+  /// Flight recorder (see obs/trace.hpp). When non-null the scheduler
+  /// records steal/spill/claim/mailbox/stale-refresh/starvation events
+  /// into it; null (the default) compiles every site down to one branch.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// What the worker loop needs from a scheduler. Worker ids let the
@@ -212,7 +228,9 @@ public:
   /// starvation signal behind SpillPolicy::WhenStarving.
   [[nodiscard]] virtual bool starving() const = 0;
 
-  /// Snapshot of the shared traffic counters.
+  /// Snapshot of the shared traffic counters. Safe to call from any
+  /// thread while workers are running: every field is read from its own
+  /// monotonic relaxed atomic (see SchedulerStats).
   [[nodiscard]] virtual SchedulerStats stats() const = 0;
 };
 
@@ -391,6 +409,7 @@ private:
       handle_grants_{0}, stale_discards_{0};
   std::atomic<std::uint64_t> claim_wait_spins_{0}, claim_wait_us_{0},
       mailbox_parked_{0}, mailbox_drained_{0}, stale_refreshes_{0};
+  std::atomic<std::uint64_t> expansions_{0};
 };
 
 /// Factory used by the parallel engine (and anything else that wants a

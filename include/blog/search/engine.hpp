@@ -9,6 +9,7 @@
 #include <limits>
 #include <string>
 
+#include "blog/obs/trace.hpp"
 #include "blog/search/frontier.hpp"
 #include "blog/search/node.hpp"
 #include "blog/search/update.hpp"
@@ -51,6 +52,9 @@ struct SearchOptions {
   bool prune_with_incumbent = false;
   double prune_margin = 0.0;  ///< see prune_with_incumbent
   ExpanderOptions expander;   ///< resolution-step options
+  /// Flight recorder (obs/trace.hpp). When non-null the solve records
+  /// burst/frontier/solution events on lane 0; null (default) is free.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Counters of one sequential solve.

@@ -22,6 +22,8 @@
 #include <string>
 
 #include "blog/engine/interpreter.hpp"
+#include "blog/obs/metrics.hpp"
+#include "blog/obs/trace.hpp"
 #include "blog/parallel/engine.hpp"
 #include "blog/service/cache.hpp"
 #include "blog/service/snapshot.hpp"
@@ -100,6 +102,11 @@ struct ServiceOptions {
   // with steal-half (default) or the legacy single-lock global frontier.
   parallel::SchedulerKind parallel_scheduler =
       parallel::SchedulerKind::WorkStealing;
+  // Flight recorder (obs/trace.hpp). When non-null, queries record
+  // begin/end, cache hit/miss, admission-shed and budget events, and the
+  // sink is forwarded into the engines they run. Also settable at runtime
+  // via set_trace(). Must outlive the service (or be cleared first).
+  obs::TraceSink* trace = nullptr;
 };
 
 struct QueryRequest {
@@ -154,10 +161,33 @@ public:
     std::uint64_t parse_errors = 0;
     std::uint64_t epoch = 0;       // current snapshot epoch
     std::size_t program_clauses = 0;
+    // Per-query wall latency (parse to response, cache hits and shed
+    // requests included), from the service.latency_ms histogram.
+    // Percentiles are interpolated; all 0 before the first query.
+    std::uint64_t latency_count = 0;
+    double latency_mean_ms = 0.0;
+    double latency_p50_ms = 0.0;
+    double latency_p95_ms = 0.0;
+    double latency_p99_ms = 0.0;
+    double latency_max_ms = 0.0;
     AnswerCache::Stats cache;
     AdmissionGate::Stats admission;
   };
   [[nodiscard]] Stats stats() const;
+
+  /// The unified metrics registry backing the service counters and the
+  /// latency histogram. Live-safe; dump via dump_text()/dump_json().
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Attach/detach the flight recorder at runtime (repl `:trace on/off`).
+  /// The sink must outlive its attachment; pass nullptr to detach.
+  void set_trace(obs::TraceSink* sink) {
+    trace_.store(sink, std::memory_order_release);
+  }
+  /// Currently attached flight recorder (may be null).
+  [[nodiscard]] obs::TraceSink* trace() const {
+    return trace_.load(std::memory_order_acquire);
+  }
 
 private:
   QueryResponse run_admitted(const QueryRequest& req, const search::Query& q,
@@ -170,11 +200,20 @@ private:
   AnswerCache cache_;
   AdmissionGate gate_;
 
-  std::atomic<std::uint64_t> queries_{0};
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> truncated_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> parse_errors_{0};
+  // All request counters live in the registry; the bound references keep
+  // the hot path at one relaxed fetch_add, exactly as the raw atomics did.
+  obs::MetricsRegistry metrics_;
+  obs::Counter& queries_ = metrics_.counter("service.queries");
+  obs::Counter& cache_hits_ = metrics_.counter("service.cache_hits");
+  obs::Counter& truncated_ = metrics_.counter("service.truncated");
+  obs::Counter& rejected_ = metrics_.counter("service.rejected");
+  obs::Counter& parse_errors_ = metrics_.counter("service.parse_errors");
+  // 0.05 ms buckets over [0, 250) ms: fine enough for interpolated tail
+  // percentiles, small enough (~40 KiB) to sit in one service object.
+  obs::HistogramMetric& latency_ms_ =
+      metrics_.histogram("service.latency_ms", 0.0, 250.0, 5000);
+  std::atomic<obs::TraceSink*> trace_{nullptr};
+  std::atomic<std::uint32_t> next_query_id_{0};
 };
 
 }  // namespace blog::service

@@ -36,7 +36,9 @@ public:
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
   [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t total() const { return total_; }
-  [[nodiscard]] double percentile(double p) const;  // p in [0,100]
+  /// Value at percentile p (clamped to [0,100]), linearly interpolated
+  /// within the bucket the rank lands in. Empty histogram returns lo.
+  [[nodiscard]] double percentile(double p) const;
 
 private:
   double lo_, hi_;

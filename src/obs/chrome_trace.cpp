@@ -1,0 +1,73 @@
+#include "blog/obs/chrome_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <set>
+
+namespace blog::obs {
+namespace {
+
+// Timestamps: Chrome trace ts is microseconds (fractional allowed).
+double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void write_thread_metadata(std::ostream& out, std::uint16_t lane, bool* first) {
+  if (!*first) out << ",\n";
+  *first = false;
+  out << R"(  {"name":"thread_name","ph":"M","pid":1,"tid":)" << lane
+      << R"(,"args":{"name":")"
+      << (lane >= kClientLaneBase ? "client " : "worker ")
+      << (lane >= kClientLaneBase ? lane - kClientLaneBase : lane) << R"("}})";
+  // Sort index keeps worker lanes on top, client lanes below, in id order.
+  out << ",\n"
+      << R"(  {"name":"thread_sort_index","ph":"M","pid":1,"tid":)" << lane
+      << R"(,"args":{"sort_index":)" << lane << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceSink& sink, std::ostream& out) {
+  const auto events = sink.snapshot();
+
+  out << "{\n\"traceEvents\": [\n";
+  bool first = true;
+
+  out << R"(  {"name":"process_name","ph":"M","pid":1,"args":{"name":"blog"}})";
+  first = false;
+
+  std::set<std::uint16_t> lanes;
+  for (const auto& e : events) lanes.insert(e.lane);
+  for (std::uint16_t lane : lanes) write_thread_metadata(out, lane, &first);
+
+  for (const auto& e : events) {
+    const auto kind = static_cast<EventKind>(e.kind);
+    if (!first) out << ",\n";
+    first = false;
+    if (kind == EventKind::kQueryBegin || kind == EventKind::kQueryEnd) {
+      // Async span: begin/end paired by query id so overlapping queries
+      // from different client threads render as separate nested spans.
+      out << R"(  {"name":"query","cat":"service","ph":")"
+          << (kind == EventKind::kQueryBegin ? 'b' : 'e') << R"(","id":)"
+          << e.payload << R"(,"pid":1,"tid":)" << e.lane << R"(,"ts":)"
+          << to_us(e.ts_ns) << "}";
+    } else {
+      out << R"(  {"name":")" << trace_event_name(kind) << R"(","cat":")"
+          << trace_event_category(kind) << R"(","ph":"i","s":"t","pid":1,)"
+          << R"("tid":)" << e.lane << R"(,"ts":)" << to_us(e.ts_ns)
+          << R"(,"args":{"payload":)" << e.payload << "}}";
+    }
+  }
+
+  out << "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {"
+      << "\"recorded_events\": " << sink.recorded()
+      << ", \"dropped_events\": " << sink.dropped()
+      << ", \"shards\": " << sink.shard_count() << "}\n}\n";
+}
+
+bool write_chrome_trace(const TraceSink& sink, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(sink, out);
+  return out.good();
+}
+
+}  // namespace blog::obs

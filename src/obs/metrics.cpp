@@ -1,0 +1,106 @@
+#include "blog/obs/metrics.hpp"
+
+#include <sstream>
+
+namespace blog::obs {
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t buckets)
+    : hist_(lo, hi, buckets) {}
+
+void HistogramMetric::observe(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_.add(x);
+  acc_.add(x);
+}
+
+double HistogramMetric::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hist_.percentile(p);
+}
+
+std::uint64_t HistogramMetric::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acc_.count();
+}
+
+double HistogramMetric::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acc_.mean();
+}
+
+double HistogramMetric::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acc_.min();
+}
+
+double HistogramMetric::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acc_.max();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = hists_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  return *slot;
+}
+
+std::string MetricsRegistry::dump_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_)
+    out << name << " " << c->value() << "\n";
+  for (const auto& [name, g] : gauges_) out << name << " " << g->value() << "\n";
+  for (const auto& [name, h] : hists_) {
+    out << name << " count=" << h->count() << " mean=" << h->mean()
+        << " p50=" << h->percentile(50) << " p95=" << h->percentile(95)
+        << " p99=" << h->percentile(99) << " max=" << h->max() << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::dump_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ", ";
+    first = false;
+  };
+  for (const auto& [name, c] : counters_) {
+    sep();
+    out << "\"" << name << "\": " << c->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    sep();
+    out << "\"" << name << "\": " << g->value();
+  }
+  for (const auto& [name, h] : hists_) {
+    sep();
+    out << "\"" << name << "\": {\"count\": " << h->count()
+        << ", \"mean\": " << h->mean() << ", \"p50\": " << h->percentile(50)
+        << ", \"p95\": " << h->percentile(95)
+        << ", \"p99\": " << h->percentile(99) << ", \"min\": " << h->min()
+        << ", \"max\": " << h->max() << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace blog::obs

@@ -1,0 +1,127 @@
+#include "blog/obs/trace.hpp"
+
+#include <algorithm>
+
+namespace blog::obs {
+namespace {
+
+constexpr const char* kEventNames[] = {
+#define BLOG_OBS_NAME(name, display, cat) display,
+    BLOG_TRACE_EVENTS(BLOG_OBS_NAME)
+#undef BLOG_OBS_NAME
+};
+
+constexpr const char* kEventCategories[] = {
+#define BLOG_OBS_CAT(name, display, cat) cat,
+    BLOG_TRACE_EVENTS(BLOG_OBS_CAT)
+#undef BLOG_OBS_CAT
+};
+
+static_assert(std::size(kEventNames) ==
+                  static_cast<std::size_t>(EventKind::kCount),
+              "name table out of sync with BLOG_TRACE_EVENTS");
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t c = 2;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+std::uint64_t next_sink_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* trace_event_name(EventKind kind) noexcept {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < std::size(kEventNames) ? kEventNames[i] : "?";
+}
+
+const char* trace_event_category(EventKind kind) noexcept {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < std::size(kEventCategories) ? kEventCategories[i] : "?";
+}
+
+std::uint16_t client_lane() noexcept {
+  static std::atomic<std::uint16_t> next{kClientLaneBase};
+  thread_local const std::uint16_t lane =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+TraceShard::TraceShard(std::size_t capacity)
+    : ring_(round_up_pow2(capacity)), mask_(ring_.size() - 1) {}
+
+std::vector<TraceEvent> TraceShard::events() const {
+  const std::uint64_t head = written();
+  const std::uint64_t cap = capacity();
+  const std::uint64_t n = std::min(head, cap);
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = head - n; i < head; ++i)
+    out.push_back(ring_[static_cast<std::size_t>(i) & mask_]);
+  return out;
+}
+
+TraceSink::TraceSink(std::size_t shard_capacity)
+    : shard_capacity_(shard_capacity),
+      sink_id_(next_sink_id()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceSink::~TraceSink() = default;
+
+TraceShard& TraceSink::shard_for_this_thread() {
+  // Keyed by the process-unique sink id, not the sink address: an id is
+  // never reused, so a stale cache entry from a destroyed sink can never
+  // alias a new sink allocated at the same address.
+  struct Cache {
+    std::uint64_t sink_id = 0;
+    TraceShard* shard = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.sink_id == sink_id_) return *cache.shard;
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<TraceShard>(shard_capacity_));
+  cache.sink_id = sink_id_;
+  cache.shard = shards_.back().get();
+  return *cache.shard;
+}
+
+std::uint64_t TraceSink::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->written();
+  return total;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->dropped();
+  return total;
+}
+
+std::size_t TraceSink::shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& s : shards_) {
+      auto ev = s->events();
+      all.insert(all.end(), ev.begin(), ev.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return all;
+}
+
+}  // namespace blog::obs

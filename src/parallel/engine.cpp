@@ -34,6 +34,18 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
                                  const std::atomic<std::uint64_t>* preempt_epoch) {
   search::Runner runner(expander);
   search::ExpandStats estats;
+  obs::TraceSink* const trace = opts_.trace;
+  const auto lane = static_cast<std::uint16_t>(worker);
+  // Expansions since the last scheduler interaction; flushed as one
+  // kExpandBurst event at each boundary so the timeline shows in-place
+  // bursts without paying one event per expansion.
+  std::uint32_t burst = 0;
+  const auto flush_burst = [&] {
+    if (burst > 0) {
+      obs::trace(trace, lane, obs::EventKind::kExpandBurst, burst);
+      burst = 0;
+    }
+  };
   // Lazy spilling needs scheduler-side handle support; downgrade to the
   // starvation gate on schedulers without it (GlobalFrontier).
   const ParallelOptions::SpillPolicy policy =
@@ -77,16 +89,23 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
     // Thieves that won a claim CAS wait for us to materialize the
     // checkpointed state; one boundary of latency, through the trail's
     // as-of view (the live derivation is untouched).
-    if (runner.has_pending_claims())
-      charge_copies([&] { runner.fulfill_claims(&estats); });
+    if (runner.has_pending_claims()) {
+      std::size_t granted = 0;
+      charge_copies([&] { granted = runner.fulfill_claims(&estats); });
+      if (granted > 0)
+        obs::trace(trace, lane, obs::EventKind::kHandleFulfill,
+                   static_cast<std::uint32_t>(granted));
+    }
 
     // --- acquire a chain -------------------------------------------------
     if (!runner.has_state()) {
       if (runner.pending() == 0) {
+        flush_burst();
         auto taken = net.acquire(worker);
         if (!taken) break;  // terminated or stopped
         runner.load(std::move(*taken));
         ++ws.network_takes;
+        obs::trace(trace, lane, obs::EventKind::kNetworkTake);
       } else if (auto better = net.try_acquire_better(
                      worker, runner.min_pending_bound(), opts_.d_threshold)) {
         // The network minimum is more than D below our local minimum: the
@@ -94,10 +113,14 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
         // local pool migrates out with it — copy-on-migration, batched.
         // detach_all resolves published handles on the way out (claimed
         // ones are granted to their thief instead of joining the batch).
+        flush_burst();
         charge_copies([&] { spill = runner.detach_all(&estats); });
+        obs::trace(trace, lane, obs::EventKind::kMigrate,
+                   static_cast<std::uint32_t>(spill.size()));
         flush_spills();
         runner.load(std::move(*better));
         ++ws.network_takes;
+        obs::trace(trace, lane, obs::EventKind::kNetworkTake);
       } else {
         // Continue in place on the local pool (trail rollback, no
         // copying). A published top races its claim CAS: losing grants
@@ -118,6 +141,7 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
         break;
       }
       ++ws.expanded;
+      if (trace != nullptr) ++burst;
     }
     resuming = false;
 
@@ -133,6 +157,8 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
       // otherwise resume the burst where it yielded.
       ++ws.preemptions;
       resuming = true;
+      flush_burst();
+      obs::trace(trace, lane, obs::EventKind::kPreempt);
       double local_min = runner.state().bound;
       if (runner.pending() > 0)
         local_min = std::min(local_min, runner.min_pending_bound());
@@ -143,9 +169,12 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
           auto rest = runner.detach_all(&estats);
           std::move(rest.begin(), rest.end(), std::back_inserter(spill));
         });
+        obs::trace(trace, lane, obs::EventKind::kMigrate,
+                   static_cast<std::uint32_t>(spill.size()));
         flush_spills();
         runner.load(std::move(*better));
         ++ws.network_takes;
+        obs::trace(trace, lane, obs::EventKind::kNetworkTake);
         // The migrated-out state is re-counted by whoever resumes it; the
         // chain we just loaded is a fresh expansion of our own.
         resuming = false;
@@ -175,6 +204,8 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
         if (opts_.update_weights)
           search::update_on_success(weights_, runner.state().chain.get());
         ++ws.solutions;
+        obs::trace(trace, lane, obs::EventKind::kSolution,
+                   static_cast<std::uint32_t>(ws.solutions));
         search::Solution sol;
         charge_copies([&] { sol = runner.extract_solution(&estats); });
         {
@@ -245,6 +276,7 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
     }
   }
 
+  flush_burst();
   // Local leftovers die with the worker (stop or termination): account for
   // them so other workers' acquisition can conclude. drop_top resolves
   // published handles (kDead) so claiming thieves give up instead of
@@ -272,6 +304,7 @@ ParallelResult ParallelEngine::solve(const search::Query& q) {
   tuning.stale_refresh_us = static_cast<std::uint32_t>(std::clamp<std::int64_t>(
       opts_.stale_refresh_interval.count(), 0,
       std::numeric_limits<std::uint32_t>::max()));
+  tuning.trace = opts_.trace;
   // Worker→node placement mirrors the scheduler's deque tagging (both
   // derive it round-robin from the same detected topology); single-node
   // hosts skip placement and pinning entirely, as does the legacy

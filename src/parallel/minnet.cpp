@@ -89,6 +89,7 @@ void GlobalFrontier::on_expanded(std::size_t children) {
   {
     std::lock_guard lock(mu_);
     ++stats_.lock_acquisitions;
+    ++stats_.expansions;
     inflight_ += static_cast<std::int64_t>(children) - 1;
     finished = inflight_ == 0;
   }

@@ -13,6 +13,7 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+using obs::EventKind;
 using search::SpillHandle;
 
 /// Entry states that mean "this deque entry is garbage": the choice was
@@ -236,6 +237,9 @@ void WorkStealingScheduler::enqueue_spill(unsigned self,
 void WorkStealingScheduler::push_batch(unsigned worker,
                                        std::vector<search::DetachedNode> ns) {
   if (ns.empty()) return;
+  obs::trace(tuning_.trace,
+             static_cast<std::uint16_t>(worker % deques_.size()),
+             EventKind::kSpillBatch, static_cast<std::uint32_t>(ns.size()));
   std::vector<Entry> es;
   es.reserve(ns.size());
   for (auto& n : ns) {
@@ -251,6 +255,9 @@ void WorkStealingScheduler::push_handles(
     unsigned worker, std::vector<std::shared_ptr<SpillHandle>> hs) {
   if (hs.empty()) return;
   handles_published_.fetch_add(hs.size(), std::memory_order_relaxed);
+  obs::trace(tuning_.trace,
+             static_cast<std::uint16_t>(worker % deques_.size()),
+             EventKind::kSpillPublish, static_cast<std::uint32_t>(hs.size()));
   std::vector<Entry> es;
   es.reserve(hs.size());
   for (auto& h : hs) {
@@ -308,16 +315,24 @@ void WorkStealingScheduler::maintain(unsigned worker) {
   // Re-publishing also refreshes the stamp, so a live-but-quiet deque is
   // re-examined at most once per interval.
   publish(d);
-  if (removed > 0) stale_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  if (removed > 0) {
+    stale_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    obs::trace(tuning_.trace, static_cast<std::uint16_t>(self),
+               EventKind::kStaleRefresh, static_cast<std::uint32_t>(removed));
+  }
 }
 
 void WorkStealingScheduler::record_steal(unsigned thief, unsigned victim_deque,
                                          std::uint64_t n) {
   steals_.fetch_add(n, std::memory_order_relaxed);
-  if (deques_[victim_deque]->node == deques_[thief]->node)
+  const bool local = deques_[victim_deque]->node == deques_[thief]->node;
+  if (local)
     steals_local_.fetch_add(n, std::memory_order_relaxed);
   else
     steals_remote_.fetch_add(n, std::memory_order_relaxed);
+  obs::trace(tuning_.trace, static_cast<std::uint16_t>(thief),
+             local ? EventKind::kStealLocal : EventKind::kStealRemote,
+             static_cast<std::uint32_t>(n));
 }
 
 unsigned WorkStealingScheduler::pick_victim(unsigned self, double require_below,
@@ -383,10 +398,16 @@ std::optional<search::Node> WorkStealingScheduler::drain_mailbox(
   std::vector<MailEntry> kept;
   std::vector<Entry> repark;
   const std::int64_t now = now_us();
+  std::uint32_t drained = 0;
   for (std::size_t i = 0; i < d.mail.size(); ++i) {
     MailEntry& me = d.mail[i];
     const std::uint32_t s = me.handle->state.load(std::memory_order_acquire);
-    if (s == SpillHandle::kDead) continue;  // owner dropped the chain
+    if (s == SpillHandle::kDead) {  // owner dropped the chain
+      obs::trace(tuning_.trace, static_cast<std::uint16_t>(self),
+                 EventKind::kHandleDead,
+                 static_cast<std::uint32_t>(me.handle->owner));
+      continue;
+    }
     if (s == SpillHandle::kReady) {
       // Every ready deposit is converted now, beat require_below or not —
       // deposits must not dwell privately while other workers starve.
@@ -394,6 +415,10 @@ std::optional<search::Node> WorkStealingScheduler::drain_mailbox(
       me.handle->state.store(SpillHandle::kTaken, std::memory_order_release);
       handle_grants_.fetch_add(1, std::memory_order_relaxed);
       mailbox_drained_.fetch_add(1, std::memory_order_relaxed);
+      ++drained;
+      obs::trace(tuning_.trace, static_cast<std::uint16_t>(self),
+                 EventKind::kHandleGrant,
+                 static_cast<std::uint32_t>(me.handle->owner));
       claim_wait_us_.fetch_add(
           static_cast<std::uint64_t>(std::max<std::int64_t>(
               0, now - me.claimed_at_us)),
@@ -414,6 +439,9 @@ std::optional<search::Node> WorkStealingScheduler::drain_mailbox(
     kept.push_back(std::move(me));  // kClaimed / kFulfilling: still in flight
   }
   d.mail = std::move(kept);
+  if (drained > 0)
+    obs::trace(tuning_.trace, static_cast<std::uint16_t>(self),
+               EventKind::kMailboxDrain, drained);
   if (!repark.empty()) park_entries(self, std::move(repark));
   return taken;
 }
@@ -427,8 +455,11 @@ std::optional<search::Node> WorkStealingScheduler::await_claim(
     // into it (kReady) at its next expansion boundary — and go back to
     // scanning other victims. The deposit is picked up by drain_mailbox
     // on a later acquire / D-threshold boundary.
+    const auto owner = static_cast<std::uint32_t>(h->owner);
     deques_[thief]->mail.push_back(MailEntry{std::move(h), now_us()});
     mailbox_parked_.fetch_add(1, std::memory_order_relaxed);
+    obs::trace(tuning_.trace, static_cast<std::uint16_t>(thief),
+               EventKind::kMailboxPark, owner);
     return std::nullopt;
   }
   // Liveness: the owner services claims at its next expansion boundary
@@ -451,6 +482,8 @@ std::optional<search::Node> WorkStealingScheduler::await_claim(
       h->state.store(SpillHandle::kTaken, std::memory_order_release);
       handle_grants_.fetch_add(1, std::memory_order_relaxed);
       pops_.fetch_add(1, std::memory_order_relaxed);
+      obs::trace(tuning_.trace, static_cast<std::uint16_t>(thief),
+                 EventKind::kHandleGrant, static_cast<std::uint32_t>(h->owner));
       if (h->owner != thief)
         record_steal(thief,
                      h->owner % static_cast<unsigned>(deques_.size()), 1);
@@ -461,6 +494,8 @@ std::optional<search::Node> WorkStealingScheduler::await_claim(
       return n;
     }
     if (s == SpillHandle::kDead) {
+      obs::trace(tuning_.trace, static_cast<std::uint16_t>(thief),
+                 EventKind::kHandleDead, static_cast<std::uint32_t>(h->owner));
       flush_spins();
       return std::nullopt;  // chain was dropped
     }
@@ -600,6 +635,8 @@ std::optional<search::Node> WorkStealingScheduler::steal_from(
   deques_[h->owner % deques_.size()]->thefts_since_push.fetch_add(
       1, std::memory_order_relaxed);
   handle_claims_.fetch_add(1, std::memory_order_relaxed);
+  obs::trace(tuning_.trace, static_cast<std::uint16_t>(thief),
+             EventKind::kHandleClaim, static_cast<std::uint32_t>(h->owner));
   return await_claim(thief, std::move(h), taken.seq, wait);
 }
 
@@ -624,6 +661,8 @@ std::optional<search::Node> WorkStealingScheduler::try_acquire_better(
   const unsigned victim = pick_victim(self, threshold, /*include_self=*/false);
   if (victim == deques_.size()) return std::nullopt;
   steal_attempts_.fetch_add(1, std::memory_order_relaxed);
+  obs::trace(tuning_.trace, static_cast<std::uint16_t>(self),
+             EventKind::kStealAttempt, victim);
   return steal_from(worker, victim, threshold, /*bulk=*/false,
                     tuning_.claim_mailboxes ? ClaimWait::Mailbox
                                             : ClaimWait::Bounded);
@@ -636,17 +675,23 @@ std::optional<search::Node> WorkStealingScheduler::acquire(unsigned worker) {
   // once a full victim scan came up empty; cleared on every exit path.
   struct IdleGuard {
     std::atomic<int>& count;
+    obs::TraceSink* trace;
+    std::uint16_t lane;
     bool on = false;
     void mark() {
       if (!on) {
         count.fetch_add(1, std::memory_order_relaxed);
+        obs::trace(trace, lane, EventKind::kStarveOn);
         on = true;
       }
     }
     ~IdleGuard() {
-      if (on) count.fetch_sub(1, std::memory_order_relaxed);
+      if (on) {
+        count.fetch_sub(1, std::memory_order_relaxed);
+        obs::trace(trace, lane, EventKind::kStarveOff);
+      }
     }
-  } idle_guard{idle_};
+  } idle_guard{idle_, tuning_.trace, static_cast<std::uint16_t>(self)};
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) return std::nullopt;
 
@@ -707,6 +752,7 @@ std::optional<search::Node> WorkStealingScheduler::acquire(unsigned worker) {
 }
 
 void WorkStealingScheduler::on_expanded(std::size_t children) {
+  expansions_.fetch_add(1, std::memory_order_relaxed);
   inflight_.fetch_add(static_cast<std::int64_t>(children) - 1,
                       std::memory_order_acq_rel);
 }
@@ -747,6 +793,7 @@ SchedulerStats WorkStealingScheduler::stats() const {
   s.mailbox_parked = mailbox_parked_.load(std::memory_order_relaxed);
   s.mailbox_drained = mailbox_drained_.load(std::memory_order_relaxed);
   s.stale_refreshes = stale_refreshes_.load(std::memory_order_relaxed);
+  s.expansions = expansions_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -58,6 +58,18 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
     return !opts.prune_with_incumbent || bound <= incumbent + opts.prune_margin;
   };
 
+  // Flight recorder (lane 0, the only worker): in-place expansion bursts
+  // are flushed as one event at each frontier interaction, mirroring the
+  // parallel engine's per-worker burst events.
+  obs::TraceSink* const trace = opts.trace;
+  std::uint32_t burst = 0;
+  const auto flush_burst = [&] {
+    if (burst > 0) {
+      obs::trace(trace, 0, obs::EventKind::kExpandBurst, burst);
+      burst = 0;
+    }
+  };
+
   while (true) {
     // --- acquire a state -------------------------------------------------
     if (!runner.has_state()) {
@@ -69,22 +81,27 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
         }
         runner.activate_top();
       } else if (!frontier->empty()) {
+        flush_burst();
         DetachedNode n = frontier->pop();
         if (!admitted(n.bound)) {
           ++result.stats.pruned;
           continue;
         }
         runner.load(std::move(n));
+        obs::trace(trace, 0, obs::EventKind::kNetworkTake);
       } else {
         break;  // space exhausted
       }
     }
     if (result.stats.nodes_expanded >= opts.max_nodes ||
-        deadline_passed(opts.deadline))
+        deadline_passed(opts.deadline)) {
+      flush_burst();
       return result;  // outcome stays BudgetExceeded
+    }
 
     // --- expand in place -------------------------------------------------
     ++result.stats.nodes_expanded;
+    if (trace != nullptr) ++burst;
     const Runner::StepResult step = runner.expand(&result.stats.expand);
 
     switch (step.outcome) {
@@ -92,6 +109,8 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
         if (opts.update_weights)
           update_on_success(weights_, runner.state().chain.get());
         ++result.stats.solutions;
+        obs::trace(trace, 0, obs::EventKind::kSolution,
+                   static_cast<std::uint32_t>(result.stats.solutions));
         Solution sol = runner.extract_solution(&result.stats.expand);
         const double sol_bound = sol.bound;
         result.solutions.push_back(std::move(sol));
@@ -103,6 +122,7 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
         }
         if (result.solutions.size() >= opts.max_solutions) {
           result.outcome = Outcome::SolutionLimit;
+          flush_burst();
           return result;
         }
         break;
@@ -151,6 +171,7 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
         break;
     }
   }
+  flush_burst();
   result.exhausted = true;
   result.outcome = Outcome::Exhausted;
   return result;

@@ -90,7 +90,9 @@ QueryService::QueryService(ServiceOptions opts)
     : opts_(opts),
       weights_(opts.weight_params),
       cache_(opts.cache_shards, opts.cache_capacity_per_shard),
-      gate_(opts.max_concurrent_queries, opts.admission_queue_limit) {}
+      gate_(opts.max_concurrent_queries, opts.admission_queue_limit) {
+  trace_.store(opts.trace, std::memory_order_relaxed);
+}
 
 QueryService::QueryService(const engine::Interpreter& seed, ServiceOptions opts)
     : QueryService(opts) {
@@ -147,6 +149,7 @@ QueryResponse QueryService::run_admitted(const QueryRequest& req,
     // a mid-builtin-burst D-threshold check they never need; the per-
     // expansion deadline check already bounds their latency.
     po.preempt_interval = std::chrono::microseconds(0);
+    po.trace = trace_.load(std::memory_order_acquire);
     parallel::ParallelEngine pe(*snap.program, weights_, &builtins_, po);
     auto r = pe.solve(q);
     resp.outcome = r.outcome;
@@ -161,6 +164,7 @@ QueryResponse QueryService::run_admitted(const QueryRequest& req,
     so.max_solutions = req.budget.max_solutions;
     so.deadline = deadline;
     so.update_weights = opts_.update_weights;
+    so.trace = trace_.load(std::memory_order_acquire);
     search::SearchEngine eng(*snap.program, weights_, &builtins_);
     auto r = eng.solve(q, so);
     resp.outcome = r.outcome;
@@ -174,6 +178,23 @@ QueryResponse QueryService::run_admitted(const QueryRequest& req,
 }
 
 QueryResponse QueryService::query(const QueryRequest& req) {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::TraceSink* const trace = trace_.load(std::memory_order_acquire);
+  // Query ids pair kQueryBegin/kQueryEnd into one async span per request;
+  // client lanes keep concurrent callers on separate trace rows.
+  const std::uint32_t qid =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint16_t lane = trace != nullptr ? obs::client_lane() : 0;
+  obs::trace(trace, lane, obs::EventKind::kQueryBegin, qid);
+  // Every exit path records wall latency (cache hits and shed requests
+  // included — the client waited either way) and closes the span.
+  const auto finish = [&] {
+    latency_ms_.observe(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+    obs::trace(trace, lane, obs::EventKind::kQueryEnd, qid);
+  };
+
   QueryResponse resp;
   search::Query q;
   std::string key;
@@ -181,28 +202,34 @@ QueryResponse QueryService::query(const QueryRequest& req) {
     q = engine::parse_query(req.text);
     key = canonical_from(q);
   } catch (const term::ParseError& e) {
-    ++parse_errors_;
+    parse_errors_.inc();
     resp.status = QueryStatus::ParseError;
     resp.error = e.what();
+    finish();
     return resp;
   }
 
-  ++queries_;
+  queries_.inc();
   const auto snap = snapshots_.current();
   resp.epoch = snap->epoch;
 
   if (opts_.cache_enabled) {
     if (auto hit = cache_.lookup(key, snap->epoch)) {
-      ++cache_hits_;
+      cache_hits_.inc();
+      obs::trace(trace, lane, obs::EventKind::kCacheHit, qid);
       resp.answers = std::move(*hit);
       resp.from_cache = true;
+      finish();
       return resp;  // status Ok, outcome Exhausted: only complete sets cache
     }
+    obs::trace(trace, lane, obs::EventKind::kCacheMiss, qid);
   }
 
   if (!gate_.enter()) {
-    ++rejected_;
+    rejected_.inc();
+    obs::trace(trace, lane, obs::EventKind::kAdmissionShed, qid);
     resp.status = QueryStatus::Rejected;
+    finish();
     return resp;
   }
   {
@@ -210,13 +237,18 @@ QueryResponse QueryService::query(const QueryRequest& req) {
     resp = run_admitted(req, q, *snap);
   }
 
-  if (resp.status == QueryStatus::Truncated) ++truncated_;
+  if (resp.status == QueryStatus::Truncated) {
+    truncated_.inc();
+    if (resp.outcome == search::Outcome::BudgetExceeded)
+      obs::trace(trace, lane, obs::EventKind::kBudgetExhausted, qid);
+  }
   // Cache only complete answer sets — a partial set is an artifact of
   // strategy and budget, not of the program. The entry carries the epoch
   // the query ran under, so a consult that raced us can never serve it:
   // lookups require the then-current epoch.
   if (opts_.cache_enabled && resp.status == QueryStatus::Ok)
     cache_.insert(key, snap->epoch, resp.answers);
+  finish();
   return resp;
 }
 
@@ -230,11 +262,17 @@ QueryResponse QueryService::query(std::string_view text,
 
 QueryService::Stats QueryService::stats() const {
   Stats s;
-  s.queries = queries_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.truncated = truncated_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.queries = queries_.value();
+  s.cache_hits = cache_hits_.value();
+  s.truncated = truncated_.value();
+  s.rejected = rejected_.value();
+  s.parse_errors = parse_errors_.value();
+  s.latency_count = latency_ms_.count();
+  s.latency_mean_ms = latency_ms_.mean();
+  s.latency_p50_ms = latency_ms_.percentile(50);
+  s.latency_p95_ms = latency_ms_.percentile(95);
+  s.latency_p99_ms = latency_ms_.percentile(99);
+  s.latency_max_ms = latency_ms_.max();
   const auto snap = snapshots_.current();
   s.epoch = snap->epoch;
   s.program_clauses = snap->program->size();

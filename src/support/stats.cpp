@@ -25,20 +25,33 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 
 void Histogram::add(double x) {
   const double span = hi_ - lo_;
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span * static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Clamp in double space first: casting an out-of-range double (a sample
+  // far outside [lo, hi), or NaN) straight to ptrdiff_t is undefined.
+  double pos = (x - lo_) / span * static_cast<double>(counts_.size());
+  if (!(pos > 0.0)) pos = 0.0;  // also catches NaN
+  const double top = static_cast<double>(counts_.size() - 1);
+  if (pos > top) pos = top;
+  ++counts_[static_cast<std::size_t>(pos)];
   ++total_;
 }
 
 double Histogram::percentile(double p) const {
   if (total_ == 0) return lo_;
-  const auto target = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total_));
-  std::uint64_t seen = 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the requested percentile in [0, total]; interpolate within the
+  // bucket that rank lands in instead of returning the bucket midpoint.
+  const double target = p / 100.0 * static_cast<double>(total_);
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    seen += counts_[i];
-    if (seen >= target) return lo_ + width * (static_cast<double>(i) + 0.5);
+    if (counts_[i] == 0) continue;  // empty buckets hold no ranks
+    const double before = static_cast<double>(cum);
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= target) {
+      double frac = (target - before) / static_cast<double>(counts_[i]);
+      frac = std::clamp(frac, 0.0, 1.0);
+      return lo_ + width * (static_cast<double>(i) + frac);
+    }
   }
   return hi_;
 }

@@ -275,6 +275,36 @@ TEST_P(SchedulerGrid, MailboxClaimWaitMatchesSpinWait) {
   }
 }
 
+TEST_P(SchedulerGrid, FlightRecorderOnOffIsByteIdentical) {
+  // The flight recorder observes; it must never steer. Attaching a sink
+  // has to leave every scheduler/worker combination's solution set
+  // byte-identical to the untraced run, while actually recording events.
+  const auto [sched, workers] = GetParam();
+  for (const Workload& w : workload_set()) {
+    auto run = [&](obs::TraceSink* sink) {
+      Interpreter ip;
+      ip.consult_string(w.program);
+      parallel::ParallelOptions po;
+      po.workers = workers;
+      po.update_weights = false;
+      po.scheduler = sched;
+      po.trace = sink;
+      parallel::ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(),
+                                  po);
+      const auto r = pe.solve(ip.parse_query(w.query));
+      std::vector<std::string> got;
+      for (const auto& s : r.solutions) got.push_back(s.text);
+      std::sort(got.begin(), got.end());
+      return got;
+    };
+    obs::TraceSink sink;
+    EXPECT_EQ(run(&sink), run(nullptr))
+        << w.name << " workers=" << workers << " scheduler="
+        << parallel::scheduler_kind_name(sched);
+    EXPECT_GT(sink.recorded(), 0u) << w.name;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SchedulerWorkers, SchedulerGrid,
     ::testing::Combine(

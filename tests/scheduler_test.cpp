@@ -877,5 +877,85 @@ TEST(WorkStealingStress, WeightUpdatesRaceCleanly) {
   EXPECT_GT(ip.weights().session_size(), 0u);
 }
 
+TEST(WorkStealingStress, LiveStatsSnapshotsStayMonotonicUnderStorm) {
+  // stats() is documented live-safe: every field is its own monotonic
+  // atomic, so a monitor sampling mid-run must never observe a counter
+  // going backwards (or a half-written struct). Hammer the scheduler from
+  // worker threads — with a flight recorder attached, so the trace paths
+  // get the same TSan coverage — while a monitor thread samples
+  // stats()/min_bound() continuously.
+  constexpr unsigned kWorkers = 4;
+  obs::TraceSink sink;
+  SchedulerTuning tuning;
+  tuning.adaptive = false;
+  tuning.stale_refresh_us = 1;  // keep maintain() hot
+  tuning.trace = &sink;
+  WorkStealingScheduler s(kWorkers, /*deque_capacity=*/1, tuning);
+  s.push_root(node_with_bound(0.0));
+
+  std::atomic<std::int64_t> fanout_budget{5000};
+  std::atomic<std::uint64_t> expansions_done{0};
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      std::uint64_t seq = 0;
+      while (auto n = s.acquire(w)) {
+        s.maintain(w);
+        const std::size_t k =
+            fanout_budget.fetch_sub(1, std::memory_order_relaxed) > 0 ? 2 : 0;
+        s.on_expanded(k);
+        expansions_done.fetch_add(1, std::memory_order_relaxed);
+        if (k > 0) {
+          std::vector<search::Node> batch;
+          for (std::size_t i = 0; i < k; ++i)
+            batch.push_back(node_with_bound(n->bound + 1.0 + ++seq * 1e-6));
+          s.push_batch(w, std::move(batch));
+        }
+      }
+    });
+  }
+
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    SchedulerStats prev;
+    while (!done.load(std::memory_order_acquire)) {
+      const SchedulerStats cur = s.stats();
+      EXPECT_GE(cur.pushes, prev.pushes);
+      EXPECT_GE(cur.pops, prev.pops);
+      EXPECT_GE(cur.grants, prev.grants);
+      EXPECT_GE(cur.steals, prev.steals);
+      EXPECT_GE(cur.steal_attempts, prev.steal_attempts);
+      EXPECT_GE(cur.offloads, prev.offloads);
+      EXPECT_GE(cur.lock_acquisitions, prev.lock_acquisitions);
+      EXPECT_GE(cur.steals_local, prev.steals_local);
+      EXPECT_GE(cur.steals_remote, prev.steals_remote);
+      EXPECT_GE(cur.handles_published, prev.handles_published);
+      EXPECT_GE(cur.handle_claims, prev.handle_claims);
+      EXPECT_GE(cur.handle_grants, prev.handle_grants);
+      EXPECT_GE(cur.stale_discards, prev.stale_discards);
+      EXPECT_GE(cur.claim_wait_spins, prev.claim_wait_spins);
+      EXPECT_GE(cur.claim_wait_us, prev.claim_wait_us);
+      EXPECT_GE(cur.mailbox_parked, prev.mailbox_parked);
+      EXPECT_GE(cur.mailbox_drained, prev.mailbox_drained);
+      EXPECT_GE(cur.stale_refreshes, prev.stale_refreshes);
+      EXPECT_GE(cur.expansions, prev.expansions);
+      // Live sink counters share the same contract.
+      EXPECT_GE(sink.recorded(), sink.dropped());
+      (void)s.min_bound();
+      prev = cur;
+    }
+  });
+
+  for (auto& t : workers) t.join();
+  done.store(true, std::memory_order_release);
+  monitor.join();
+
+  const SchedulerStats fin = s.stats();
+  EXPECT_EQ(fin.expansions,
+            expansions_done.load(std::memory_order_relaxed));
+  EXPECT_GT(fin.expansions, 5000u);
+  EXPECT_EQ(fin.steals, fin.steals_local + fin.steals_remote);
+}
+
 }  // namespace
 }  // namespace blog::parallel

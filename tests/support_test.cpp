@@ -125,6 +125,56 @@ TEST(Histogram, ClampsOutOfRange) {
   EXPECT_EQ(h.bucket(3), 1u);
 }
 
+TEST(Histogram, EmptyPercentileIsLowerEdge) {
+  Histogram h(2.0, 10.0, 8);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 2.0);
+}
+
+TEST(Histogram, SingleSamplePercentilesStayInItsBucket) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(7.3);  // bucket [7, 8)
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, 7.0) << "p=" << p;
+    EXPECT_LE(v, 8.0) << "p=" << p;
+  }
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeP) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_DOUBLE_EQ(h.percentile(-10), h.percentile(0));
+  EXPECT_DOUBLE_EQ(h.percentile(250), h.percentile(100));
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  // All 100 samples in bucket [4, 5): the rank fraction must move the
+  // result *through* the bucket, not snap to its edge or midpoint.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(4.5);
+  EXPECT_NEAR(h.percentile(25), 4.25, 1e-9);
+  EXPECT_NEAR(h.percentile(50), 4.5, 1e-9);
+  EXPECT_NEAR(h.percentile(75), 4.75, 1e-9);
+  EXPECT_NEAR(h.percentile(100), 5.0, 1e-9);
+  // Uniform spread: p50 of 0..99 scaled into [0,10) lands mid-range.
+  Histogram u(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) u.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_NEAR(u.percentile(50), 5.0, 1e-9);
+  EXPECT_NEAR(u.percentile(95), 9.5, 1e-9);
+}
+
+TEST(Histogram, AddHandlesExtremeValuesWithoutOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(1e300);   // far beyond ptrdiff_t range before the clamp fix
+  h.add(-1e300);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
 TEST(LinSolve, SolvesSquareSystem) {
   Matrix a(2, 2);
   a(0, 0) = 2;

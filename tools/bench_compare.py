@@ -18,9 +18,20 @@ Usage:
                               baseline run was shorter than S (default
                               0.01): sub-10ms timings are scheduler noise,
                               not signal (cells gates still apply)
-      [--skip NAME ...]       baseline files to ignore (e.g.
-                              BENCH_service.json, whose client-thread
-                              timeslicing noise dwarfs real regressions)
+      [--skip NAME ...]       baseline files to ignore entirely
+      [--throughput-skip NAME ...]
+                              baseline files whose nodes/queries-per-sec
+                              gates are skipped (client-thread timeslicing
+                              noise) but whose latency-percentile gates
+                              still apply (e.g. BENCH_service.json)
+      [--max-latency-ratio R] fail when a latency_p50/p95/p99_ms field
+                              exceeds R * baseline + the absolute slack
+                              (default 1.25 — the >25% tail-latency gate;
+                              lower-better, so only increases fail)
+      [--latency-abs-slack S] absolute ms slack added on top of the
+                              latency ratio bound (default 10.0),
+                              absorbing scheduler jitter on near-zero
+                              cache-hit-dominated baselines
       [--require FILE:KEY:MIN ...]
                               headline summary keys that must be >= MIN in
                               the current run (e.g.
@@ -70,6 +81,9 @@ def main():
     ap.add_argument("--cells-abs-slack", type=float, default=2.0)
     ap.add_argument("--min-seconds", type=float, default=0.01)
     ap.add_argument("--skip", action="append", default=[])
+    ap.add_argument("--throughput-skip", action="append", default=[])
+    ap.add_argument("--max-latency-ratio", type=float, default=1.25)
+    ap.add_argument("--latency-abs-slack", type=float, default=10.0)
     ap.add_argument("--require", action="append", default=[])
     args = ap.parse_args()
 
@@ -99,20 +113,38 @@ def main():
             if not isinstance(cvals, dict):
                 failures.append(f"{name}:{entry}: missing from current run")
                 continue
-            for key in ("nodes_per_sec", "queries_per_sec"):
+            if name not in args.throughput_skip:
+                for key in ("nodes_per_sec", "queries_per_sec"):
+                    b, c = bvals.get(key), cvals.get(key)
+                    if b and c is not None:
+                        if bvals.get("seconds",
+                                     args.min_seconds) < args.min_seconds:
+                            continue  # too short to time meaningfully
+                        ratio = c / b
+                        ok = ratio >= args.min_nodes_ratio
+                        checked += 1
+                        print(f"{'OK  ' if ok else 'FAIL'} "
+                              f"{name}:{entry}.{key} "
+                              f"{c:.0f} vs {b:.0f} (x{ratio:.2f})")
+                        if not ok:
+                            failures.append(
+                                f"{name}:{entry}.{key} regressed to "
+                                f"x{ratio:.2f} (< x{args.min_nodes_ratio})")
+            # Latency percentiles gate lower-better: only increases beyond
+            # ratio * baseline + absolute slack fail.
+            for key in ("latency_p50_ms", "latency_p95_ms",
+                        "latency_p99_ms"):
                 b, c = bvals.get(key), cvals.get(key)
-                if b and c is not None:
-                    if bvals.get("seconds", args.min_seconds) < args.min_seconds:
-                        continue  # too short to time meaningfully
-                    ratio = c / b
-                    ok = ratio >= args.min_nodes_ratio
+                if b is not None and c is not None:
+                    bound = b * args.max_latency_ratio + args.latency_abs_slack
+                    ok = c <= bound
                     checked += 1
                     print(f"{'OK  ' if ok else 'FAIL'} {name}:{entry}.{key} "
-                          f"{c:.0f} vs {b:.0f} (x{ratio:.2f})")
+                          f"{c:.3f}ms vs {b:.3f}ms (bound {bound:.3f}ms)")
                     if not ok:
                         failures.append(
-                            f"{name}:{entry}.{key} regressed to x{ratio:.2f} "
-                            f"(< x{args.min_nodes_ratio})")
+                            f"{name}:{entry}.{key} rose to {c:.3f}ms "
+                            f"(> {bound:.3f}ms)")
             key = "cells_copied_per_expansion"
             b, c = bvals.get(key), cvals.get(key)
             if b is not None and c is not None:
