@@ -1,8 +1,9 @@
-// Machine-readable perf tracking: runs the micro/parallel/spill/numa/
-// serving headline workloads and emits BENCH_micro.json /
-// BENCH_parallel.json / BENCH_spill.json / BENCH_numa.json /
-// BENCH_service.json (nodes/sec, cells_copied per expansion,
-// copy-on-steal traffic, claim-wait latency, local vs remote steal split,
+// Machine-readable perf tracking: runs the micro/index/analysis/parallel/
+// spill/numa/serving headline workloads and emits BENCH_micro.json /
+// BENCH_index.json / BENCH_analysis.json / BENCH_parallel.json /
+// BENCH_spill.json / BENCH_numa.json / BENCH_service.json (nodes/sec,
+// cells_copied per expansion, trail writes per expansion, copy-on-steal
+// traffic, claim-wait latency, local vs remote steal split,
 // queries/sec and cache hit rate), so the perf trajectory of the engine
 // is recorded PR over PR. Every file carries a "host" record (NUMA node
 // count, CPUs per node, CPU model) so baselines compared across
@@ -68,6 +69,9 @@ struct Entry {
   std::size_t unify_cells = 0;
   // Query batches (index entries): lookups issued in the timed loop.
   std::size_t queries = 0;
+  // Trail traffic (analysis entries): cumulative Trail::push calls.
+  bool has_trail = false;
+  std::uint64_t trail_writes = 0;
   // Scheduler traffic (parallel entries only).
   bool has_sched = false;
   std::uint64_t lock_acquisitions = 0;
@@ -104,6 +108,11 @@ struct Entry {
   [[nodiscard]] double queries_per_sec() const {
     return secs > 0.0 ? static_cast<double>(queries) / secs : 0.0;
   }
+  [[nodiscard]] double trail_writes_per_expansion() const {
+    return nodes > 0 ? static_cast<double>(trail_writes) /
+                           static_cast<double>(nodes)
+                     : 0.0;
+  }
 };
 
 void write_json(const std::string& path, const std::vector<Entry>& entries,
@@ -127,6 +136,10 @@ void write_json(const std::string& path, const std::vector<Entry>& entries,
     if (e.queries > 0)
       out << ", \"queries\": " << e.queries
           << ", \"queries_per_sec\": " << e.queries_per_sec();
+    if (e.has_trail)
+      out << ", \"trail_writes\": " << e.trail_writes
+          << ", \"trail_writes_per_expansion\": "
+          << e.trail_writes_per_expansion();
     if (e.has_sched)
       out << ", \"lock_acquisitions\": " << e.lock_acquisitions
           << ", \"steals\": " << e.steals;
@@ -553,6 +566,53 @@ int main(int argc, char** argv) {
                                db.secs > 0.0 ? ds.secs / db.secs : 0.0);
   }
   write_json(dir + "BENCH_index.json", index, index_summary);
+
+  // Static-analysis headline: the same ground point lookups with the
+  // consult-time analysis on (all-ground fact buckets commit without
+  // checkpoint or trail) vs forced off (every match trails its bindings
+  // and rolls back). Same answers by construction — answers_match is the
+  // hard correctness bit CI gates at 1.0 — and the trail-write collapse
+  // (gated >= 5x) is the tentpole's acceptance bar.
+  const auto run_analysis_arm = [&company](const char* name, bool analysis_on) {
+    engine::Interpreter ip;
+    ip.consult_string(company);
+    search::SearchOptions o;
+    o.strategy = search::Strategy::DepthFirst;
+    o.update_weights = false;
+    o.expander.static_analysis = analysis_on;
+    Entry e;
+    e.name = name;
+    e.has_trail = true;
+    e.queries = kLookups;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kLookups; ++i) {
+      const auto r =
+          ip.solve(workloads::deductive_db_lookup((i * 7919) % kEmployees), o);
+      e.nodes += r.stats.nodes_expanded;
+      e.cells_copied += r.stats.expand.cells_copied;
+      e.trail_writes += r.stats.expand.trail_writes;
+      e.solutions += r.solutions.size();
+    }
+    e.secs = seconds_since(t0);
+    return e;
+  };
+  std::vector<Entry> analysis;
+  analysis.push_back(run_analysis_arm("fact_lookup_analysis_off", false));
+  analysis.push_back(run_analysis_arm("fact_lookup_analysis_on", true));
+  std::vector<std::pair<std::string, double>> analysis_summary;
+  {
+    const Entry& off = analysis[0];
+    const Entry& on = analysis[1];
+    analysis_summary.emplace_back(
+        "trail_write_reduction",
+        static_cast<double>(off.trail_writes) /
+            static_cast<double>(std::max<std::uint64_t>(1, on.trail_writes)));
+    analysis_summary.emplace_back("answers_match",
+                                  off.solutions == on.solutions ? 1.0 : 0.0);
+    analysis_summary.emplace_back("analysis_on_speedup",
+                                  on.secs > 0.0 ? off.secs / on.secs : 0.0);
+  }
+  write_json(dir + "BENCH_analysis.json", analysis, analysis_summary);
 
   // Old (single-lock GlobalFrontier) vs new (work-stealing) scheduler on
   // the wide-DAG and deep-recursion workloads, with lock/steal traffic.

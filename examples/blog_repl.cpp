@@ -14,6 +14,7 @@
 //   ?- :stats                % service counters + latency percentiles
 //   ?- :trace on             % attach the flight recorder
 //   ?- :trace dump t.json    % export Chrome/Perfetto trace JSON
+//   ?- :analyze gf/2         % consult-time groundness/determinism verdicts
 //   ?- :halt
 #include <cstdio>
 #include <iostream>
@@ -21,6 +22,7 @@
 #include <sstream>
 #include <string>
 
+#include "blog/analysis/domain.hpp"
 #include "blog/obs/chrome_trace.hpp"
 #include "blog/service/service.hpp"
 #include "blog/term/reader.hpp"
@@ -198,6 +200,63 @@ bool command(ReplState& st, const std::string& line) {
     } else {
       std::printf("usage: :trace on|off|dump <file>\n");
     }
+  } else if (cmd == "analyze") {
+    // :analyze <name>[/<arity>] — print the consult-time verdicts for a
+    // predicate from the published snapshot's attached analysis.
+    std::string spec;
+    is >> spec;
+    if (spec.empty()) {
+      std::printf("usage: :analyze <name>[/<arity>]\n");
+      return true;
+    }
+    long long want_arity = -1;
+    if (const auto slash = spec.rfind('/'); slash != std::string::npos) {
+      try {
+        want_arity = std::stoll(spec.substr(slash + 1));
+        spec = spec.substr(0, slash);
+      } catch (const std::exception&) {
+        std::printf("usage: :analyze <name>[/<arity>]\n");
+        return true;
+      }
+    }
+    const auto snap = st.svc.snapshot();
+    const auto& a = snap->program->analysis();
+    if (a == nullptr) {
+      std::printf("%% no analysis attached (empty program?)\n");
+      return true;
+    }
+    bool found = false;
+    const Symbol name = intern(spec);
+    for (const auto& [pred, pi] : a->preds) {
+      if (pred.name != name) continue;
+      if (want_arity >= 0 &&
+          pred.arity != static_cast<std::uint32_t>(want_arity))
+        continue;
+      found = true;
+      std::printf("%s/%u: %zu clause%s", spec.c_str(), pred.arity,
+                  pi.clause_count, pi.clause_count == 1 ? "" : "s");
+      if (!pi.proven_succeeds) {
+        std::printf(", never proven to succeed\n");
+        continue;
+      }
+      std::printf(", modes(");
+      for (std::size_t i = 0; i < pi.success_modes.size(); ++i)
+        std::printf("%s%s", i ? "," : "",
+                    analysis::mode_name(pi.success_modes[i]));
+      std::printf(")");
+      if (pi.all_ground_facts)
+        std::printf(", all-ground facts");
+      else if (pi.all_facts)
+        std::printf(", all facts");
+      if (pi.det_unique_key) std::printf(", unique-key deterministic");
+      if (pi.det_mutex_heads) std::printf(", mutex heads");
+      std::printf("\n");
+    }
+    if (!found)
+      std::printf("%% no clauses for %s%s\n", spec.c_str(),
+                  want_arity >= 0
+                      ? ("/" + std::to_string(want_arity)).c_str()
+                      : "");
   } else if (cmd == "consult") {
     std::string path;
     is >> path;
@@ -214,7 +273,7 @@ bool command(ReplState& st, const std::string& line) {
     std::printf("%% loaded the Figure 1 family database\n");
   } else {
     std::printf("commands: :strategy :workers :budget :tree :session :stats "
-                ":metrics :trace :consult :demo :halt\n");
+                ":metrics :trace :analyze :consult :demo :halt\n");
   }
   return true;
 }

@@ -1,0 +1,32 @@
+/// \file
+/// \brief Determinism inference from compiled first-argument patterns.
+///
+/// Two complementary verdicts per predicate, both derived from the same
+/// `FirstArgKey`s the clause index buckets by:
+///
+///  - `det_unique_key`: every bucket holds at most one clause (no
+///    var-headed clauses, no duplicate keys). A call with a bound first
+///    argument then sees at most one candidate — deterministic by
+///    construction of the index.
+///  - `det_mutex_heads`: clauses that share a bucket have pairwise
+///    non-unifiable heads, so even a partially instantiated goal commits
+///    to at most one of them once its first argument is bound.
+///
+/// The pass also classifies fact-only predicates (`all_facts`,
+/// `all_ground_facts`) — the latter is what unlocks trail-free execution
+/// in the Runner: matching a ground fact can bind only goal-side
+/// variables, and a committed deterministic call never rolls back.
+#pragma once
+
+#include "blog/analysis/groundness.hpp"
+
+namespace blog::analysis {
+
+/// Fill det_unique_key / det_mutex_heads / all_facts / all_ground_facts /
+/// clause_count for every predicate of `program` (success_modes entries
+/// are left untouched). Mutual exclusion is checked pairwise per bucket
+/// and skipped (left false) above `mutex_clause_cap` clauses.
+void infer_determinism(const db::Program& program, PredInfoMap& out,
+                       std::size_t mutex_clause_cap = 64);
+
+}  // namespace blog::analysis

@@ -1,0 +1,54 @@
+/// \file
+/// \brief Compile-time goal-pair independence under the groundness
+/// abstraction.
+///
+/// Two goals can run AND-parallel when they share no unbound variable at
+/// fork time (§7). The run-time scan (andp/independence.hpp) decides this
+/// exactly against live bindings; this pass answers what can be decided
+/// *without* them:
+///
+///  - Clause bodies: goals i < j are `Independent` when every variable
+///    they share is proven ground before goal i executes (the groundness
+///    prefix sets), `Dependent` when a shared variable is provably still
+///    free there (fresh in the body, absent from the head), `Unknown`
+///    otherwise.
+///  - Query conjunctions: the *syntactic* variable sets (no dereference)
+///    decide the common case — when every variable involved is still
+///    unbound, the syntactic sets are exactly the run-time sets, so
+///    disjointness is definitive. Any bound variable makes the syntactic
+///    view an over-approximation and the verdict `Unknown`, which is the
+///    consumer's cue to fall back to the run-time scan.
+///
+/// Soundness contract (property-tested): `Independent`/`Dependent` never
+/// contradict the run-time scan on the same store.
+#pragma once
+
+#include <span>
+
+#include "blog/analysis/groundness.hpp"
+
+namespace blog::analysis {
+
+/// Per-clause body-pair matrices under the final groundness `modes`.
+/// Indexed by ClauseId; clauses with fewer than two body goals get an
+/// empty ClauseInfo.
+std::vector<ClauseInfo> infer_clause_independence(const db::Program& program,
+                                                  const PredInfoMap& modes);
+
+/// Syntactic variables of `t`: every Var cell reachable without following
+/// bindings — the compile-time view of the term. Distinct, in
+/// first-occurrence order.
+void collect_syntactic_vars(const term::Store& s, term::TermRef t,
+                            std::vector<term::TermRef>& out);
+
+/// Compile-time verdict for one goal pair in a live store (see file
+/// comment for the decision rule).
+[[nodiscard]] Indep static_pair_verdict(const term::Store& s, term::TermRef a,
+                                        term::TermRef b);
+
+/// Whole-conjunction verdict: Independent iff every pair is Independent,
+/// Unknown as soon as any pair is Unknown, else Dependent.
+[[nodiscard]] Indep static_conjunction_verdict(
+    const term::Store& s, std::span<const term::TermRef> goals);
+
+}  // namespace blog::analysis

@@ -34,6 +34,10 @@ struct AndParallelResult {
   std::vector<std::string> solutions;
   std::vector<GroupReport> groups;
   std::size_t shared_vars = 0;
+  /// The compile-time verdict (analysis::static_conjunction_verdict)
+  /// proved the conjunction independent, so the run-time variable scan
+  /// was skipped entirely.
+  bool static_independent = false;
   std::size_t sequential_nodes = 0;   // Σ group nodes (one-processor cost)
   std::size_t critical_path_nodes = 0;  // max group nodes (parallel cost)
   JoinStats join;

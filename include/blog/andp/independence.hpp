@@ -7,11 +7,36 @@
 #pragma once
 
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "blog/term/unify.hpp"
 
 namespace blog::andp {
+
+/// Memoized per-goal variable sets. A split's goal terms are scanned by
+/// the independence analysis, by the variable-slicing of every group, and
+/// by the join planner — all against the same store, whose bindings do not
+/// change for the split's lifetime (group solving happens in separate
+/// query stores). One cache instance amortizes the collect_vars walks
+/// across those consumers; it must be dropped/rebuilt if the store's
+/// bindings ever change.
+class GoalVarCache {
+public:
+  explicit GoalVarCache(const term::Store& s) : store_(&s) {}
+
+  /// The distinct unbound variables of `goal` (first-occurrence order),
+  /// computed once per distinct term.
+  const std::vector<term::TermRef>& vars(term::TermRef goal) {
+    auto [it, fresh] = cache_.try_emplace(goal);
+    if (fresh) term::collect_vars(*store_, goal, it->second);
+    return it->second;
+  }
+
+private:
+  const term::Store* store_;
+  std::unordered_map<term::TermRef, std::vector<term::TermRef>> cache_;
+};
 
 struct IndependenceAnalysis {
   /// Goal indices partitioned into dependency groups; groups and members
@@ -28,7 +53,10 @@ struct IndependenceAnalysis {
 };
 
 /// Partition `goals` by shared unbound variables (union-find over goals).
+/// `cache`, when given, memoizes the per-goal variable scans for reuse by
+/// the caller's later slicing passes.
 IndependenceAnalysis analyze(const term::Store& s,
-                             std::span<const term::TermRef> goals);
+                             std::span<const term::TermRef> goals,
+                             GoalVarCache* cache = nullptr);
 
 }  // namespace blog::andp

@@ -102,7 +102,22 @@ public:
   [[nodiscard]] bool match(term::Store& s, term::Trail& trail,
                            term::TermRef goal, const HeadCode& hc,
                            const term::UnifyOptions& opts = {},
-                           term::UnifyStats* stats = nullptr);
+                           term::UnifyStats* stats = nullptr) {
+    return match_impl(s, &trail, goal, hc, opts, stats);
+  }
+
+  /// Committed (trail-free) match: bindings are made but NOT trailed. Only
+  /// legal when the caller will never roll back across this match — the
+  /// static-analysis fast path uses it for deterministic all-ground-fact
+  /// resolutions, where a failure kills the whole derivation (which is
+  /// then discarded wholesale, store and trail together) rather than
+  /// backtracking. Binding behavior is otherwise byte-identical to match().
+  [[nodiscard]] bool match_committed(term::Store& s, term::TermRef goal,
+                                     const HeadCode& hc,
+                                     const term::UnifyOptions& opts = {},
+                                     term::UnifyStats* stats = nullptr) {
+    return match_impl(s, nullptr, goal, hc, opts, stats);
+  }
 
   /// Live binding of head-variable slot `i` after a successful match.
   /// Pre-seeding an import var_map with slot_var(i) → slot(i) renames a
@@ -110,9 +125,14 @@ public:
   [[nodiscard]] term::TermRef slot(std::uint32_t i) const { return slots_[i]; }
 
 private:
+  bool match_impl(term::Store& s, term::Trail* trail, term::TermRef goal,
+                  const HeadCode& hc, const term::UnifyOptions& opts,
+                  term::UnifyStats* stats);
+
   std::vector<term::TermRef> stack_;
   std::vector<term::TermRef> slots_;
   std::vector<term::TermRef> wargs_;  // write-mode fresh-args scratch
+  term::Trail scratch_;  // sink for GetValue's unify on the committed path
 };
 
 }  // namespace blog::db

@@ -7,6 +7,7 @@
 // in the database").
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -15,6 +16,10 @@
 
 #include "blog/db/clause.hpp"
 #include "blog/db/index.hpp"
+
+namespace blog::analysis {
+struct ProgramAnalysis;
+}  // namespace blog::analysis
 
 namespace blog::db {
 
@@ -84,9 +89,21 @@ public:
   /// per predicate), one pointer per candidate clause.
   [[nodiscard]] std::size_t pointer_count() const;
 
+  /// Consult-time static analysis attached by analysis::ensure (null until
+  /// then). Invalidated by add_clause so stale verdicts can never outlive
+  /// a program edit; program copies share the (immutable) result.
+  [[nodiscard]] const std::shared_ptr<const analysis::ProgramAnalysis>&
+  analysis() const {
+    return analysis_;
+  }
+  void set_analysis(std::shared_ptr<const analysis::ProgramAnalysis> a) {
+    analysis_ = std::move(a);
+  }
+
 private:
   std::vector<Clause> clauses_;
   ClauseIndex index_;
+  std::shared_ptr<const analysis::ProgramAnalysis> analysis_;
 };
 
 }  // namespace blog::db

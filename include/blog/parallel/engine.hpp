@@ -122,6 +122,10 @@ struct WorkerStats {
   std::uint64_t handles_migrated = 0;   ///< left with a detach_all batch
   /// Timer-driven D-threshold checks that interrupted a builtin burst.
   std::uint64_t preemptions = 0;
+  /// Trail entries this worker's runner wrote over its lifetime. The
+  /// static-analysis commit path drives this down: committed ground-fact
+  /// matches write no trail at all.
+  std::uint64_t trail_writes = 0;
   /// NUMA node this worker was placed on (0 on single-node hosts).
   std::uint32_t numa_node = 0;
 };

@@ -22,6 +22,10 @@
 #include "blog/db/weights.hpp"
 #include "blog/term/unify.hpp"
 
+namespace blog::analysis {
+struct PredicateInfo;
+}  // namespace blog::analysis
+
 namespace blog::search {
 
 /// A pending goal together with its provenance: which clause body literal
@@ -113,6 +117,10 @@ struct ExpandStats {
   std::size_t cells_copied = 0;
   std::size_t builtin_calls = 0;  ///< builtin goals evaluated
   std::size_t detaches = 0;       ///< independent states materialized
+  /// Trail entries written (cumulative term::Trail::pushes of the engine's
+  /// trail). The static-analysis fast path exists to drive this down:
+  /// committed ground-fact matches write no trail at all.
+  std::uint64_t trail_writes = 0;
 };
 
 /// How one node's expansion ended.
@@ -149,6 +157,12 @@ struct ExpanderOptions {
   /// Conditional weights (§5 future work): key each pointer weight also by
   /// the clause chosen one step earlier ("conditional information").
   bool conditional_weights = false;
+  /// Consult the consult-time static analysis (analysis::ProgramAnalysis)
+  /// attached to the program: trail-free committed execution of all-ground
+  /// fact buckets, determinism hints to the parallel scheduler, and
+  /// static goal-independence verdicts. Solution sets are byte-identical
+  /// either way; false disables every consumer at once for A/B runs.
+  bool static_analysis = true;
 };
 
 /// Result of one resolution step.
@@ -203,6 +217,11 @@ public:
   /// (decision time) per the §5 model.
   [[nodiscard]] Arc make_arc(const Goal& goal, db::ClauseId clause,
                              const Chain* parent_chain) const;
+  /// Static-analysis verdicts for predicate `p`, or nullptr when the
+  /// program carries no analysis, the predicate is unknown, or
+  /// `static_analysis` is off (so one flag gates every consumer).
+  [[nodiscard]] const analysis::PredicateInfo* pred_info(
+      const db::Pred& p) const;
 
 private:
   DetachedNode make_child(const DetachedNode& parent, const db::Clause& clause,

@@ -146,6 +146,16 @@ public:
     /// true) and the caller may run its D-threshold check, then call
     /// expand() again to resume where the burst left off.
     bool preempted = false;
+    /// Expanded with zero pushed choices *and a live state*: the static-
+    /// analysis commit path resolved the goal in place (no choice point,
+    /// no checkpoint) and the runner is ready for the next expand(). The
+    /// caller must NOT treat children==0 as "this lineage died" — the
+    /// expanded node lives on as its only child.
+    bool inplace_continue = false;
+    /// The resolved goal's predicate was statically deterministic (unique
+    /// index keys or pairwise-mutex heads): at most one candidate could
+    /// have survived, so there is no OR-work here worth publishing.
+    bool deterministic = false;
   };
 
   /// Expand the current state in place: consume leading builtins, then try
@@ -164,6 +174,19 @@ public:
   StepResult expand(ExpandStats* stats = nullptr,
                     const std::atomic<std::uint64_t>* preempt_epoch = nullptr,
                     std::uint64_t* epoch_seen = nullptr);
+
+  /// Enable the static-analysis commit path: goals whose predicate the
+  /// analysis proved an all-ground-fact bucket with at most one candidate
+  /// are resolved in place — no choice point, no checkpoint, and (when the
+  /// stack is empty, so no older choice could ever roll back across it) no
+  /// trail writes at all. Solution sets are byte-identical; engines whose
+  /// traversal order the early commit would change (best-first, incumbent
+  /// pruning) must leave this off.
+  void set_inplace_commit(bool on) { inplace_commit_ = on; }
+
+  /// Cumulative trail writes of this runner's lifetime (never reset by
+  /// load/rollback) — the counter behind ExpandStats::trail_writes.
+  [[nodiscard]] std::uint64_t trail_pushes() const { return trail_.pushes(); }
 
   // --- pending choices ---------------------------------------------------
   [[nodiscard]] std::size_t pending() const { return stack_.size(); }
@@ -309,6 +332,7 @@ private:
   State state_;
   term::TermRef answer_ = term::kNullTerm;
   bool has_state_ = false;
+  bool inplace_commit_ = false;  ///< see set_inplace_commit
 
   // Copy-on-steal bookkeeping. `claim_ping_` outlives the runner through
   // the handles holding it; `serviced_ping_`/counters are owner-thread

@@ -14,7 +14,10 @@ namespace blog::term {
 /// earlier choice point).
 class Trail {
 public:
-  void push(TermRef var) { entries_.push_back(var); }
+  void push(TermRef var) {
+    entries_.push_back(var);
+    ++pushes_;
+  }
   [[nodiscard]] std::size_t mark() const { return entries_.size(); }
   /// Undo all bindings made since `mark`.
   void undo_to(std::size_t mark, Store& store);
@@ -30,9 +33,14 @@ public:
   [[nodiscard]] std::span<const TermRef> entries_since(std::size_t mark) const {
     return {entries_.data() + mark, entries_.size() - mark};
   }
+  /// Cumulative number of push() calls over the trail's lifetime — the
+  /// trail-write counter behind the static-analysis benchmarks. Unlike
+  /// mark()/size() it is never reset by clear() or undo_to().
+  [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
 
 private:
   std::vector<TermRef> entries_;
+  std::uint64_t pushes_ = 0;
 };
 
 /// A point in a (store, trail) pair that execution can be rolled back to:

@@ -1,0 +1,50 @@
+#include "blog/analysis/domain.hpp"
+
+#include "blog/analysis/determinism.hpp"
+#include "blog/analysis/groundness.hpp"
+#include "blog/analysis/independence.hpp"
+#include "blog/db/program.hpp"
+
+namespace blog::analysis {
+
+Mode join(Mode a, Mode b) {
+  if (a == Mode::Bottom) return b;
+  if (b == Mode::Bottom) return a;
+  return a == b ? a : Mode::Unknown;
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::Bottom: return "bottom";
+    case Mode::Ground: return "ground";
+    case Mode::Free: return "free";
+    case Mode::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+const char* indep_name(Indep v) {
+  switch (v) {
+    case Indep::Independent: return "independent";
+    case Indep::Dependent: return "dependent";
+    case Indep::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+std::shared_ptr<const ProgramAnalysis> analyze(const db::Program& program) {
+  auto result = std::make_shared<ProgramAnalysis>();
+  PredInfoMap modes;
+  result->iterations = infer_groundness(program, modes);
+  infer_determinism(program, modes);
+  result->clauses = infer_clause_independence(program, modes);
+  result->preds = std::move(modes);
+  return result;
+}
+
+void ensure(db::Program& program) {
+  if (program.analysis()) return;
+  program.set_analysis(analyze(program));
+}
+
+}  // namespace blog::analysis

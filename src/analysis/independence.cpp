@@ -1,0 +1,117 @@
+#include "blog/analysis/independence.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "blog/db/program.hpp"
+#include "blog/term/unify.hpp"
+
+namespace blog::analysis {
+namespace {
+
+using VarSet = std::unordered_set<term::TermRef>;
+
+void syntactic_vars_into(const term::Store& s, term::TermRef t, VarSet& seen,
+                         std::vector<term::TermRef>& out) {
+  // Deliberately no deref: the compile-time view of the term.
+  if (s.is_var(t)) {
+    if (seen.insert(t).second) out.push_back(t);
+    return;
+  }
+  if (s.is_struct(t))
+    for (std::uint32_t i = 0; i < s.arity(t); ++i)
+      syntactic_vars_into(s, s.arg(t, i), seen, out);
+}
+
+/// Any variable of `vars` bound in the live store?
+bool any_bound(const term::Store& s, const std::vector<term::TermRef>& vars) {
+  return std::any_of(vars.begin(), vars.end(),
+                     [&](term::TermRef v) { return !s.is_unbound(v); });
+}
+
+}  // namespace
+
+void collect_syntactic_vars(const term::Store& s, term::TermRef t,
+                            std::vector<term::TermRef>& out) {
+  VarSet seen;
+  syntactic_vars_into(s, t, seen, out);
+}
+
+Indep static_pair_verdict(const term::Store& s, term::TermRef a,
+                          term::TermRef b) {
+  std::vector<term::TermRef> va;
+  std::vector<term::TermRef> vb;
+  collect_syntactic_vars(s, a, va);
+  collect_syntactic_vars(s, b, vb);
+  // A bound variable hides its binding's variables from the syntactic
+  // view, and two syntactically distinct variables may alias through
+  // bindings — either way the verdict is no longer definitive.
+  if (any_bound(s, va) || any_bound(s, vb)) return Indep::Unknown;
+  const VarSet sa(va.begin(), va.end());
+  for (const term::TermRef v : vb)
+    if (sa.contains(v)) return Indep::Dependent;
+  return Indep::Independent;
+}
+
+Indep static_conjunction_verdict(const term::Store& s,
+                                 std::span<const term::TermRef> goals) {
+  Indep acc = Indep::Independent;
+  for (std::size_t i = 0; i + 1 < goals.size(); ++i) {
+    for (std::size_t j = i + 1; j < goals.size(); ++j) {
+      const Indep v = static_pair_verdict(s, goals[i], goals[j]);
+      if (v == Indep::Unknown) return Indep::Unknown;
+      if (v == Indep::Dependent) acc = Indep::Dependent;
+    }
+  }
+  return acc;
+}
+
+std::vector<ClauseInfo> infer_clause_independence(const db::Program& program,
+                                                  const PredInfoMap& modes) {
+  std::vector<ClauseInfo> out(program.size());
+  for (db::ClauseId cid = 0; cid < program.size(); ++cid) {
+    const db::Clause& clause = program.clause(cid);
+    const std::size_t n = clause.body().size();
+    if (n < 2) continue;
+
+    const term::Store& s = clause.store();
+    const auto prefix = ground_prefix_sets(program, clause, modes);
+
+    // Head variables may arrive bound from the caller; a variable is
+    // provably free at goal i only if it is fresh to the body suffix —
+    // absent from the head and from every goal before i.
+    std::vector<term::TermRef> head_vars;
+    collect_syntactic_vars(s, clause.head(), head_vars);
+    const VarSet in_head(head_vars.begin(), head_vars.end());
+
+    std::vector<std::vector<term::TermRef>> goal_vars(n);
+    for (std::size_t i = 0; i < n; ++i)
+      collect_syntactic_vars(s, clause.body()[i], goal_vars[i]);
+
+    ClauseInfo& info = out[cid];
+    info.body_size = static_cast<std::uint32_t>(n);
+    info.pairs.assign(n * n, Indep::Unknown);
+    VarSet before_i;  // vars occurring in head or in goals 0..i-1
+    before_i.insert(in_head.begin(), in_head.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      const VarSet vi(goal_vars[i].begin(), goal_vars[i].end());
+      for (std::size_t j = i + 1; j < n; ++j) {
+        bool all_shared_ground = true;
+        bool some_shared_free = false;
+        for (const term::TermRef v : goal_vars[j]) {
+          if (!vi.contains(v)) continue;
+          if (!prefix[i].contains(v)) all_shared_ground = false;
+          if (!before_i.contains(v)) some_shared_free = true;
+        }
+        if (all_shared_ground)
+          info.pairs[i * n + j] = Indep::Independent;
+        else if (some_shared_free)
+          info.pairs[i * n + j] = Indep::Dependent;
+      }
+      before_i.insert(goal_vars[i].begin(), goal_vars[i].end());
+    }
+  }
+  return out;
+}
+
+}  // namespace blog::analysis

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "blog/analysis/domain.hpp"
+#include "blog/analysis/independence.hpp"
 #include "blog/term/reader.hpp"
 #include "blog/term/writer.hpp"
 
@@ -33,11 +35,31 @@ struct RelationResult {
   bool all_ground = true;
 };
 
+/// True when the static analysis proved every goal's predicate grounds all
+/// its arguments on success — the per-row groundness re-check below is
+/// then redundant (sound: Mode::Ground is only claimed when provable).
+bool statically_all_ground(const engine::Interpreter& ip,
+                           const term::Store& s,
+                           const std::vector<term::TermRef>& goals,
+                           const search::SearchOptions& opts) {
+  if (!opts.expander.static_analysis) return false;
+  const auto& a = ip.program().analysis();
+  if (!a) return false;
+  for (const term::TermRef g : goals) {
+    const term::TermRef d = s.deref(g);
+    if (!s.is_atom(d) && !s.is_struct(d)) return false;
+    const analysis::PredicateInfo* pi = a->info(db::pred_of(s, d));
+    if (pi == nullptr || !pi->all_ground_success()) return false;
+  }
+  return true;
+}
+
 RelationResult solve_to_relation(
     engine::Interpreter& ip, const term::Store& store,
     const std::vector<term::TermRef>& goals,
     const std::vector<std::pair<Symbol, term::TermRef>>& vars,
     const search::SearchOptions& opts) {
+  const bool assume_ground = statically_all_ground(ip, store, goals, opts);
   RelationResult out;
   for (const auto& [name, v] : vars) out.rel.schema.push_back(name);
 
@@ -59,7 +81,8 @@ RelationResult solve_to_relation(
       const term::TermRef a = sol.store.deref(sol.answer);
       for (std::uint32_t i = 0; i < sol.store.arity(a); ++i) {
         const term::TermRef v = sol.store.deref(sol.store.arg(a, i));
-        if (!term::is_ground(sol.store, v)) out.all_ground = false;
+        if (!assume_ground && !term::is_ground(sol.store, v))
+          out.all_ground = false;
         row.push_back(term::to_string(sol.store, v));
       }
     }
@@ -89,21 +112,42 @@ AndParallelResult solve_and_parallel(engine::Interpreter& ip,
   std::vector<term::TermRef> goals;
   flatten_conj(store, rt.term, goals);
 
-  const auto analysis = analyze(store, goals);
+  // One memoized variable-scan per goal serves the independence analysis
+  // and every variable-slicing pass below (the store's bindings never
+  // change for the lifetime of this split — solving happens in per-query
+  // stores).
+  GoalVarCache var_cache(store);
+
+  // Compile-time verdict first: a freshly parsed conjunction has only
+  // unbound variables, so syntactic disjointness is definitive and the
+  // run-time union-find scan can be skipped. Dependent/Unknown verdicts
+  // still need the scan — the grouping itself is its output.
+  IndependenceAnalysis analysis;
+  const bool fresh_parse = opts.search.expander.static_analysis;
+  if (fresh_parse && analysis::static_conjunction_verdict(store, goals) ==
+                         analysis::Indep::Independent) {
+    out.static_independent = true;
+    analysis.groups.reserve(goals.size());
+    for (std::size_t i = 0; i < goals.size(); ++i)
+      analysis.groups.push_back({i});
+    analysis.shared_vars = 0;
+  } else {
+    analysis = analyze(store, goals, &var_cache);
+  }
   out.shared_vars = analysis.shared_vars;
 
   // Variables used by each goal (to slice the query's named variables).
-  std::vector<std::vector<term::TermRef>> goal_vars(goals.size());
-  for (std::size_t i = 0; i < goals.size(); ++i)
-    term::collect_vars(store, goals[i], goal_vars[i]);
+  const auto goal_vars = [&](std::size_t i) -> const std::vector<term::TermRef>& {
+    return var_cache.vars(goals[i]);
+  };
 
   auto vars_of = [&](const std::vector<std::size_t>& goal_idx) {
     std::vector<std::pair<Symbol, term::TermRef>> vs;
     for (const auto& [name, v] : rt.variables) {
       const term::TermRef dv = store.deref(v);
       for (const std::size_t gi : goal_idx) {
-        if (std::find(goal_vars[gi].begin(), goal_vars[gi].end(), dv) !=
-            goal_vars[gi].end()) {
+        const auto& gv = goal_vars(gi);
+        if (std::find(gv.begin(), gv.end(), dv) != gv.end()) {
           vs.emplace_back(name, v);
           break;
         }
@@ -138,8 +182,8 @@ AndParallelResult solve_and_parallel(engine::Interpreter& ip,
         std::vector<std::pair<Symbol, term::TermRef>> gv;
         for (const auto& [name, v] : rt.variables) {
           const term::TermRef dv = store.deref(v);
-          if (std::find(goal_vars[gi].begin(), goal_vars[gi].end(), dv) !=
-              goal_vars[gi].end())
+          const auto& gvars = goal_vars(gi);
+          if (std::find(gvars.begin(), gvars.end(), dv) != gvars.end())
             gv.emplace_back(name, v);
         }
         auto rr = solve_to_relation(ip, store, {goals[gi]}, gv, opts.search);

@@ -8,11 +8,21 @@
 namespace blog::andp {
 
 IndependenceAnalysis analyze(const term::Store& s,
-                             std::span<const term::TermRef> goals) {
+                             std::span<const term::TermRef> goals,
+                             GoalVarCache* cache) {
   IndependenceAnalysis out;
   const std::size_t n = goals.size();
-  std::vector<std::vector<term::TermRef>> vars(n);
-  for (std::size_t i = 0; i < n; ++i) term::collect_vars(s, goals[i], vars[i]);
+  std::vector<std::vector<term::TermRef>> scratch;
+  std::vector<const std::vector<term::TermRef>*> vars(n);
+  if (cache != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) vars[i] = &cache->vars(goals[i]);
+  } else {
+    scratch.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      term::collect_vars(s, goals[i], scratch[i]);
+      vars[i] = &scratch[i];
+    }
+  }
 
   // Union-find over goal indices.
   std::vector<std::size_t> parent(n);
@@ -27,7 +37,7 @@ IndependenceAnalysis analyze(const term::Store& s,
   std::map<term::TermRef, std::size_t> owner;
   std::map<term::TermRef, std::size_t> uses;
   for (std::size_t i = 0; i < n; ++i) {
-    for (const term::TermRef v : vars[i]) {
+    for (const term::TermRef v : *vars[i]) {
       ++uses[v];
       if (auto it = owner.find(v); it != owner.end()) {
         unite(i, it->second);

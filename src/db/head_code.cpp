@@ -66,9 +66,10 @@ HeadCode HeadCode::compile(const term::Store& s, term::TermRef head) {
   return hc;
 }
 
-bool HeadMatcher::match(term::Store& s, term::Trail& trail, term::TermRef goal,
-                        const HeadCode& hc, const term::UnifyOptions& opts,
-                        term::UnifyStats* stats) {
+bool HeadMatcher::match_impl(term::Store& s, term::Trail* trail,
+                             term::TermRef goal, const HeadCode& hc,
+                             const term::UnifyOptions& opts,
+                             term::UnifyStats* stats) {
   slots_.assign(hc.slot_count(), term::kNullTerm);
   stack_.clear();
   if (!hc.empty()) {
@@ -101,7 +102,7 @@ bool HeadMatcher::match(term::Store& s, term::Trail& trail, term::TermRef goal,
             wargs_.push_back(s.make_var());
           const term::TermRef st = s.make_struct(f, wargs_);
           s.bind(t, st);
-          trail.push(t);
+          if (trail) trail->push(t);
           if (stats) ++stats->bindings;
           for (std::uint32_t i = 0; i < n; ++i) stack_.push_back(wargs_[i]);
         } else {
@@ -115,7 +116,7 @@ bool HeadMatcher::match(term::Store& s, term::Trail& trail, term::TermRef goal,
           if (s.atom_name(t) != name) return false;
         } else if (s.is_unbound(t)) {
           s.bind(t, s.make_atom(name));
-          trail.push(t);
+          if (trail) trail->push(t);
           if (stats) ++stats->bindings;
         } else {
           return false;
@@ -128,7 +129,7 @@ bool HeadMatcher::match(term::Store& s, term::Trail& trail, term::TermRef goal,
           if (s.int_value(t) != v) return false;
         } else if (s.is_unbound(t)) {
           s.bind(t, s.make_int(v));
-          trail.push(t);
+          if (trail) trail->push(t);
           if (stats) ++stats->bindings;
         } else {
           return false;
@@ -143,7 +144,7 @@ bool HeadMatcher::match(term::Store& s, term::Trail& trail, term::TermRef goal,
           // would print the goal-side name.
           const term::TermRef fresh = s.make_var(Symbol{ins.b});
           s.bind(t, fresh);
-          trail.push(t);
+          if (trail) trail->push(t);
           if (stats) ++stats->bindings;
           slots_[ins.a] = fresh;
         } else {
@@ -152,8 +153,13 @@ bool HeadMatcher::match(term::Store& s, term::Trail& trail, term::TermRef goal,
         break;
       case HeadOp::kGetValue:
         // Repeat occurrence: general unification against the slot's
-        // binding, goal side first (the structural argument order).
-        if (!term::unify(s, t, slots_[ins.a], trail, opts, stats))
+        // binding, goal side first (the structural argument order). On the
+        // committed path the bindings still need no undo, so they go to a
+        // throwaway scratch trail (unify requires one for its own internal
+        // failure rollback).
+        if (!trail) scratch_.clear();
+        if (!term::unify(s, t, slots_[ins.a], trail ? *trail : scratch_, opts,
+                         stats))
           return false;
         break;
       case HeadOp::kCount_:

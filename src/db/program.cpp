@@ -25,6 +25,7 @@ void flatten_conj(const term::Store& s, term::TermRef t,
 }  // namespace
 
 ClauseId Program::add_clause(Clause c) {
+  analysis_.reset();  // any edit invalidates the static analysis
   const auto id = static_cast<ClauseId>(clauses_.size());
   index_.add(c, id);
   clauses_.push_back(std::move(c));

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "blog/analysis/domain.hpp"
 #include "blog/term/reader.hpp"
 
 namespace blog::engine {
@@ -27,6 +28,7 @@ Interpreter::Interpreter(db::WeightParams weight_params)
 
 void Interpreter::consult_string(std::string_view text) {
   program_.consult_string(text);
+  analysis::ensure(program_);
 }
 
 void Interpreter::consult_file(const std::string& path) {

@@ -33,6 +33,10 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
                                  std::atomic<int>& stop_cause,
                                  const std::atomic<std::uint64_t>* preempt_epoch) {
   search::Runner runner(expander);
+  // The parallel engine's local bursts are depth-first and never prune
+  // against an incumbent, so the commit path is always sound here; the
+  // Expanded handler below keeps the scheduler's outstanding count right.
+  runner.set_inplace_commit(true);
   search::ExpandStats estats;
   obs::TraceSink* const trace = opts_.trace;
   const auto lane = static_cast<std::uint16_t>(worker);
@@ -220,6 +224,23 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
         break;
       }
       case search::NodeOutcome::Expanded: {
+        if (step.inplace_continue) {
+          // Static-analysis commit: the chain lives on as its own only
+          // child — count it born again (one died, one born, inflight
+          // unchanged) and skip the spill/publish machinery, which only
+          // handles freshly pushed siblings (there are none).
+          net.on_expanded(1);
+          break;
+        }
+        // A statically deterministic single continuation is not OR-work:
+        // sharing it would hand a thief the only way forward of a chain
+        // this worker activates on its very next boundary anyway. Keep it
+        // local and skip the spill/publish pass for this step.
+        const bool skip_share = step.deterministic && step.children == 1;
+        if (skip_share) {
+          net.on_expanded(step.children);
+          break;
+        }
         if (policy == ParallelOptions::SpillPolicy::Lazy) {
           // Copy-on-steal: publish handles for everything beyond the
           // (possibly adaptive) local capacity. The choices stay on the
@@ -289,6 +310,7 @@ void ParallelEngine::worker_loop(const search::Expander& expander,
   ws.handles_reclaimed = sc.reclaimed_free;
   ws.handles_granted = sc.granted;
   ws.handles_migrated = sc.migrated;
+  ws.trail_writes = runner.trail_pushes();
 }
 
 ParallelResult ParallelEngine::solve(const search::Query& q) {

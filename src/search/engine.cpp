@@ -49,6 +49,13 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
   Expander expander(program_, weights_, builtins_, opts.expander);
   auto frontier = make_frontier(opts.strategy);
   Runner runner(expander);
+  // The commit path resolves deterministic ground-fact goals without a
+  // choice point — transparent to depth-first traversal, but it would
+  // advance past the frontier comparison best-first interleaving relies
+  // on and skip the admitted() check incumbent pruning applies per
+  // activation, so it is enabled for plain DFS only.
+  runner.set_inplace_commit(opts.strategy == Strategy::DepthFirst &&
+                            !opts.prune_with_incumbent);
   runner.load_root(q);
 
   SearchResult result;
@@ -96,6 +103,7 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
     if (result.stats.nodes_expanded >= opts.max_nodes ||
         deadline_passed(opts.deadline)) {
       flush_burst();
+      result.stats.expand.trail_writes = runner.trail_pushes();
       return result;  // outcome stays BudgetExceeded
     }
 
@@ -123,6 +131,7 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
         if (result.solutions.size() >= opts.max_solutions) {
           result.outcome = Outcome::SolutionLimit;
           flush_burst();
+          result.stats.expand.trail_writes = runner.trail_pushes();
           return result;
         }
         break;
@@ -130,6 +139,11 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
       case NodeOutcome::Expanded: {
         result.stats.children_generated += step.children;
         const std::size_t k = step.children;
+        if (step.inplace_continue) {
+          // Committed in place (k == 0, state live): nothing to detach,
+          // the next iteration keeps expanding the same lineage.
+          break;
+        }
         if (opts.strategy == Strategy::BreadthFirst) {
           // Detach every child, clause order (stack top = first clause).
           for (std::size_t j = k; j-- > 0;)
@@ -172,6 +186,7 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
     }
   }
   flush_burst();
+  result.stats.expand.trail_writes = runner.trail_pushes();
   result.exhausted = true;
   result.outcome = Outcome::Exhausted;
   return result;

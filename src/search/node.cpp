@@ -2,6 +2,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "blog/analysis/domain.hpp"
+
 namespace blog::search {
 
 std::uint32_t chain_length(const Chain* c) {
@@ -92,6 +94,12 @@ std::span<const db::ClauseId> Expander::candidates_for(
   if (opts_.first_arg_indexing)
     return program_.candidates_indexed(pred, store, goal.term);
   return program_.candidates(pred);
+}
+
+const analysis::PredicateInfo* Expander::pred_info(const db::Pred& p) const {
+  if (!opts_.static_analysis) return nullptr;
+  const auto& a = program_.analysis();
+  return a ? a->info(p) : nullptr;
 }
 
 Arc Expander::make_arc(const Goal& goal, db::ClauseId clause,

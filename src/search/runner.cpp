@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "blog/analysis/domain.hpp"
 #include "blog/search/engine.hpp"  // solution_text
 
 namespace blog::search {
@@ -108,6 +109,66 @@ Runner::StepResult Runner::expand(ExpandStats* stats,
   ex_.select_goal(store_, state_.goals, state_.chain.get());
   const Goal goal = state_.goals.front();
   const std::span<const db::ClauseId> cands = candidates(goal);
+  const analysis::PredicateInfo* pi =
+      ex_.pred_info(db::pred_of(store_, goal.term));
+
+  // Static-analysis commit path: the predicate is an all-ground-fact
+  // bucket and at most one candidate survived indexing, so resolving the
+  // goal cannot create OR-work — commit in place instead of checkpointing
+  // and pushing a choice. A ground fact binds only goal-side variables and
+  // adds no body goals, so the resulting state is byte-identical to what
+  // expand-then-activate_top would build (same bindings, same arc, same
+  // node id from the same single next_id() call).
+  if (inplace_commit_ && pi != nullptr && pi->all_ground_facts &&
+      cands.size() <= 1) {
+    if (cands.empty()) {
+      has_state_ = false;
+      return {NodeOutcome::Failure, 0};
+    }
+    const db::ClauseId cid = cands.front();
+    const db::Clause& clause = ex_.program().clause(cid);
+    term::UnifyStats ustats;
+    bool ok;
+    if (opts.head_bytecode && stack_.empty()) {
+      // Trail-free tier: with no pending choice below, nothing can ever
+      // roll back across this match — a failure kills the lineage, whose
+      // store and trail the next load()/load_root() discards wholesale —
+      // so the bindings (including a failed attempt's partial ones) need
+      // no trail entries at all.
+      ok = matcher_.match_committed(store_, goal.term, clause.head_code(),
+                                    {.occurs_check = opts.occurs_check},
+                                    &ustats);
+    } else {
+      // Trailed tier: an older pending choice may later roll back across
+      // this match, so bindings stay trailed; the checkpoint is only used
+      // to undo a *failed* match (no choice point is created either way).
+      const term::Checkpoint cp = term::checkpoint(store_, trail_);
+      ok = match_head(clause, goal.term, &ustats);
+      if (!ok) term::rollback(store_, trail_, cp);
+    }
+    if (stats) {
+      ++stats->unify_attempts;
+      stats->unify_cells += ustats.cells_visited;
+      if (ok) ++stats->unify_successes;
+    }
+    if (!ok) {
+      has_state_ = false;
+      return {NodeOutcome::Failure, 0};
+    }
+    const Arc arc = ex_.make_arc(goal, cid, state_.chain.get());
+    state_.goals.erase(state_.goals.begin());  // a fact adds no body goals
+    state_.bound += arc.weight;
+    state_.depth += 1;
+    state_.chain = std::make_shared<Chain>(Chain{arc, state_.chain});
+    state_.parent_id = state_.id;
+    state_.id = ex_.next_id();
+    StepResult r;
+    r.outcome = NodeOutcome::Expanded;
+    r.children = 0;
+    r.inplace_continue = true;
+    r.deterministic = true;
+    return r;
+  }
 
   // Filter candidates against the live state: match the head (compiled
   // bytecode, or rename-then-unify on the structural path), record the
@@ -155,7 +216,13 @@ Runner::StepResult Runner::expand(ExpandStats* stats,
     push_min(stack_.back().bound);
   }
   fresh_.clear();
-  return {NodeOutcome::Expanded, n};
+  StepResult r;
+  r.outcome = NodeOutcome::Expanded;
+  r.children = n;
+  // Statically deterministic and at most one survivor: the single pushed
+  // choice is this node's only continuation, not stealable OR-work.
+  r.deterministic = pi != nullptr && pi->deterministic_hint() && n <= 1;
+  return r;
 }
 
 bool Runner::match_head(const db::Clause& clause, term::TermRef goal,

@@ -1,5 +1,7 @@
 #include "blog/service/snapshot.hpp"
 
+#include "blog/analysis/domain.hpp"
+
 namespace blog::service {
 
 SnapshotStore::SnapshotStore() {
@@ -28,6 +30,7 @@ std::shared_ptr<const ProgramSnapshot> SnapshotStore::consult(
   // leaving the published snapshot untouched.
   auto grown = std::make_shared<db::Program>(*cur->program);
   grown->consult_string(text);
+  analysis::ensure(*grown);  // every published epoch carries fresh verdicts
   auto next = std::make_shared<ProgramSnapshot>();
   next->program = std::move(grown);
   next->epoch = cur->epoch + 1;

@@ -275,6 +275,35 @@ TEST_P(SchedulerGrid, MailboxClaimWaitMatchesSpinWait) {
   }
 }
 
+TEST_P(SchedulerGrid, StaticAnalysisOnOffIsByteIdentical) {
+  // The consult-time analysis may only change how work executes (trail-free
+  // commits, skipped spills) — never what is found. Every scheduler/worker
+  // combination must produce byte-identical solution sets with the analysis
+  // disabled.
+  const auto [sched, workers] = GetParam();
+  for (const Workload& w : workload_set()) {
+    auto run = [&](bool analysis_on) {
+      Interpreter ip;
+      ip.consult_string(w.program);
+      parallel::ParallelOptions po;
+      po.workers = workers;
+      po.update_weights = false;
+      po.scheduler = sched;
+      po.expander.static_analysis = analysis_on;
+      parallel::ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(),
+                                  po);
+      const auto r = pe.solve(ip.parse_query(w.query));
+      std::vector<std::string> got;
+      for (const auto& s : r.solutions) got.push_back(s.text);
+      std::sort(got.begin(), got.end());
+      return got;
+    };
+    EXPECT_EQ(run(true), run(false))
+        << w.name << " workers=" << workers << " scheduler="
+        << parallel::scheduler_kind_name(sched);
+  }
+}
+
 TEST_P(SchedulerGrid, FlightRecorderOnOffIsByteIdentical) {
   // The flight recorder observes; it must never steer. Attaching a sink
   // has to leave every scheduler/worker combination's solution set
