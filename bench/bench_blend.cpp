@@ -21,7 +21,7 @@ std::size_t session_cost(engine::Interpreter& ip,
                          const std::vector<std::string>& queries) {
   search::SearchOptions o;
   o.strategy = search::Strategy::BestFirst;
-  o.max_solutions = 1;
+  o.limits.max_solutions = 1;
   std::size_t total = 0;
   for (const auto& q : queries) total += ip.solve(q, o).stats.nodes_expanded;
   return total;

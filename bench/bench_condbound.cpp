@@ -44,7 +44,7 @@ std::size_t alternating_cost(int contexts, int rounds, bool conditional) {
   ip.consult_string(context_program(contexts));
   search::SearchOptions o;
   o.expander.conditional_weights = conditional;
-  o.max_solutions = 1;
+  o.limits.max_solutions = 1;
   std::size_t total = 0;
   // Warm-up round, then measured rounds alternating across all contexts.
   for (int k = 0; k < contexts; ++k)

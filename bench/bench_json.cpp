@@ -1,11 +1,12 @@
 // Machine-readable perf tracking: runs the micro/index/analysis/parallel/
-// spill/numa/serving headline workloads and emits BENCH_micro.json /
-// BENCH_index.json / BENCH_analysis.json / BENCH_parallel.json /
-// BENCH_spill.json / BENCH_numa.json / BENCH_service.json (nodes/sec,
-// cells_copied per expansion, trail writes per expansion, copy-on-steal
-// traffic, claim-wait latency, local vs remote steal split,
-// queries/sec and cache hit rate), so the perf trajectory of the engine
-// is recorded PR over PR. Every file carries a "host" record (NUMA node
+// spill/numa/serving/executor headline workloads and emits
+// BENCH_micro.json / BENCH_index.json / BENCH_analysis.json /
+// BENCH_parallel.json / BENCH_spill.json / BENCH_numa.json /
+// BENCH_service.json / BENCH_executor.json (nodes/sec, cells_copied per
+// expansion, trail writes per expansion, copy-on-steal traffic,
+// claim-wait latency, local vs remote steal split, queries/sec, cache
+// hit rate, and persistent-pool vs spawn-per-query qps + tail latency),
+// so the perf trajectory of the engine is recorded PR over PR. Every file carries a "host" record (NUMA node
 // count, CPUs per node, CPU model) so baselines compared across
 // heterogeneous machines stay interpretable. CI's perf-gate job compares
 // this output against bench/baselines/ with tools/bench_compare.py.
@@ -234,7 +235,7 @@ Entry run_parallel(const std::string& name, const std::string& program,
   po.update_weights = false;
   po.scheduler = sched;
   po.spill_policy = spill;
-  po.max_nodes = max_nodes;
+  po.limits.max_nodes = max_nodes;
   po.local_capacity = local_capacity;
   po.adaptive_capacity = adaptive;
   po.claim_mailboxes = claim_mailboxes;
@@ -389,10 +390,13 @@ ServiceEntry run_service(unsigned clients, double serial_cold_qps) {
 
 void write_service_json(const std::string& path,
                         const std::vector<ServiceEntry>& entries,
-                        double serial_cold_qps) {
+                        double serial_cold_qps,
+                        const std::vector<std::pair<std::string, double>>&
+                            summary = {}) {
   std::ofstream out(path);
   out << "{\n";
   write_host(out);
+  for (const auto& [k, v] : summary) out << "  \"" << k << "\": " << v << ",\n";
   out << "  \"serial_cold\": {\"queries_per_sec\": " << serial_cold_qps
       << "},\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -414,6 +418,78 @@ void write_service_json(const std::string& path,
   }
   out << "}\n";
   std::printf("wrote %s\n", path.c_str());
+}
+
+// ---------------------------------------------------------------- executor --
+// The persistent-pool headline: the same 16-client mixed storm (queries
+// drawn from the pool, all parallel requests, cache OFF so every request
+// actually searches) served two ways — "spawn" is the legacy path
+// (use_executor = false: every query spawns, pins and joins its own worker
+// threads on the calling thread) and "pool" is the executor (workers
+// created and pinned once; each query is an enqueued job). Identical
+// request multisets, identical admission settings; the difference is
+// per-query thread lifecycle cost, which is exactly what the executor
+// removes. bench_compare gates pool_qps_speedup >= 2x and
+// pool_p99_improvement >= 1 (pool p99 must not exceed spawn p99).
+
+/// Short queries: per-request work is tens of microseconds, so the fixed
+/// per-query cost — thread spawn/pin/join in legacy mode, one enqueue in
+/// pool mode — is the measured quantity rather than search time.
+const std::vector<std::string>& storm_pool() {
+  static const std::vector<std::string> pool = {
+      "gf(sam,G)", "gf(dan,G)", "gf(X,Z)", "f(X,Y)",
+  };
+  return pool;
+}
+
+ServiceEntry run_executor_storm(const std::string& name, bool use_pool,
+                                unsigned clients) {
+  service::ServiceOptions so;
+  so.cache_enabled = false;  // measure execution, not the answer cache
+  so.update_weights = false;
+  so.max_concurrent_queries = 8;
+  so.use_executor = use_pool;
+  service::QueryService svc(so);
+  svc.consult(service_program());
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto t0 = Clock::now();
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&svc, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        service::QueryRequest req;
+        req.text = storm_pool()[(static_cast<std::size_t>(c) * 31u +
+                                 static_cast<std::size_t>(i) * 7u) %
+                                storm_pool().size()];
+        req.workers = 2;  // every request pays the spawn in legacy mode
+        req.strategy = i % 3 == 0 ? search::Strategy::DepthFirst
+                                  : search::Strategy::BestFirst;
+        svc.query(req);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ServiceEntry e;
+  e.name = name;
+  e.clients = clients;
+  e.requests = static_cast<std::size_t>(clients) * kRequestsPerClient;
+  e.secs = seconds_since(t0);
+  const auto stats = svc.stats();
+  e.latency_p50_ms = stats.latency_p50_ms;
+  e.latency_p95_ms = stats.latency_p95_ms;
+  e.latency_p99_ms = stats.latency_p99_ms;
+  e.latency_mean_ms = stats.latency_mean_ms;
+  // Correctness bit: the storm's answers must match a cold interpreter.
+  engine::Interpreter cold;
+  cold.consult_string(service_program());
+  for (const auto& q : storm_pool()) {
+    if (svc.query(q).answers !=
+        engine::solution_texts(cold.solve(q, {.update_weights = false})))
+      e.answers_match_cold = false;
+  }
+  return e;
 }
 
 }  // namespace
@@ -449,7 +525,7 @@ int main(int argc, char** argv) {
     search::SearchOptions o;
     o.strategy = search::Strategy::DepthFirst;
     o.update_weights = false;
-    o.max_nodes = 120'000;
+    o.limits.max_nodes = 120'000;
     o.trace = sink;
     Entry best;
     best.name = name;
@@ -769,5 +845,28 @@ int main(int argc, char** argv) {
   std::vector<ServiceEntry> svc;
   for (const unsigned c : {1u, 4u, 16u}) svc.push_back(run_service(c, serial_qps));
   write_service_json(dir + "BENCH_service.json", svc, serial_qps);
+
+  // Persistent pool vs spawn-per-query, identical 16-client storm.
+  std::vector<ServiceEntry> exec_entries;
+  exec_entries.push_back(
+      run_executor_storm("storm_c16_spawn", /*use_pool=*/false, 16));
+  exec_entries.push_back(
+      run_executor_storm("storm_c16_pool", /*use_pool=*/true, 16));
+  std::vector<std::pair<std::string, double>> exec_summary;
+  {
+    const ServiceEntry& spawn = exec_entries[0];
+    const ServiceEntry& pool = exec_entries[1];
+    exec_summary.emplace_back(
+        "pool_qps_speedup", spawn.qps() > 0.0 ? pool.qps() / spawn.qps() : 0.0);
+    // Floor the denominator: a sub-bucket pool p99 reads as 0.0 ms.
+    exec_summary.emplace_back(
+        "pool_p99_improvement",
+        spawn.latency_p99_ms / std::max(pool.latency_p99_ms, 0.05));
+    exec_summary.emplace_back(
+        "storm_answers_match",
+        spawn.answers_match_cold && pool.answers_match_cold ? 1.0 : 0.0);
+  }
+  write_service_json(dir + "BENCH_executor.json", exec_entries,
+                     serial_qps, exec_summary);
   return 0;
 }

@@ -29,7 +29,7 @@ std::vector<std::size_t> run_session(engine::Interpreter& ip,
   std::vector<std::size_t> nodes;
   search::SearchOptions opts;
   opts.strategy = search::Strategy::BestFirst;
-  opts.max_solutions = 1;
+  opts.limits.max_solutions = 1;
   for (const auto& q : qs) nodes.push_back(ip.solve(q, opts).stats.nodes_expanded);
   return nodes;
 }

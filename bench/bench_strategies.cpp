@@ -37,7 +37,7 @@ std::size_t first_solution_nodes(const Workload& w, search::Strategy s,
 
   search::SearchOptions opts;
   opts.strategy = s;
-  opts.max_solutions = 1;
+  opts.limits.max_solutions = 1;
   opts.expander.max_depth = w.max_depth;
   const auto r = ip.solve(w.query, opts);
   if (frontier) *frontier = r.stats.max_frontier;

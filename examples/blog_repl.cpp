@@ -9,6 +9,7 @@
 //   ?- :strategy best        % depth | breadth | best
 //   ?- :workers 4            % >1: thread-parallel solve
 //   ?- :budget nodes 10000   % nodes | solutions | ms (0 = unlimited)
+//   ?- :stream on            % async submit: answers print as found
 //   ?- :tree gf(sam,G)       % print the searched OR-tree
 //   ?- :session end          % §5: merge session weights conservatively
 //   ?- :stats                % service counters + latency percentiles
@@ -19,6 +20,7 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -36,23 +38,46 @@ namespace {
 struct ReplState {
   service::QueryService svc;
   service::QueryRequest req;  // text overwritten per query
+  bool stream = false;        // :stream — pull answers as the search runs
   std::unique_ptr<obs::TraceSink> sink;  // owned flight recorder (:trace)
 };
 
 void run_query(ReplState& st, const std::string& text) {
   st.req.text = text;
-  const auto r = st.svc.query(st.req);
+  service::QueryResponse r;
+  std::size_t streamed = 0;
+  if (st.stream) {
+    service::SubmitOptions sub;
+    sub.stream = true;
+    auto ticket = st.svc.submit(st.req, sub);
+    // Print answers in discovery order while the workers search; the
+    // stream closes (nullopt) once the response is final.
+    for (auto* as = ticket.stream(); as != nullptr;) {
+      auto a = as->next();
+      if (!a) break;
+      std::printf("%s ;\n", a->c_str());
+      ++streamed;
+    }
+    r = ticket.wait();
+  } else {
+    r = st.svc.query(st.req);
+  }
   switch (r.status) {
     case service::QueryStatus::ParseError:
       std::printf("syntax error: %s\n", r.error.c_str());
       return;
     case service::QueryStatus::Rejected:
-      std::printf("%% rejected: admission queue full\n");
+      std::printf("%% rejected: %s\n", r.error.c_str());
       return;
     default:
       break;
   }
-  if (r.answers.empty()) {
+  if (st.stream) {
+    if (streamed == 0)
+      std::printf("false.\n");
+    else
+      std::printf("%% %zu answer%s.\n", streamed, streamed == 1 ? "" : "s");
+  } else if (r.answers.empty()) {
     std::printf("false.\n");
   } else {
     for (std::size_t i = 0; i < r.answers.size(); ++i)
@@ -66,6 +91,9 @@ void run_query(ReplState& st, const std::string& text) {
     std::printf("%% truncated: %s after %llu nodes\n",
                 search::outcome_name(r.outcome),
                 static_cast<unsigned long long>(r.nodes_expanded));
+  if (r.status == service::QueryStatus::Cancelled)
+    std::printf("%% cancelled: %s (answers above are partial)\n",
+                r.error.c_str());
 }
 
 // :tree runs outside the cache on the service's published snapshot, with
@@ -77,10 +105,7 @@ void run_tree(ReplState& st, const std::string& text) {
     auto obs = rec.observer();
     search::SearchOptions o;
     o.strategy = st.req.strategy;
-    o.max_nodes = st.req.budget.max_nodes;
-    o.max_solutions = st.req.budget.max_solutions;
-    if (st.req.budget.deadline.count() > 0)
-      o.deadline = std::chrono::steady_clock::now() + st.req.budget.deadline;
+    o.limits = st.req.budget.limits();
     search::SearchEngine eng(*snap->program, st.svc.weights(),
                              &st.svc.builtins());
     eng.solve(engine::parse_query(text), o, &obs);
@@ -125,6 +150,14 @@ bool command(ReplState& st, const std::string& line) {
     } else {
       std::printf("usage: :budget nodes|solutions|ms <n>\n");
     }
+  } else if (cmd == "stream") {
+    std::string s;
+    is >> s;
+    if (s == "on") st.stream = true;
+    else if (s == "off") st.stream = false;
+    else std::printf("usage: :stream on|off\n");
+    if (s == "on" || s == "off")
+      std::printf("%% streaming %s\n", st.stream ? "on" : "off");
   } else if (cmd == "tree") {
     std::string q;
     std::getline(is, q);
@@ -272,8 +305,8 @@ bool command(ReplState& st, const std::string& line) {
     st.svc.consult(workloads::figure1_family());
     std::printf("%% loaded the Figure 1 family database\n");
   } else {
-    std::printf("commands: :strategy :workers :budget :tree :session :stats "
-                ":metrics :trace :analyze :consult :demo :halt\n");
+    std::printf("commands: :strategy :workers :budget :stream :tree :session "
+                ":stats :metrics :trace :analyze :consult :demo :halt\n");
   }
   return true;
 }

@@ -39,7 +39,7 @@ int main() {
   opts.strategy = search::Strategy::BestFirst;
   opts.expander.max_depth = 256;
   (void)ip.solve("queens6(Qs)", opts);  // learn
-  opts.max_solutions = 1;
+  opts.limits.max_solutions = 1;
   const auto replay = ip.solve("queens6(Qs)", opts);
   std::printf("6-queens replay with adapted weights: first solution after "
               "%zu nodes: %s\n",

@@ -24,7 +24,7 @@ int main() {
 
   search::SearchOptions opts;
   opts.strategy = search::Strategy::BestFirst;
-  opts.max_solutions = 1;
+  opts.limits.max_solutions = 1;
 
   std::printf("--- session 1 (weights adapt locally) ---\n");
   Table t1({"query", "nodes to first solution"});

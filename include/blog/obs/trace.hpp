@@ -47,9 +47,10 @@ namespace blog::obs {
 /// X-macro table of every trace event kind: `X(EnumName, "display-name",
 /// "category")`. The display name is what Perfetto shows; the category
 /// groups events into `sched` (work-stealing scheduler internals), `runner`
-/// (per-worker OR-tree execution), and `service` (QueryService request
-/// lifecycle). docs/OBSERVABILITY.md's event table is generated from this
-/// list — extend both together.
+/// (per-worker OR-tree execution), `service` (QueryService request
+/// lifecycle), and `executor` (persistent-pool job lifecycle).
+/// docs/OBSERVABILITY.md's event table is generated from this list —
+/// extend both together.
 #define BLOG_TRACE_EVENTS(X)                                              \
   /* runner: per-worker OR-tree execution */                              \
   X(ExpandBurst, "runner.burst", "runner")                                \
@@ -78,7 +79,13 @@ namespace blog::obs {
   X(CacheHit, "cache.hit", "service")                                     \
   X(CacheMiss, "cache.miss", "service")                                   \
   X(AdmissionShed, "admission.shed", "service")                           \
-  X(BudgetExhausted, "budget.exhausted", "service")
+  X(BudgetExhausted, "budget.exhausted", "service")                       \
+  /* executor: persistent-pool job lifecycle (payload = job/query id) */  \
+  X(JobSubmit, "job.submit", "executor")                                  \
+  X(JobStart, "job.start", "executor")                                    \
+  X(JobDone, "job.done", "executor")                                      \
+  X(JobCancel, "job.cancel", "executor")                                  \
+  X(AnswerStreamed, "answer.stream", "executor")
 
 /// Kind of a trace event. One enumerator per `BLOG_TRACE_EVENTS` row, in
 /// table order, plus `kCount` (the number of kinds).

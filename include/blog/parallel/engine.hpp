@@ -26,12 +26,10 @@ namespace blog::parallel {
 struct ParallelOptions {
   unsigned workers = 4;          ///< worker ("processor") thread count
   double d_threshold = 0.0;      ///< §6's D (bound units)
-  std::size_t max_solutions = std::numeric_limits<std::size_t>::max();
-      ///< stop after this many answers (exact, never overshoots)
-  std::size_t max_nodes = 1'000'000;  ///< global expansion budget
-  /// Wall-clock cutoff (steady clock); default (epoch) = none. Workers
-  /// check it cooperatively once per expansion.
-  std::chrono::steady_clock::time_point deadline{};
+  /// Node/solution/deadline cutoffs (shared with the sequential layer).
+  /// Workers check them cooperatively once per expansion; max_solutions is
+  /// exact (never overshoots).
+  search::ExecutionLimits limits;
   std::size_t local_capacity = 8;  ///< spill to the scheduler beyond this
   bool update_weights = true;      ///< apply §5 updates as chains resolve
   /// Which realization of §6's minimum-seeking network distributes spilled
@@ -97,6 +95,15 @@ struct ParallelOptions {
   /// changes). 0 disables the timer.
   std::chrono::microseconds preempt_interval{500};
   search::ExpanderOptions expander;  ///< resolution-step options
+  /// Cooperative cancellation: when non-null and set, every worker stops
+  /// at its next expansion boundary and the solve returns
+  /// Outcome::Cancelled with the answers found so far. Must outlive solve.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Streaming hook: called under the solution lock once per recorded
+  /// answer (discovery order, deduplication is the caller's concern — the
+  /// engine already drops duplicate chains only at extraction). The
+  /// Solution reference is valid only during the call.
+  std::function<void(const search::Solution&)> on_solution;
   /// Flight recorder (obs/trace.hpp). When non-null, workers and the
   /// scheduler record steal/spill/migration/preemption/solution events
   /// into it; null (the default) costs one branch per site. The sink must
@@ -155,14 +162,6 @@ public:
   ParallelResult solve(const search::Query& q);
 
 private:
-  void worker_loop(const search::Expander& expander, Scheduler& net,
-                   unsigned worker, WorkerStats& ws,
-                   std::vector<search::Solution>& solutions,
-                   std::mutex& sol_mu, std::atomic<std::int64_t>& node_budget,
-                   std::atomic<std::uint64_t>& solutions_left,
-                   std::atomic<int>& stop_cause,
-                   const std::atomic<std::uint64_t>* preempt_epoch);
-
   const db::Program& program_;
   db::WeightStore& weights_;
   search::BuiltinEvaluator* builtins_;

@@ -4,6 +4,7 @@
 /// with branch-and-bound pruning and §5 weight adaptation.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <limits>
@@ -11,6 +12,7 @@
 
 #include "blog/obs/trace.hpp"
 #include "blog/search/frontier.hpp"
+#include "blog/search/limits.hpp"
 #include "blog/search/node.hpp"
 #include "blog/search/update.hpp"
 
@@ -23,26 +25,17 @@ enum class Outcome : std::uint8_t {
   Exhausted,       ///< frontier emptied: the OR-tree was fully explored
   SolutionLimit,   ///< stopped after max_solutions answers
   BudgetExceeded,  ///< node budget or wall-clock deadline hit
+  Cancelled,       ///< caller cancelled the search (executor/job cancel)
 };
 
 /// Stable display name of an outcome.
 const char* outcome_name(Outcome o);
 
-/// True when `deadline` is set (non-epoch) and has passed. Engines check
-/// this cooperatively once per expansion.
-inline bool deadline_passed(std::chrono::steady_clock::time_point deadline) {
-  return deadline.time_since_epoch().count() != 0 &&
-         std::chrono::steady_clock::now() >= deadline;
-}
-
 /// Configuration of one sequential solve.
 struct SearchOptions {
   Strategy strategy = Strategy::BestFirst;  ///< open-list policy
-  std::size_t max_solutions = std::numeric_limits<std::size_t>::max();
-      ///< stop after this many answers
-  std::size_t max_nodes = 1'000'000;  ///< expansion budget (safety net)
-  /// Wall-clock cutoff (steady clock); default (epoch) = none.
-  std::chrono::steady_clock::time_point deadline{};
+  /// Node/solution/deadline cutoffs (shared with the parallel layers).
+  ExecutionLimits limits;
   bool update_weights = true;  ///< apply §5 updates as chains resolve
   /// Branch & bound: once an incumbent solution is known, prune frontier
   /// nodes whose bound exceeds incumbent + margin. All successful chains
@@ -52,6 +45,15 @@ struct SearchOptions {
   bool prune_with_incumbent = false;
   double prune_margin = 0.0;  ///< see prune_with_incumbent
   ExpanderOptions expander;   ///< resolution-step options
+  /// Cooperative cancellation: when non-null and set, the solve stops at
+  /// the next expansion boundary with Outcome::Cancelled (answers found so
+  /// far are returned). The flag must outlive the solve.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Streaming hook: invoked on the solving thread once per recorded
+  /// answer, in discovery order, before the solve returns. The Solution
+  /// reference is only valid during the call (render with solution_text to
+  /// keep it). Null (default) is free.
+  std::function<void(const Solution&)> on_solution;
   /// Flight recorder (obs/trace.hpp). When non-null the solve records
   /// burst/frontier/solution events on lane 0; null (default) is free.
   obs::TraceSink* trace = nullptr;

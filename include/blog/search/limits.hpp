@@ -1,0 +1,46 @@
+/// \file
+/// \brief ExecutionLimits: the one limit/deadline representation shared by
+/// every execution layer.
+///
+/// Historically each layer grew its own copy of the same three knobs —
+/// `SearchOptions{max_nodes,max_solutions,deadline}`,
+/// `ParallelOptions{...}` again, and the service's ms-relative
+/// `QueryBudget`. They drifted (different defaults, two deadline
+/// representations) and every boundary needed a hand-written copy. Now the
+/// engines share this struct verbatim; only the service boundary converts,
+/// turning `QueryBudget`'s ms-relative deadline into the absolute
+/// steady-clock cutoff engines check (QueryBudget::limits()).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <limits>
+
+namespace blog::search {
+
+/// Cooperative execution cutoffs, checked once per expansion by every
+/// engine (sequential, parallel, executor jobs). Absolute representation:
+/// the deadline is a steady-clock time point, fixed when the request
+/// enters the system, so retries/queue time count against it.
+struct ExecutionLimits {
+  std::size_t max_nodes = 1'000'000;  ///< expansion budget (safety net)
+  std::size_t max_solutions = std::numeric_limits<std::size_t>::max();
+      ///< stop after this many answers
+  /// Wall-clock cutoff (steady clock); default (epoch) = none.
+  std::chrono::steady_clock::time_point deadline{};
+
+  /// No cutoffs at all (search runs to exhaustion).
+  [[nodiscard]] static ExecutionLimits unlimited() {
+    return {std::numeric_limits<std::size_t>::max(),
+            std::numeric_limits<std::size_t>::max(), {}};
+  }
+};
+
+/// True when `deadline` is set (non-epoch) and has passed. Engines check
+/// this cooperatively once per expansion.
+inline bool deadline_passed(std::chrono::steady_clock::time_point deadline) {
+  return deadline.time_since_epoch().count() != 0 &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
+}  // namespace blog::search

@@ -2,316 +2,15 @@
 
 #include <algorithm>
 
+#include "blog/parallel/job.hpp"
 #include "blog/parallel/topology.hpp"
-#include "blog/search/runner.hpp"
-#include "blog/search/update.hpp"
 
 namespace blog::parallel {
-namespace {
-
-/// First stop cause wins; later reporters keep the original.
-void report_stop(std::atomic<int>& cause, search::Outcome o) {
-  int expected = -1;
-  cause.compare_exchange_strong(expected, static_cast<int>(o),
-                                std::memory_order_relaxed);
-}
-
-}  // namespace
 
 ParallelEngine::ParallelEngine(const db::Program& program, db::WeightStore& weights,
                                search::BuiltinEvaluator* builtins,
                                ParallelOptions opts)
     : program_(program), weights_(weights), builtins_(builtins), opts_(opts) {}
-
-void ParallelEngine::worker_loop(const search::Expander& expander,
-                                 Scheduler& net, unsigned worker,
-                                 WorkerStats& ws,
-                                 std::vector<search::Solution>& solutions,
-                                 std::mutex& sol_mu,
-                                 std::atomic<std::int64_t>& node_budget,
-                                 std::atomic<std::uint64_t>& solutions_left,
-                                 std::atomic<int>& stop_cause,
-                                 const std::atomic<std::uint64_t>* preempt_epoch) {
-  search::Runner runner(expander);
-  // The parallel engine's local bursts are depth-first and never prune
-  // against an incumbent, so the commit path is always sound here; the
-  // Expanded handler below keeps the scheduler's outstanding count right.
-  runner.set_inplace_commit(true);
-  search::ExpandStats estats;
-  obs::TraceSink* const trace = opts_.trace;
-  const auto lane = static_cast<std::uint16_t>(worker);
-  // Expansions since the last scheduler interaction; flushed as one
-  // kExpandBurst event at each boundary so the timeline shows in-place
-  // bursts without paying one event per expansion.
-  std::uint32_t burst = 0;
-  const auto flush_burst = [&] {
-    if (burst > 0) {
-      obs::trace(trace, lane, obs::EventKind::kExpandBurst, burst);
-      burst = 0;
-    }
-  };
-  // Lazy spilling needs scheduler-side handle support; downgrade to the
-  // starvation gate on schedulers without it (GlobalFrontier).
-  const ParallelOptions::SpillPolicy policy =
-      opts_.spill_policy == ParallelOptions::SpillPolicy::Lazy &&
-              !net.supports_handles()
-          ? ParallelOptions::SpillPolicy::WhenStarving
-          : opts_.spill_policy;
-  std::uint64_t epoch_seen =
-      preempt_epoch ? preempt_epoch->load(std::memory_order_relaxed) : 0;
-  // True while re-entering expand() after a preemption yield: the
-  // expansion was already counted against the budget and ws.expanded.
-  bool resuming = false;
-
-  // Spill a detached choice batch through the scheduler in one call.
-  std::vector<search::DetachedNode> spill;
-  const auto flush_spills = [&] {
-    if (spill.empty()) return;
-    ws.spills += spill.size();
-    ++ws.spill_batches;
-    net.push_batch(worker, std::move(spill));
-    spill.clear();
-  };
-  // Cells deep-copied by `fn`, charged to this worker.
-  const auto charge_copies = [&](auto&& fn) {
-    const std::size_t before = estats.cells_copied;
-    fn();
-    ws.cells_copied += estats.cells_copied - before;
-  };
-  std::vector<std::shared_ptr<search::SpillHandle>> handles;
-
-  for (;;) {
-    if (net.stopped()) break;
-
-    // --- scheduler housekeeping ------------------------------------------
-    // Stale-bound refresh: once per expansion boundary the scheduler may
-    // sweep this worker's deque and re-publish a minimum that has gone
-    // stale (resolved copy-on-steal entries nobody re-published over).
-    net.maintain(worker);
-
-    // --- service copy-on-steal claims ------------------------------------
-    // Thieves that won a claim CAS wait for us to materialize the
-    // checkpointed state; one boundary of latency, through the trail's
-    // as-of view (the live derivation is untouched).
-    if (runner.has_pending_claims()) {
-      std::size_t granted = 0;
-      charge_copies([&] { granted = runner.fulfill_claims(&estats); });
-      if (granted > 0)
-        obs::trace(trace, lane, obs::EventKind::kHandleFulfill,
-                   static_cast<std::uint32_t>(granted));
-    }
-
-    // --- acquire a chain -------------------------------------------------
-    if (!runner.has_state()) {
-      if (runner.pending() == 0) {
-        flush_burst();
-        auto taken = net.acquire(worker);
-        if (!taken) break;  // terminated or stopped
-        runner.load(std::move(*taken));
-        ++ws.network_takes;
-        obs::trace(trace, lane, obs::EventKind::kNetworkTake);
-      } else if (auto better = net.try_acquire_better(
-                     worker, runner.min_pending_bound(), opts_.d_threshold)) {
-        // The network minimum is more than D below our local minimum: the
-        // freed task acquires the chain through the network (§6). The whole
-        // local pool migrates out with it — copy-on-migration, batched.
-        // detach_all resolves published handles on the way out (claimed
-        // ones are granted to their thief instead of joining the batch).
-        flush_burst();
-        charge_copies([&] { spill = runner.detach_all(&estats); });
-        obs::trace(trace, lane, obs::EventKind::kMigrate,
-                   static_cast<std::uint32_t>(spill.size()));
-        flush_spills();
-        runner.load(std::move(*better));
-        ++ws.network_takes;
-        obs::trace(trace, lane, obs::EventKind::kNetworkTake);
-      } else {
-        // Continue in place on the local pool (trail rollback, no
-        // copying). A published top races its claim CAS: losing grants
-        // the choice to the claiming thief and we try the next one.
-        bool activated = false;
-        charge_copies([&] { activated = runner.activate_top(&estats); });
-        if (!activated) continue;
-        ++ws.local_takes;
-      }
-    }
-
-    // --- budget ----------------------------------------------------------
-    if (!resuming) {
-      if (node_budget.fetch_sub(1, std::memory_order_relaxed) <= 0 ||
-          search::deadline_passed(opts_.deadline)) {
-        report_stop(stop_cause, search::Outcome::BudgetExceeded);
-        net.stop();
-        break;
-      }
-      ++ws.expanded;
-      if (trace != nullptr) ++burst;
-    }
-    resuming = false;
-
-    // --- expand in place -------------------------------------------------
-    const search::Runner::StepResult step =
-        runner.expand(&estats, preempt_epoch, &epoch_seen);
-
-    if (step.preempted) {
-      // Timer tick mid-builtin-burst: run the D-threshold check that
-      // normally waits for the expansion boundary. If the network holds a
-      // strictly better chain, the whole pool — including the live
-      // mid-burst state — migrates out (§6's freed-task hand-off);
-      // otherwise resume the burst where it yielded.
-      ++ws.preemptions;
-      resuming = true;
-      flush_burst();
-      obs::trace(trace, lane, obs::EventKind::kPreempt);
-      double local_min = runner.state().bound;
-      if (runner.pending() > 0)
-        local_min = std::min(local_min, runner.min_pending_bound());
-      if (auto better =
-              net.try_acquire_better(worker, local_min, opts_.d_threshold)) {
-        charge_copies([&] {
-          spill.push_back(runner.detach_state(&estats));
-          auto rest = runner.detach_all(&estats);
-          std::move(rest.begin(), rest.end(), std::back_inserter(spill));
-        });
-        obs::trace(trace, lane, obs::EventKind::kMigrate,
-                   static_cast<std::uint32_t>(spill.size()));
-        flush_spills();
-        runner.load(std::move(*better));
-        ++ws.network_takes;
-        obs::trace(trace, lane, obs::EventKind::kNetworkTake);
-        // The migrated-out state is re-counted by whoever resumes it; the
-        // chain we just loaded is a fresh expansion of our own.
-        resuming = false;
-      }
-      continue;
-    }
-
-    switch (step.outcome) {
-      case search::NodeOutcome::Solution: {
-        // Claim a solution slot first: a CAS loop that refuses to go below
-        // zero, so concurrent workers can never wrap the counter and
-        // publish more than max_solutions answers between the limit being
-        // hit and the stop flag propagating.
-        std::uint64_t left = solutions_left.load(std::memory_order_relaxed);
-        while (left > 0 &&
-               !solutions_left.compare_exchange_weak(
-                   left, left - 1, std::memory_order_acq_rel,
-                   std::memory_order_relaxed)) {
-        }
-        if (left == 0) {
-          // Over the limit (a racing worker claimed the last slot and the
-          // stop is in flight): drop the answer unpublished.
-          runner.abandon_state();
-          net.on_expanded(0);
-          break;
-        }
-        if (opts_.update_weights)
-          search::update_on_success(weights_, runner.state().chain.get());
-        ++ws.solutions;
-        obs::trace(trace, lane, obs::EventKind::kSolution,
-                   static_cast<std::uint32_t>(ws.solutions));
-        search::Solution sol;
-        charge_copies([&] { sol = runner.extract_solution(&estats); });
-        {
-          std::lock_guard lock(sol_mu);
-          solutions.push_back(std::move(sol));
-        }
-        net.on_expanded(0);
-        if (left == 1) {  // we consumed the last slot
-          report_stop(stop_cause, search::Outcome::SolutionLimit);
-          net.stop();
-        }
-        break;
-      }
-      case search::NodeOutcome::Expanded: {
-        if (step.inplace_continue) {
-          // Static-analysis commit: the chain lives on as its own only
-          // child — count it born again (one died, one born, inflight
-          // unchanged) and skip the spill/publish machinery, which only
-          // handles freshly pushed siblings (there are none).
-          net.on_expanded(1);
-          break;
-        }
-        // A statically deterministic single continuation is not OR-work:
-        // sharing it would hand a thief the only way forward of a chain
-        // this worker activates on its very next boundary anyway. Keep it
-        // local and skip the spill/publish pass for this step.
-        const bool skip_share = step.deterministic && step.children == 1;
-        if (skip_share) {
-          net.on_expanded(step.children);
-          break;
-        }
-        if (policy == ParallelOptions::SpillPolicy::Lazy) {
-          // Copy-on-steal: publish handles for everything beyond the
-          // (possibly adaptive) local capacity. The choices stay on the
-          // stack — sharing costs a shared_ptr per choice, not a copy —
-          // and the deep copy happens only if a thief claims one.
-          const std::size_t keep =
-              net.local_capacity_hint(worker, opts_.local_capacity);
-          handles.clear();
-          runner.publish_overflow(worker, keep, handles);
-          if (!handles.empty()) {
-            ws.handles_published += handles.size();
-            net.push_handles(worker, std::move(handles));
-            handles.clear();
-          }
-        } else if (policy == ParallelOptions::SpillPolicy::Eager ||
-                   net.starving()) {
-          // Keep the best-ordered prefix of children locally up to
-          // capacity; detach and spill the rest so idle processors find
-          // work. Freshly created siblings share the current checkpoint,
-          // so detaching them costs no trail unwinding.
-          // The new block sits above `base`; its bottom entry is the last
-          // clause, which is what overflows first (clause-order prefix
-          // kept). Under WhenStarving, the copies are paid only while
-          // some worker is actually idle (lock-free starving() poll); a
-          // backlog kept local during saturation drains through later
-          // expansions' fresh blocks once starvation reappears.
-          const std::size_t base = runner.pending() - step.children;
-          const std::size_t capacity =
-              net.local_capacity_hint(worker, opts_.local_capacity);
-          // Only the fresh block is detachable without trail unwinding;
-          // older entries stay local until the worker consumes them. Keep
-          // at least the first-clause child so the depth-first in-place
-          // burst continues even while shedding a starvation backlog.
-          const std::size_t keep =
-              policy == ParallelOptions::SpillPolicy::Eager
-                  ? capacity
-                  : std::max(capacity, base + 1);
-          charge_copies(
-              [&] { runner.detach_overflow(base, keep, spill, &estats); });
-          flush_spills();
-        }
-        net.on_expanded(step.children);
-        break;
-      }
-      case search::NodeOutcome::Failure:
-        ++ws.failures;
-        if (opts_.update_weights)
-          search::update_on_failure(weights_, runner.state().chain.get());
-        net.on_expanded(0);
-        break;
-      case search::NodeOutcome::DepthLimit:
-        net.on_expanded(0);
-        break;
-    }
-  }
-
-  flush_burst();
-  // Local leftovers die with the worker (stop or termination): account for
-  // them so other workers' acquisition can conclude. drop_top resolves
-  // published handles (kDead) so claiming thieves give up instead of
-  // waiting on a dead owner.
-  while (runner.pending() > 0) {
-    runner.drop_top();
-    net.on_expanded(0);
-  }
-  const search::Runner::SpillCounters& sc = runner.spill_counters();
-  ws.handles_reclaimed = sc.reclaimed_free;
-  ws.handles_granted = sc.granted;
-  ws.handles_migrated = sc.migrated;
-  ws.trail_writes = runner.trail_pushes();
-}
 
 ParallelResult ParallelEngine::solve(const search::Query& q) {
   search::Expander expander(program_, weights_, builtins_, opts_.expander);
@@ -342,15 +41,15 @@ ParallelResult ParallelEngine::solve(const search::Query& q) {
 
   ParallelResult result;
   result.workers.resize(opts_.workers);
-  std::vector<search::Solution> solutions;
-  std::mutex sol_mu;
-  std::atomic<std::int64_t> node_budget{static_cast<std::int64_t>(
-      std::min<std::size_t>(opts_.max_nodes, std::numeric_limits<std::int64_t>::max()))};
-  std::atomic<std::uint64_t> solutions_left{
-      opts_.max_solutions == std::numeric_limits<std::size_t>::max()
-          ? std::numeric_limits<std::uint64_t>::max()
-          : opts_.max_solutions};
-  std::atomic<int> stop_cause{-1};
+  JobControls ctl;
+  ctl.arm(opts_.limits, opts_.cancel);
+  ctl.on_solution = opts_.on_solution;
+  JobConfig cfg;
+  cfg.d_threshold = opts_.d_threshold;
+  cfg.local_capacity = opts_.local_capacity;
+  cfg.update_weights = opts_.update_weights;
+  cfg.spill_policy = opts_.spill_policy;
+  cfg.trace = opts_.trace;
 
   // Preemption ticker: bump an epoch every preempt_interval so runners
   // yield out of long builtin bursts for a mid-burst D-threshold check.
@@ -380,9 +79,9 @@ ParallelResult ParallelEngine::solve(const search::Query& q) {
         result.workers[w].numa_node = node;
         if (opts_.numa_pin_workers) pin_current_thread_to_node(topo, node);
       }
-      worker_loop(expander, *net, w, result.workers[w], solutions, sol_mu,
-                  node_budget, solutions_left, stop_cause,
-                  tick ? &preempt_epoch : nullptr);
+      run_job_worker(expander, weights_, *net, w,
+                     static_cast<std::uint16_t>(w), result.workers[w], cfg,
+                     ctl, tick ? &preempt_epoch : nullptr);
     });
   }
   for (auto& t : threads) t.join();
@@ -391,13 +90,10 @@ ParallelResult ParallelEngine::solve(const search::Query& q) {
     ticker.join();
   }
 
-  result.solutions = std::move(solutions);
+  result.solutions = std::move(ctl.solutions);
   result.network = net->stats();
   result.exhausted = !net->stopped();
-  const int cause = stop_cause.load(std::memory_order_relaxed);
-  result.outcome = result.exhausted || cause < 0
-                       ? search::Outcome::Exhausted
-                       : static_cast<search::Outcome>(cause);
+  result.outcome = ctl.outcome(result.exhausted);
   for (const auto& ws : result.workers) result.nodes_expanded += ws.expanded;
   return result;
 }

@@ -21,6 +21,7 @@ const char* outcome_name(Outcome o) {
     case Outcome::Exhausted: return "exhausted";
     case Outcome::SolutionLimit: return "solution-limit";
     case Outcome::BudgetExceeded: return "budget-exceeded";
+    case Outcome::Cancelled: return "cancelled";
   }
   return "?";
 }
@@ -100,8 +101,15 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
         break;  // space exhausted
       }
     }
-    if (result.stats.nodes_expanded >= opts.max_nodes ||
-        deadline_passed(opts.deadline)) {
+    if (opts.cancel != nullptr &&
+        opts.cancel->load(std::memory_order_relaxed)) {
+      flush_burst();
+      result.stats.expand.trail_writes = runner.trail_pushes();
+      result.outcome = Outcome::Cancelled;
+      return result;
+    }
+    if (result.stats.nodes_expanded >= opts.limits.max_nodes ||
+        deadline_passed(opts.limits.deadline)) {
       flush_burst();
       result.stats.expand.trail_writes = runner.trail_pushes();
       return result;  // outcome stays BudgetExceeded
@@ -121,6 +129,7 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
                    static_cast<std::uint32_t>(result.stats.solutions));
         Solution sol = runner.extract_solution(&result.stats.expand);
         const double sol_bound = sol.bound;
+        if (opts.on_solution) opts.on_solution(sol);
         result.solutions.push_back(std::move(sol));
         if (opts.prune_with_incumbent) {
           incumbent = std::min(incumbent, sol_bound);
@@ -128,7 +137,7 @@ SearchResult SearchEngine::solve_inplace(const Query& q,
           result.stats.pruned += frontier->prune_above(cutoff);
           result.stats.pruned += runner.prune_pending(cutoff);
         }
-        if (result.solutions.size() >= opts.max_solutions) {
+        if (result.solutions.size() >= opts.limits.max_solutions) {
           result.outcome = Outcome::SolutionLimit;
           flush_burst();
           result.stats.expand.trail_writes = runner.trail_pushes();
@@ -208,8 +217,13 @@ SearchResult SearchEngine::solve_detached(const Query& q,
 
   ExpandOutput out;
   while (!frontier->empty()) {
-    if (result.stats.nodes_expanded >= opts.max_nodes ||
-        deadline_passed(opts.deadline))
+    if (opts.cancel != nullptr &&
+        opts.cancel->load(std::memory_order_relaxed)) {
+      result.outcome = Outcome::Cancelled;
+      return result;
+    }
+    if (result.stats.nodes_expanded >= opts.limits.max_nodes ||
+        deadline_passed(opts.limits.deadline))
       return result;  // outcome stays BudgetExceeded
     DetachedNode n = frontier->pop();
     if (observer && observer->on_pop) observer->on_pop(n);
@@ -236,13 +250,14 @@ SearchResult SearchEngine::solve_detached(const Query& q,
         sol.answer = leaf.answer;
         sol.store = std::move(leaf.store);
         const double sol_bound = sol.bound;
+        if (opts.on_solution) opts.on_solution(sol);
         result.solutions.push_back(std::move(sol));
         if (opts.prune_with_incumbent) {
           incumbent = std::min(incumbent, sol_bound);
           result.stats.pruned +=
               frontier->prune_above(incumbent + opts.prune_margin);
         }
-        if (result.solutions.size() >= opts.max_solutions) {
+        if (result.solutions.size() >= opts.limits.max_solutions) {
           result.outcome = Outcome::SolutionLimit;
           return result;
         }

@@ -101,7 +101,7 @@ TEST(ClassicPrograms, FibonacciNaive) {
   )");
   search::SearchOptions o;
   o.expander.max_depth = 2048;
-  o.max_nodes = 100'000;
+  o.limits.max_nodes = 100'000;
   EXPECT_EQ(solution_texts(ip.solve("fib(11,F)", o)),
             (std::vector<std::string>{"F=89"}));
 }
@@ -196,8 +196,8 @@ TEST(Limits, BestFirstEscapesInfiniteBranchWithWeights) {
   ip.consult_string("p :- loop. p :- win. loop :- loop. win.");
   search::SearchOptions o;
   o.strategy = search::Strategy::BestFirst;
-  o.max_solutions = 1;
-  o.max_nodes = 10'000;
+  o.limits.max_solutions = 1;
+  o.limits.max_nodes = 10'000;
   o.expander.max_depth = 64;
   const auto r = ip.solve("p", o);
   EXPECT_EQ(r.solutions.size(), 1u);
@@ -207,7 +207,7 @@ TEST(Limits, MaxNodesReportsIncomplete) {
   Interpreter ip;
   ip.consult_string("nat(z). nat(s(N)) :- nat(N).");
   search::SearchOptions o;
-  o.max_nodes = 10;
+  o.limits.max_nodes = 10;
   const auto r = ip.solve("nat(X)", o);
   EXPECT_FALSE(r.exhausted);
   EXPECT_LE(r.stats.nodes_expanded, 10u);

@@ -1,0 +1,551 @@
+// Persistent executor + async QueryService API: job lifecycles on the
+// standalone pool, submit/wait/poll/callback/cancel tickets, streamed
+// answers byte-identical (as a set) to the batch list across strategies,
+// consult-during-streaming snapshot isolation, and the ThreadSanitizer
+// storm (N async clients vs a 4-worker pool).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "blog/engine/interpreter.hpp"
+#include "blog/parallel/executor.hpp"
+#include "blog/service/service.hpp"
+#include "blog/workloads/workloads.hpp"
+
+using namespace blog;
+using parallel::Executor;
+using parallel::ExecutorOptions;
+using parallel::JobRequest;
+using parallel::JobTicket;
+using service::QueryRequest;
+using service::QueryService;
+using service::QueryStatus;
+using service::SubmitOptions;
+
+namespace {
+
+std::vector<std::string> cold_texts(const std::string& program,
+                                    const std::string& query) {
+  engine::Interpreter ip;
+  ip.consult_string(program);
+  return engine::solution_texts(ip.solve(query, {.update_weights = false}));
+}
+
+std::vector<std::string> sorted(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
+
+// ------------------------------------------------- standalone executor --
+
+TEST(Executor, SequentialAndParallelJobsMatchColdInterpreter) {
+  engine::Interpreter ip;
+  ip.consult_string(workloads::layered_dag(4, 3));
+  const auto expect = cold_texts(workloads::layered_dag(4, 3),
+                                 "path(n0_0,Z,P)");
+
+  ExecutorOptions eo;
+  eo.workers = 4;
+  Executor exec(eo);
+  EXPECT_EQ(exec.workers(), 4u);
+
+  for (const unsigned slots : {1u, 2u, 4u, 8u}) {  // 8 > pool: clamped
+    JobRequest jr;
+    jr.program = &ip.program();
+    jr.weights = &ip.weights();
+    jr.builtins = &ip.builtins();
+    jr.query = ip.parse_query("path(n0_0,Z,P)");
+    jr.slots = slots;
+    jr.opts.update_weights = false;
+    JobTicket t = exec.submit(std::move(jr));
+    ASSERT_TRUE(t.valid());
+    const auto& r = t.wait();
+    EXPECT_TRUE(t.poll());
+    EXPECT_EQ(r.outcome, search::Outcome::Exhausted) << "slots " << slots;
+    std::vector<std::string> texts;
+    for (const auto& s : r.solutions) texts.push_back(s.text);
+    EXPECT_EQ(engine::solution_texts(std::move(texts)), expect)
+        << "slots " << slots;
+  }
+  const auto s = exec.stats();
+  EXPECT_EQ(s.submitted, 4u);
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.queued, 0u);
+  EXPECT_EQ(s.running, 0u);
+}
+
+TEST(Executor, ManyConcurrentJobsShareThePool) {
+  engine::Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+  const auto expect = cold_texts(workloads::figure1_family(), "gf(sam,G)");
+
+  ExecutorOptions eo;
+  eo.workers = 4;
+  Executor exec(eo);
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 32; ++i) {
+    JobRequest jr;
+    jr.program = &ip.program();
+    jr.weights = &ip.weights();
+    jr.builtins = &ip.builtins();
+    jr.query = ip.parse_query("gf(sam,G)");
+    jr.slots = 1u + static_cast<unsigned>(i % 3);
+    jr.opts.update_weights = false;
+    tickets.push_back(exec.submit(std::move(jr)));
+    ASSERT_TRUE(tickets.back().valid());
+  }
+  for (auto& t : tickets) {
+    const auto& r = t.wait();
+    EXPECT_EQ(r.outcome, search::Outcome::Exhausted);
+    std::vector<std::string> texts;
+    for (const auto& s : r.solutions) texts.push_back(s.text);
+    EXPECT_EQ(engine::solution_texts(std::move(texts)), expect);
+  }
+  EXPECT_EQ(exec.stats().completed, 32u);
+}
+
+TEST(Executor, OnAnswerStreamsAndOnCompleteFiresBeforeWait) {
+  engine::Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+
+  Executor exec({.workers = 2});
+  std::mutex mu;
+  std::vector<std::string> streamed;
+  std::atomic<bool> completed{false};
+
+  JobRequest jr;
+  jr.program = &ip.program();
+  jr.weights = &ip.weights();
+  jr.builtins = &ip.builtins();
+  jr.query = ip.parse_query("gf(sam,G)");
+  jr.slots = 2;
+  jr.opts.update_weights = false;
+  jr.on_answer = [&](const search::Solution& s) {
+    std::lock_guard lock(mu);
+    streamed.push_back(s.text);
+  };
+  jr.on_complete = [&](const parallel::ParallelResult& r) {
+    EXPECT_EQ(r.outcome, search::Outcome::Exhausted);
+    completed = true;
+  };
+  JobTicket t = exec.submit(std::move(jr));
+  const auto& r = t.wait();
+  EXPECT_TRUE(completed.load());  // callback ran before wait() returned
+  EXPECT_EQ(streamed.size(), r.solutions.size());
+}
+
+TEST(Executor, QueueLimitRefusesWithoutBlocking) {
+  engine::Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+
+  ExecutorOptions eo;
+  eo.workers = 1;
+  eo.queue_limit = 1;
+  Executor exec(eo);
+
+  // Park the lone worker so the queue actually fills.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  JobRequest blocker;
+  blocker.program = &ip.program();
+  blocker.weights = &ip.weights();
+  blocker.builtins = &ip.builtins();
+  blocker.query = ip.parse_query("gf(sam,G)");
+  blocker.opts.update_weights = false;
+  blocker.on_complete = [&](const parallel::ParallelResult&) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  JobTicket held = exec.submit(std::move(blocker));
+  ASSERT_TRUE(held.valid());
+  // Wait until the worker claimed it (the queue is empty again); from then
+  // on the worker is held inside the blocker's on_complete.
+  while (exec.stats().queued != 0) std::this_thread::yield();
+
+  const auto make = [&] {
+    JobRequest jr;
+    jr.program = &ip.program();
+    jr.weights = &ip.weights();
+    jr.builtins = &ip.builtins();
+    jr.query = ip.parse_query("gf(sam,G)");
+    jr.opts.update_weights = false;
+    return jr;
+  };
+  JobTicket queued = exec.submit(make());
+  EXPECT_TRUE(queued.valid());    // fits the queue
+  JobTicket refused = exec.submit(make());
+  EXPECT_FALSE(refused.valid());  // queue full: shed, submit never blocked
+  EXPECT_EQ(refused.id(), 0u);
+  EXPECT_EQ(exec.stats().rejected, 1u);
+
+  {
+    std::lock_guard lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  held.wait();
+  queued.wait();
+  EXPECT_EQ(exec.stats().completed, 2u);
+}
+
+TEST(Executor, CancelQueuedJobCompletesCancelled) {
+  engine::Interpreter ip;
+  ip.consult_string(workloads::figure1_family());
+
+  ExecutorOptions eo;
+  eo.workers = 1;
+  Executor exec(eo);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  JobRequest blocker;
+  blocker.program = &ip.program();
+  blocker.weights = &ip.weights();
+  blocker.builtins = &ip.builtins();
+  blocker.query = ip.parse_query("gf(sam,G)");
+  blocker.opts.update_weights = false;
+  blocker.on_complete = [&](const parallel::ParallelResult&) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  JobTicket held = exec.submit(std::move(blocker));
+  while (exec.stats().queued != 0) std::this_thread::yield();
+
+  JobRequest jr;
+  jr.program = &ip.program();
+  jr.weights = &ip.weights();
+  jr.builtins = &ip.builtins();
+  jr.query = ip.parse_query("gf(sam,G)");
+  jr.opts.update_weights = false;
+  JobTicket victim = exec.submit(std::move(jr));
+  ASSERT_TRUE(victim.valid());
+  EXPECT_TRUE(victim.cancel());       // still queued: completes immediately
+  EXPECT_FALSE(victim.cancel());      // second cancel: already done
+  EXPECT_EQ(victim.wait().outcome, search::Outcome::Cancelled);
+  EXPECT_EQ(exec.stats().cancelled, 1u);
+
+  {
+    std::lock_guard lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  held.wait();
+}
+
+TEST(Executor, DestructorCancelsOutstandingJobs) {
+  engine::Interpreter ip;
+  // A search space big enough that jobs are still running at teardown.
+  ip.consult_string(workloads::layered_dag(6, 4));
+  std::vector<JobTicket> tickets;
+  {
+    Executor exec({.workers = 2});
+    for (int i = 0; i < 8; ++i) {
+      JobRequest jr;
+      jr.program = &ip.program();
+      jr.weights = &ip.weights();
+      jr.builtins = &ip.builtins();
+      jr.query = ip.parse_query("path(n0_0,Z,P)");
+      jr.slots = 2;
+      jr.opts.update_weights = false;
+      tickets.push_back(exec.submit(std::move(jr)));
+    }
+  }  // ~Executor: every ticket must complete (Cancelled or finished)
+  for (auto& t : tickets) {
+    ASSERT_TRUE(t.valid());
+    EXPECT_TRUE(t.poll());
+    const auto o = t.wait().outcome;
+    EXPECT_TRUE(o == search::Outcome::Cancelled ||
+                o == search::Outcome::Exhausted)
+        << search::outcome_name(o);
+  }
+}
+
+// ------------------------------------------------- async QueryService --
+
+TEST(ServiceSubmit, TicketWaitMatchesSyncQuery) {
+  QueryService svc;
+  svc.consult(workloads::figure1_family());
+  auto t = svc.submit({.text = "gf(sam,G)"});
+  ASSERT_TRUE(t.valid());
+  EXPECT_GT(t.id(), 0u);
+  const auto& r = t.wait();
+  EXPECT_TRUE(t.poll());
+  EXPECT_EQ(r.status, QueryStatus::Ok);
+  EXPECT_EQ(r.answers, cold_texts(workloads::figure1_family(), "gf(sam,G)"));
+  EXPECT_EQ(t.queue_position(), 0u);  // done → not queued
+}
+
+TEST(ServiceSubmit, OnCompleteFiresBeforeWaitReturns) {
+  QueryService svc;
+  svc.consult(workloads::figure1_family());
+  std::atomic<bool> fired{false};
+  SubmitOptions so;
+  so.on_complete = [&](const service::QueryResponse& r) {
+    EXPECT_EQ(r.status, QueryStatus::Ok);
+    fired = true;
+  };
+  auto t = svc.submit({.text = "gf(sam,G)"}, so);
+  t.wait();
+  EXPECT_TRUE(fired.load());
+}
+
+TEST(ServiceSubmit, ParseErrorAndCacheHitCompleteImmediately) {
+  QueryService svc;
+  svc.consult(workloads::figure1_family());
+
+  auto bad = svc.submit({.text = "gf(sam,"});
+  EXPECT_TRUE(bad.poll());  // finished before submit returned
+  EXPECT_EQ(bad.wait().status, QueryStatus::ParseError);
+  EXPECT_FALSE(bad.wait().error.empty());
+
+  svc.query("gf(sam,G)");  // populate the cache
+  auto warm = svc.submit({.text = "gf(sam,G)"});
+  EXPECT_TRUE(warm.poll());
+  EXPECT_TRUE(warm.wait().from_cache);
+}
+
+TEST(ServiceSubmit, RejectedCarriesErrorText) {
+  service::ServiceOptions so;
+  so.max_concurrent_queries = 1;
+  so.admission_queue_limit = 0;  // no waiting room: second submit sheds
+  QueryService svc(so);
+  svc.consult(workloads::layered_dag(6, 4));
+
+  auto held = svc.submit({.text = "path(n0_0,Z,P)", .workers = 2});
+  // Give the job time to be dispatched; the gate slot is taken either way.
+  auto shed = svc.submit({.text = "path(n0_0,Z,P)"});
+  EXPECT_TRUE(shed.poll());
+  const auto& r = shed.wait();
+  EXPECT_EQ(r.status, QueryStatus::Rejected);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(service::query_status_name(r.status), std::string("rejected"));
+  held.cancel();
+  held.wait();
+  EXPECT_EQ(svc.stats().rejected, 1u);
+}
+
+TEST(ServiceSubmit, CancelRunningKeepsPartialAnswers) {
+  QueryService svc;
+  svc.consult(workloads::layered_dag(7, 4));
+  std::atomic<int> seen{0};
+  SubmitOptions so;
+  so.on_answer = [&](const std::string&) { ++seen; };
+  auto t = svc.submit({.text = "path(n0_0,Z,P)", .workers = 4}, so);
+  while (seen.load() == 0 && !t.poll()) std::this_thread::yield();
+  const bool cancelled = t.cancel();
+  const auto& r = t.wait();
+  if (cancelled) {
+    EXPECT_EQ(r.status, QueryStatus::Cancelled);
+    EXPECT_EQ(r.outcome, search::Outcome::Cancelled);
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(service::query_status_name(r.status), std::string("cancelled"));
+    EXPECT_EQ(svc.stats().cancelled, 1u);
+  } else {
+    EXPECT_EQ(r.status, QueryStatus::Ok);  // finished first: benign race
+  }
+  // Cancelled results are partial: they must not poison the cache.
+  EXPECT_FALSE(svc.query("path(n0_0,Z,P)").from_cache);
+}
+
+TEST(ServiceSubmit, QueuedTicketReportsPositionAndCancels) {
+  service::ServiceOptions so;
+  so.max_concurrent_queries = 1;
+  so.admission_queue_limit = 4;
+  QueryService svc(so);
+  svc.consult(workloads::layered_dag(6, 4));
+
+  auto held = svc.submit({.text = "path(n0_0,Z,P)", .workers = 2});
+  auto q1 = svc.submit({.text = "f(X)"});
+  auto q2 = svc.submit({.text = "g(X)"});
+  if (!q1.poll() && !q2.poll()) {  // still queued behind `held`
+    EXPECT_EQ(q1.queue_position(), 1u);
+    EXPECT_EQ(q2.queue_position(), 2u);
+    EXPECT_TRUE(q2.cancel());
+    EXPECT_EQ(q2.wait().status, QueryStatus::Cancelled);
+    EXPECT_EQ(q2.wait().error, "cancelled while queued");
+  }
+  held.cancel();
+  held.wait();
+  q1.wait();  // promoted once the slot freed; must not hang
+  q2.wait();
+}
+
+// -------------------------------------- streaming: byte-identity et al --
+
+TEST(ServiceStream, StreamedEqualsBatchAcrossStrategies) {
+  const std::string dag = workloads::layered_dag(5, 3);
+  const auto expect = cold_texts(dag, "path(n0_0,Z,P)");
+  for (const auto strategy :
+       {search::Strategy::DepthFirst, search::Strategy::BreadthFirst,
+        search::Strategy::BestFirst}) {
+    for (const unsigned workers : {1u, 4u}) {
+      QueryService svc;
+      svc.consult(dag);
+      std::mutex mu;
+      std::vector<std::string> streamed;
+      SubmitOptions so;
+      so.on_answer = [&](const std::string& a) {
+        std::lock_guard lock(mu);
+        streamed.push_back(a);
+      };
+      so.stream = true;
+      QueryRequest req;
+      req.text = "path(n0_0,Z,P)";
+      req.strategy = strategy;
+      req.workers = workers;
+      auto t = svc.submit(req, so);
+      ASSERT_NE(t.stream(), nullptr);
+      std::vector<std::string> pulled;
+      while (auto a = t.stream()->next()) pulled.push_back(std::move(*a));
+      const auto& r = t.wait();
+      ASSERT_EQ(r.status, QueryStatus::Ok)
+          << search::strategy_name(strategy) << " workers " << workers;
+      // The batch list is sorted+deduplicated; both delivery paths must be
+      // byte-identical to it as a set (discovery order differs).
+      EXPECT_EQ(r.answers, expect);
+      EXPECT_EQ(sorted(streamed), expect);
+      EXPECT_EQ(sorted(pulled), expect);
+    }
+  }
+}
+
+TEST(ServiceStream, CacheHitStreamsTheCachedAnswers) {
+  QueryService svc;
+  svc.consult(workloads::figure1_family());
+  svc.query("gf(sam,G)");  // populate
+  std::vector<std::string> streamed;
+  SubmitOptions so;
+  so.on_answer = [&](const std::string& a) { streamed.push_back(a); };
+  auto t = svc.submit({.text = "gf(sam,G)"}, so);
+  const auto& r = t.wait();
+  EXPECT_TRUE(r.from_cache);
+  EXPECT_EQ(sorted(streamed), r.answers);
+}
+
+TEST(ServiceStream, ConsultDuringStreamingKeepsSnapshotIsolation) {
+  QueryService svc;
+  svc.consult(workloads::layered_dag(5, 3));
+  const auto expect = cold_texts(workloads::layered_dag(5, 3),
+                                 "path(n0_0,Z,P)");
+  std::atomic<bool> started{false};
+  std::mutex mu;
+  std::vector<std::string> streamed;
+  SubmitOptions so;
+  so.on_answer = [&](const std::string& a) {
+    started = true;
+    std::lock_guard lock(mu);
+    streamed.push_back(a);
+  };
+  auto t = svc.submit({.text = "path(n0_0,Z,P)", .workers = 4}, so);
+  while (!started.load() && !t.poll()) std::this_thread::yield();
+  // Mid-stream consults publish new epochs; the running query's snapshot
+  // pin keeps its view — the answer set must be exactly the old one.
+  svc.consult("path(n0_0,extra,p(extra)).");
+  svc.consult("path(n0_0,extra2,p(extra2)).");
+  const auto& r = t.wait();
+  EXPECT_EQ(r.status, QueryStatus::Ok);
+  EXPECT_EQ(r.answers, expect);
+  EXPECT_EQ(sorted(streamed), expect);
+  // A fresh query sees the consults.
+  const auto after = svc.query("path(n0_0,Z,P)");
+  EXPECT_EQ(after.answers.size(), expect.size() + 2);
+}
+
+// ----------------------------------------------------------------- storm --
+
+// The ThreadSanitizer target: N async clients (mixed submit/stream/cancel,
+// some sheds) against a 4-worker pool while a consulter publishes new
+// epochs. Every ticket must complete with an accounted-for status.
+TEST(ServiceStorm, AsyncClientsVsSmallPool) {
+  service::ServiceOptions so;
+  so.executor_workers = 4;
+  so.max_concurrent_queries = 4;
+  so.admission_queue_limit = 8;
+  QueryService svc(so);
+  svc.consult(workloads::figure1_family());
+  svc.consult(workloads::layered_dag(3, 3));
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 25;
+  std::atomic<int> bad{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const char* queries[] = {"gf(sam,G)", "path(n0_0,Z,P)", "f(X,Y)"};
+      for (int i = 0; i < kPerClient; ++i) {
+        QueryRequest req;
+        req.text = queries[(c + i) % 3];
+        req.workers = (i % 4 == 1) ? 2u : 1u;
+        if (i % 7 == 5) req.budget.max_nodes = 3;
+        std::atomic<int> streamed{0};
+        SubmitOptions sop;
+        if (i % 3 == 0)
+          sop.on_answer = [&streamed](const std::string&) { ++streamed; };
+        auto t = svc.submit(req, sop);
+        if (i % 11 == 7) t.cancel();  // any phase: queued, running, done
+        const auto& r = t.wait();
+        switch (r.status) {
+          case QueryStatus::Ok:
+          case QueryStatus::Truncated:
+          case QueryStatus::Rejected:
+          case QueryStatus::Cancelled:
+            break;
+          default:
+            ++bad;
+        }
+        if (r.status == QueryStatus::Ok && sop.on_answer &&
+            static_cast<std::size_t>(streamed.load()) < r.answers.size())
+          ++bad;  // every batch answer was streamed first
+      }
+    });
+  }
+  std::thread consulter([&] {
+    for (int i = 0; i < 15; ++i) {
+      svc.consult("extra" + std::to_string(i) + "(x).");
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : clients) t.join();
+  consulter.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.queries, kClients * kPerClient);
+  // Every query is accounted for exactly once in the terminal counters or
+  // completed Ok (cache hits included in queries).
+  EXPECT_EQ(stats.admission.running, 0u);
+  EXPECT_EQ(stats.admission.waiting, 0u);
+}
+
+// Destruction with live tickets: the service cancels queued work and
+// drains the pool; every outstanding ticket completes.
+TEST(ServiceStorm, DestructionCompletesOutstandingTickets) {
+  std::vector<service::QueryTicket> tickets;
+  {
+    service::ServiceOptions so;
+    so.executor_workers = 2;
+    so.max_concurrent_queries = 2;
+    so.admission_queue_limit = 16;
+    QueryService svc(so);
+    svc.consult(workloads::layered_dag(6, 4));
+    for (int i = 0; i < 12; ++i)
+      tickets.push_back(svc.submit({.text = "path(n0_0,Z,P)", .workers = 2}));
+  }  // ~QueryService
+  for (auto& t : tickets) {
+    EXPECT_TRUE(t.poll());  // completed before the destructor returned
+    const auto s = t.wait().status;
+    EXPECT_TRUE(s == QueryStatus::Ok || s == QueryStatus::Cancelled)
+        << service::query_status_name(s);
+  }
+}

@@ -159,7 +159,7 @@ TEST(Parallel, MaxSolutionsStopsEarly) {
   ip.consult_string(layered_dag(3, 3));
   ParallelOptions o;
   o.workers = 4;
-  o.max_solutions = 5;
+  o.limits.max_solutions = 5;
   o.update_weights = false;
   ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(), o);
   auto r = pe.solve(ip.parse_query("path(n0_0,Z,P)"));
@@ -173,7 +173,7 @@ TEST(Parallel, NodeBudgetStopsRunawaySearch) {
   ip.consult_string("nat(z). nat(s(X)) :- nat(X).");
   ParallelOptions o;
   o.workers = 2;
-  o.max_nodes = 100;
+  o.limits.max_nodes = 100;
   o.update_weights = false;
   ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(), o);
   auto r = pe.solve(ip.parse_query("nat(X)"));

@@ -619,7 +619,7 @@ TEST_P(SchedulerKindP, MaxSolutionsNeverOvershootsUnderContention) {
   for (int run = 0; run < 10; ++run) {
     ParallelOptions po;
     po.workers = 8;
-    po.max_solutions = 3;
+    po.limits.max_solutions = 3;
     po.local_capacity = 1;  // maximize sharing → maximize the race
     po.update_weights = false;
     po.scheduler = GetParam();
@@ -746,7 +746,7 @@ TEST(WorkStealingStress, LazyAbandonUnderStopRacesThievesCleanly) {
   for (int run = 0; run < 10; ++run) {
     ParallelOptions po;
     po.workers = 8;
-    po.max_solutions = 3;
+    po.limits.max_solutions = 3;
     po.local_capacity = 1;
     po.steal_deque_capacity = 1;
     po.adaptive_capacity = false;

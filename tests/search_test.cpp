@@ -94,7 +94,7 @@ TEST(Search, MaxSolutionsStopsEarly) {
   Interpreter ip;
   ip.consult_string(kFamily);
   SearchOptions o = opt(Strategy::DepthFirst);
-  o.max_solutions = 1;
+  o.limits.max_solutions = 1;
   auto r = ip.solve("gf(sam,G)", o);
   EXPECT_EQ(r.solutions.size(), 1u);
   EXPECT_FALSE(r.exhausted);
@@ -104,7 +104,7 @@ TEST(Search, MaxNodesBudgetRespected) {
   Interpreter ip;
   ip.consult_string("nat(z). nat(s(X)) :- nat(X).");
   SearchOptions o = opt(Strategy::DepthFirst);
-  o.max_nodes = 50;
+  o.limits.max_nodes = 50;
   auto r = ip.solve("nat(X)", o);
   EXPECT_LE(r.stats.nodes_expanded, 50u);
   EXPECT_FALSE(r.exhausted);
@@ -312,7 +312,7 @@ TEST(Adaptive, SecondQueryExpandsFewerNodes) {
   Interpreter ip;
   ip.consult_string(kFamily);
   SearchOptions o = opt(Strategy::BestFirst);
-  o.max_solutions = 1;
+  o.limits.max_solutions = 1;
   auto r1 = ip.solve("gf(sam,G)", o);
   const auto first = r1.stats.nodes_expanded;
   auto r2 = ip.solve("gf(sam,G)", o);

@@ -234,7 +234,7 @@ TEST(SearchDeadline, PassedDeadlineStopsImmediately) {
   engine::Interpreter ip;
   ip.consult_string(workloads::figure1_family());
   search::SearchOptions o;
-  o.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  o.limits.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
   const auto r = ip.solve("gf(sam,G)", o);
   EXPECT_EQ(r.outcome, search::Outcome::BudgetExceeded);
   EXPECT_EQ(r.stats.nodes_expanded, 0u);
@@ -247,7 +247,7 @@ TEST(SearchDeadline, ParallelDeadlineReportsBudgetExceeded) {
   parallel::ParallelOptions po;
   po.workers = 2;
   po.update_weights = false;
-  po.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  po.limits.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
   parallel::ParallelEngine pe(ip.program(), ip.weights(), &ip.builtins(), po);
   const auto r = pe.solve(ip.parse_query("path(n0_0,Z,P)"));
   EXPECT_EQ(r.outcome, search::Outcome::BudgetExceeded);
