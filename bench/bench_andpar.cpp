@@ -7,8 +7,13 @@
 //  - run-time analysis finds independence that is invisible at compile
 //    time (bindings remove dependencies);
 //  - the semi-join strategy for shared-variable conjunctions beats the
-//    nested-loop combination.
+//    nested-loop combination;
+//  - the unified work-stealing path (AND-groups and OR-alternatives as
+//    work items of ONE scheduler partition) matches the pre-unification
+//    per-group sequential path answer-for-answer while exposing the same
+//    processor-model speedup to any number of workers.
 #include <cstdio>
+#include <string>
 
 #include "blog/andp/exec.hpp"
 #include "blog/support/table.hpp"
@@ -89,11 +94,42 @@ int main() {
     std::printf("  t1(k3,V), t2(k3,W) : %zu group(s), %zu shared var(s)\n",
                 bound.groups.size(), bound.shared_vars);
   }
+  std::printf("CL-ANDP (d): unified work-stealing scheduler vs the "
+              "pre-unification sequential path\n\n");
+  Table t4({"path", "workers", "forked items", "join resolves", "join ms",
+            "solutions", "model speedup"});
+  {
+    const std::string prog = workloads::deductive_db(64, 4);
+    const std::string query =
+        "boss(A,M1), salary_band(A,S1), boss(B,M2), salary_band(B,S2)";
+    const auto row = [&](const char* path, unsigned workers, bool unified) {
+      engine::Interpreter ip;
+      ip.consult_string(prog);
+      andp::AndParallelOptions o;
+      o.search.update_weights = false;
+      o.unified = unified;
+      o.workers = workers;
+      const auto res = andp::solve_and_parallel(ip, query, o);
+      t4.add_row({path, std::to_string(workers),
+                  std::to_string(res.forked_items),
+                  std::to_string(res.join_resolves),
+                  Table::num(res.join_micros / 1000.0),
+                  std::to_string(res.solutions.size()),
+                  Table::num(res.and_speedup())});
+    };
+    row("sequential", 1, /*unified=*/false);
+    for (const unsigned w : {1u, 2u, 8u}) row("unified", w, /*unified=*/true);
+  }
+  std::printf("%s\n", t4.str().c_str());
+
   std::printf(
       "\nexpected shape: speedup tracks the number of balanced groups (→4x\n"
       "with four similar goals); semi-join probes grow linearly with the\n"
       "input while nested-loop comparisons grow quadratically, with equal\n"
       "results; grounding the shared variable at run time splits the\n"
-      "conjunction into independent groups (§7's run-time analysis).\n");
+      "conjunction into independent groups (§7's run-time analysis); the\n"
+      "unified scheduler forks one work item per semi-join goal, resolves\n"
+      "each join exactly once, and reports the same model speedup as the\n"
+      "sequential path at every worker count.\n");
   return 0;
 }

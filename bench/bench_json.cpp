@@ -2,10 +2,12 @@
 // spill/numa/serving/executor headline workloads and emits
 // BENCH_micro.json / BENCH_index.json / BENCH_analysis.json /
 // BENCH_parallel.json / BENCH_spill.json / BENCH_numa.json /
-// BENCH_service.json / BENCH_executor.json (nodes/sec, cells_copied per
+// BENCH_service.json / BENCH_executor.json / BENCH_andor.json
+// (nodes/sec, cells_copied per
 // expansion, trail writes per expansion, copy-on-steal traffic,
 // claim-wait latency, local vs remote steal split, queries/sec, cache
-// hit rate, and persistent-pool vs spawn-per-query qps + tail latency),
+// hit rate, persistent-pool vs spawn-per-query qps + tail latency,
+// and unified AND/OR scheduler speedup + join cost),
 // so the perf trajectory of the engine is recorded PR over PR. Every file carries a "host" record (NUMA node
 // count, CPUs per node, CPU model) so baselines compared across
 // heterogeneous machines stay interpretable. CI's perf-gate job compares
@@ -19,6 +21,7 @@
 #include <string>
 #include <thread>
 
+#include "blog/andp/exec.hpp"
 #include "blog/engine/interpreter.hpp"
 #include "blog/obs/trace.hpp"
 #include "blog/parallel/engine.hpp"
@@ -868,5 +871,68 @@ int main(int argc, char** argv) {
   }
   write_service_json(dir + "BENCH_executor.json", exec_entries,
                      serial_qps, exec_summary);
+
+  // Unified AND/OR scheduler (§7 riding §6's machinery): the sequential
+  // andp path (per-group sequential engine solves) vs the unified
+  // work-stealing path at w ∈ {1,2,8} on a balanced deductive-db
+  // conjunction — two shared-variable semi-join groups of equal cost.
+  // `and_or_w8_speedup` is the paper's processor-model speedup of the w8
+  // unified run over the one-processor sequential cost (Σ group nodes /
+  // critical-path nodes); wall-clock threading speedup is NOT gateable —
+  // CI hosts may have a single core.
+  std::vector<Entry> andor;
+  std::vector<std::pair<std::string, double>> andor_summary;
+  {
+    const std::string prog = workloads::deductive_db(64, 4);
+    const std::string query =
+        "boss(A,M1), salary_band(A,S1), boss(B,M2), salary_band(B,S2)";
+    engine::Interpreter seq;
+    seq.consult_string(prog);
+    search::SearchOptions so;
+    so.update_weights = false;
+    {
+      const auto t0 = Clock::now();
+      const auto r = seq.solve(query, so);
+      Entry e;
+      e.name = "seq_engine";
+      e.secs = seconds_since(t0);
+      e.nodes = r.stats.nodes_expanded;
+      e.solutions = r.solutions.size();
+      andor.push_back(e);
+    }
+    const auto expected = engine::solution_texts(seq.solve(query, so));
+
+    bool match = true;
+    double w8_speedup = 0.0, w8_join_ms = 0.0;
+    const auto run_andor = [&](const std::string& name, unsigned workers,
+                               bool unified) {
+      engine::Interpreter ip;
+      ip.consult_string(prog);
+      andp::AndParallelOptions o;
+      o.search.update_weights = false;
+      o.unified = unified;
+      o.workers = workers;
+      const auto t0 = Clock::now();
+      const auto res = andp::solve_and_parallel(ip, query, o);
+      Entry e;
+      e.name = name;
+      e.secs = seconds_since(t0);
+      e.nodes = res.sequential_nodes;
+      e.solutions = res.solutions.size();
+      match &= res.solutions == expected;
+      if (unified && workers == 8) {
+        w8_speedup = res.and_speedup();
+        w8_join_ms = res.join_micros / 1000.0;
+      }
+      andor.push_back(e);
+    };
+    run_andor("andp_sequential", 1, /*unified=*/false);
+    for (const unsigned w : {1u, 2u, 8u})
+      run_andor("unified_w" + std::to_string(w), w, /*unified=*/true);
+    andor_summary.emplace_back("answers_match", match ? 1.0 : 0.0);
+    andor_summary.emplace_back("and_or_w8_speedup", w8_speedup);
+    andor_summary.emplace_back("join_ms_w8", w8_join_ms);
+  }
+  write_json(dir + "BENCH_andor.json", andor, andor_summary);
   return 0;
 }

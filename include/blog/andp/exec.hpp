@@ -1,26 +1,50 @@
-// AND-parallel execution of conjunctive queries (§7).
+// AND-parallel execution of conjunctive queries (§7), unified with the
+// OR-parallel scheduler (§6).
 //
-// The conjunction is partitioned into independence groups; each group is
-// solved by the OR-tree engine on its own, as if on its own processor, and
-// the group answer sets are combined by cross product (no shared variables
-// between groups, so every combination is consistent). Groups that do share
-// variables can alternatively be solved goal-by-goal and combined with the
-// semi-join algorithm.
+// The conjunction is partitioned into independence groups (plan.hpp) and —
+// by default — every group is forked as stealable work items into ONE
+// work-stealing scheduler partition: OR-alternatives inside a group and
+// sibling AND-groups are stolen by the same idle workers under the same
+// victim policy, bounds, and termination detector. A parallel::JoinNode
+// collects each item's answer rows; when the partition's termination
+// detector fires, the join resolves exactly once and combines the answer
+// sets (cross product across groups — no shared variables, so every
+// combination is consistent; semi-join inside shared-variable groups).
+//
+// The pre-unification path (`unified = false`) solves each group with its
+// own sequential engine run and is kept for regression comparison.
 //
 // Cost model: sequential work = Σ group work; AND-parallel elapsed work =
 // max group work (+ the join/combination cost), which is the speedup the
 // paper predicts for "highly deterministic programs".
 #pragma once
 
-#include "blog/andp/independence.hpp"
 #include "blog/andp/join.hpp"
-#include "blog/engine/interpreter.hpp"
+#include "blog/andp/plan.hpp"
+#include "blog/parallel/executor.hpp"
 
 namespace blog::andp {
 
 struct AndParallelOptions {
-  search::SearchOptions search;  // per-group engine options
-  bool use_semi_join = true;     // join strategy for shared-variable groups
+  /// Per-group engine options. `limits` governs the whole conjunction
+  /// (node budget and deadline are global across groups; max_solutions
+  /// bounds the *joined* answer set — reported as Outcome::SolutionLimit,
+  /// never a silent truncation). `cancel`/`trace` apply to both paths.
+  search::SearchOptions search;
+  bool use_semi_join = true;  // join strategy for shared-variable groups
+  /// Fork decision: compile-time verdict first (default), always the
+  /// run-time scan, or no forking at all.
+  ForkMode fork = ForkMode::Static;
+  /// Run the forked items on the unified work-stealing scheduler
+  /// (default). false = the pre-unification per-group sequential solves.
+  bool unified = true;
+  unsigned workers = 4;  ///< unified path: scheduler worker threads
+  /// Which scheduler realizes the partition on the unified path.
+  parallel::SchedulerKind scheduler = parallel::SchedulerKind::WorkStealing;
+  /// When set, the unified path runs as one job (with forked child roots)
+  /// on this persistent pool instead of spawning its own workers; `workers`
+  /// becomes the job's slot request.
+  parallel::Executor* executor = nullptr;
 };
 
 struct GroupReport {
@@ -38,6 +62,15 @@ struct AndParallelResult {
   /// proved the conjunction independent, so the run-time variable scan
   /// was skipped entirely.
   bool static_independent = false;
+  /// Why execution ended. Anything but Exhausted means the answer set is
+  /// NOT complete — the joined set is then empty rather than silently
+  /// partial (SolutionLimit excepted: the set is the first max_solutions
+  /// of the complete joined set).
+  search::Outcome outcome = search::Outcome::Exhausted;
+  bool unified = false;          ///< ran on the unified scheduler
+  std::size_t forked_items = 0;  ///< work items pushed (0 on legacy path)
+  std::size_t join_resolves = 0;  ///< JoinNode combines run (0 or 1)
+  double join_micros = 0.0;       ///< time inside the join combine
   std::size_t sequential_nodes = 0;   // Σ group nodes (one-processor cost)
   std::size_t critical_path_nodes = 0;  // max group nodes (parallel cost)
   JoinStats join;

@@ -48,7 +48,8 @@ namespace blog::obs {
 /// "category")`. The display name is what Perfetto shows; the category
 /// groups events into `sched` (work-stealing scheduler internals), `runner`
 /// (per-worker OR-tree execution), `service` (QueryService request
-/// lifecycle), and `executor` (persistent-pool job lifecycle).
+/// lifecycle), `executor` (persistent-pool job lifecycle), and `andp`
+/// (AND-parallel fork/join lifecycle).
 /// docs/OBSERVABILITY.md's event table is generated from this list —
 /// extend both together.
 #define BLOG_TRACE_EVENTS(X)                                              \
@@ -85,7 +86,10 @@ namespace blog::obs {
   X(JobStart, "job.start", "executor")                                    \
   X(JobDone, "job.done", "executor")                                      \
   X(JobCancel, "job.cancel", "executor")                                  \
-  X(AnswerStreamed, "answer.stream", "executor")
+  X(AnswerStreamed, "answer.stream", "executor")                          \
+  /* andp: AND-parallel fork/join lifecycle */                            \
+  X(AndFork, "andp.fork", "andp")                                         \
+  X(AndJoin, "andp.join", "andp")
 
 /// Kind of a trace event. One enumerator per `BLOG_TRACE_EVENTS` row, in
 /// table order, plus `kCount` (the number of kinds).

@@ -13,6 +13,7 @@
 /// minimum and the freed worker should acquire the remote chain instead.
 #pragma once
 
+#include <span>
 #include <thread>
 
 #include "blog/engine/interpreter.hpp"
@@ -160,6 +161,16 @@ public:
 
   /// Run one parallel search of `q` to completion (or budget/stop).
   ParallelResult solve(const search::Query& q);
+
+  /// Multi-root solve: every query in `roots` becomes one tagged root
+  /// (fork_tag = index) seeded into the *same* scheduler partition, so
+  /// sibling AND-parallel work items and the OR-alternatives inside each
+  /// are stolen by the same idle workers under one termination detector.
+  /// `fork_nodes` (optional, `fork_tag_count` atomics) receives per-root
+  /// expansion counts — see JobControls::fork_nodes.
+  ParallelResult solve_forked(std::span<const search::Query> roots,
+                              std::atomic<std::uint64_t>* fork_nodes = nullptr,
+                              std::uint32_t fork_tag_count = 0);
 
 private:
   const db::Program& program_;

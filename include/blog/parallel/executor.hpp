@@ -69,6 +69,17 @@ struct JobRequest {
   /// pool size). 1 = sequential solve (SearchEngine semantics — `strategy`
   /// applies) run on one pool worker.
   unsigned slots = 1;
+  /// AND-parallel child work items: extra root queries seeded into the
+  /// job's scheduler partition alongside `query`, so one termination
+  /// detector (and one cancel) covers every forked subtree. Roots are
+  /// tagged for attribution: `query` gets fork_tag 0, forks[i] gets
+  /// fork_tag i+1. Any non-empty forks list makes the job parallel
+  /// (scheduler-backed) even at slots == 1.
+  std::vector<search::Query> forks;
+  /// Optional per-fork-tag expansion counters (1 + forks.size() atomics,
+  /// caller-owned, must outlive the job) — see JobControls::fork_nodes.
+  std::atomic<std::uint64_t>* fork_nodes = nullptr;
+  std::uint32_t fork_tag_count = 0;
   /// Open-list policy of a sequential (slots == 1) job; parallel jobs use
   /// the scheduler's best-first order.
   search::Strategy strategy = search::Strategy::BestFirst;

@@ -52,6 +52,12 @@ struct JobControls {
   /// Streaming hook: called under sol_mu once per recorded answer, in
   /// discovery order, before the answer is appended to `solutions`.
   std::function<void(const search::Solution&)> on_solution;
+  /// Optional per-fork-tag expansion counters (AND-parallel work items):
+  /// fork_nodes[t] is bumped once per expansion of a node whose lineage
+  /// descends from the root tagged `t`. Array of `fork_tag_count` atomics
+  /// owned by whoever armed them; null = no attribution.
+  std::atomic<std::uint64_t>* fork_nodes = nullptr;
+  std::uint32_t fork_tag_count = 0;
 
   /// Arm the cutoffs from unified limits (+ optional cancel flag).
   void arm(const search::ExecutionLimits& limits,

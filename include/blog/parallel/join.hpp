@@ -1,0 +1,95 @@
+/// \file
+/// \brief JoinNode: the AND-parallel join point.
+///
+/// The source paper's full machine runs AND-parallel goal groups and
+/// OR-parallel clause alternatives on the *same* processor fabric. A
+/// conjunction forked into independent work items needs one rendezvous:
+/// every item streams its answers (found by any worker, in any order)
+/// into a JoinNode; when the job's termination detector fires with all
+/// items exhausted, the join resolves exactly once, handing the collected
+/// answer sets to a combine continuation (cross-product or semi-join —
+/// the caller's concern; the JoinNode is parallelism plumbing, not join
+/// algebra).
+///
+/// Cancellation safety: a join that was marked incomplete (budget,
+/// deadline, cancel — some item may still have unexplored alternatives)
+/// refuses to resolve, so partial answer sets can never leak into a
+/// joined result.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace blog::parallel {
+
+/// One AND-parallel rendezvous: per-item answer rows, deposited
+/// concurrently, resolved exactly once.
+class JoinNode {
+ public:
+  /// Collected answers of one work item. A row is one answer: the item's
+  /// variable values in the item's schema order (rendering is the
+  /// depositor's concern). `ground` drops to false when the item reported
+  /// a non-ground answer — the combine may then refuse the item.
+  struct ItemAnswers {
+    std::vector<std::vector<std::string>> rows;
+    bool ground = true;
+  };
+
+  /// The join continuation: receives every item's answer set after all
+  /// items completed. Only called from a successful resolve().
+  using Combine = std::function<void(std::span<const ItemAnswers>)>;
+
+  /// A join expecting `items` work items. Construction counts the items
+  /// into the process-wide forked total (see total_forked()).
+  explicit JoinNode(std::size_t items);
+
+  [[nodiscard]] std::size_t items() const { return items_.size(); }
+
+  /// Deposit one answer row for `item`. Thread-safe; any worker, any
+  /// order. No-op after mark_incomplete() (late stragglers of a cancelled
+  /// job must not touch the result).
+  void deposit(std::size_t item, std::vector<std::string> row);
+
+  /// Record that `item` produced an answer the depositor could not render
+  /// fully ground. Thread-safe.
+  void mark_nonground(std::size_t item);
+
+  /// Poison the join: some item did not run to exhaustion (cancelled,
+  /// budget, deadline). resolve() will refuse, so partial answers never
+  /// leak into a joined set. Thread-safe, idempotent.
+  void mark_incomplete();
+
+  /// Resolve the join exactly once: runs `combine` over the collected
+  /// answer sets and returns true. Returns false — without calling
+  /// `combine` — when the join is incomplete or already resolved.
+  bool resolve(const Combine& combine);
+
+  /// Times resolve() ran its combine (0 or 1; the exactly-once assert of
+  /// the stress tests).
+  [[nodiscard]] std::size_t resolves() const {
+    return resolved_.load(std::memory_order_acquire) ? 1 : 0;
+  }
+  [[nodiscard]] bool incomplete() const {
+    return incomplete_.load(std::memory_order_acquire);
+  }
+
+  /// Process-wide fork/join balance counters: items counted at
+  /// construction vs. items counted at successful resolve. Under a storm
+  /// of completed (un-cancelled) joins the two deltas must match.
+  static std::uint64_t total_forked();
+  static std::uint64_t total_joined();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ItemAnswers> items_;
+  std::atomic<bool> incomplete_{false};
+  std::atomic<bool> resolved_{false};
+};
+
+}  // namespace blog::parallel

@@ -66,6 +66,12 @@ struct DetachedNode {
   ChainPtr chain;                   ///< decision chain for §5 updates
   std::uint64_t id = 0;             ///< node id
   std::uint64_t parent_id = 0;      ///< parent node id
+  /// AND-parallel work-item tag. Every node descends from exactly one
+  /// pushed root; when a conjunction is forked into independent work
+  /// items, each item's root carries a distinct tag and expansion
+  /// inherits it, so per-item node counts can be attributed without
+  /// walking ancestry. 0 for plain single-root jobs.
+  std::uint32_t fork_tag = 0;
 
   /// True when no goals remain: the node is an answer.
   [[nodiscard]] bool is_leaf_solution() const { return goals.empty(); }

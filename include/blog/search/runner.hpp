@@ -136,6 +136,11 @@ public:
   [[nodiscard]] const State& state() const { return state_; }
   [[nodiscard]] const term::Store& store() const { return store_; }
   [[nodiscard]] term::TermRef answer() const { return answer_; }
+  /// AND-parallel work-item tag of the loaded lineage. Every pending
+  /// choice on the stack descends from the loaded node (the worker loop
+  /// only load()s when the stack is empty), so one tag covers the whole
+  /// runner between loads.
+  [[nodiscard]] std::uint32_t fork_tag() const { return fork_tag_; }
 
   /// What one expand() call did.
   struct StepResult {
@@ -332,6 +337,7 @@ private:
   State state_;
   term::TermRef answer_ = term::kNullTerm;
   bool has_state_ = false;
+  std::uint32_t fork_tag_ = 0;  ///< tag of the loaded lineage (see fork_tag())
   bool inplace_commit_ = false;  ///< see set_inplace_commit
 
   // Copy-on-steal bookkeeping. `claim_ping_` outlives the runner through

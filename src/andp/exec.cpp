@@ -1,25 +1,16 @@
 #include "blog/andp/exec.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "blog/analysis/domain.hpp"
-#include "blog/analysis/independence.hpp"
+#include "blog/obs/trace.hpp"
+#include "blog/parallel/join.hpp"
 #include "blog/term/reader.hpp"
 #include "blog/term/writer.hpp"
 
 namespace blog::andp {
 namespace {
-
-void flatten_conj(const term::Store& s, term::TermRef t,
-                  std::vector<term::TermRef>& out) {
-  t = s.deref(t);
-  if (s.is_struct(t) && s.functor(t) == term::comma_symbol() && s.arity(t) == 2) {
-    flatten_conj(s, s.arg(t, 0), out);
-    flatten_conj(s, s.arg(t, 1), out);
-    return;
-  }
-  out.push_back(t);
-}
 
 Symbol answer_functor() {
   static const Symbol s = intern("$ans");
@@ -27,39 +18,21 @@ Symbol answer_functor() {
 }
 
 /// Solve `goals` (in `store`) for the named variables in `vars`, returning
-/// a relation with one row per solution. Rows must be ground; returns
-/// std::nullopt row-wise failure via `ground` flag.
+/// a relation with one row per solution plus the solve's outcome.
 struct RelationResult {
   Relation rel;
   std::size_t nodes = 0;
   bool all_ground = true;
+  search::Outcome outcome = search::Outcome::Exhausted;
 };
-
-/// True when the static analysis proved every goal's predicate grounds all
-/// its arguments on success — the per-row groundness re-check below is
-/// then redundant (sound: Mode::Ground is only claimed when provable).
-bool statically_all_ground(const engine::Interpreter& ip,
-                           const term::Store& s,
-                           const std::vector<term::TermRef>& goals,
-                           const search::SearchOptions& opts) {
-  if (!opts.expander.static_analysis) return false;
-  const auto& a = ip.program().analysis();
-  if (!a) return false;
-  for (const term::TermRef g : goals) {
-    const term::TermRef d = s.deref(g);
-    if (!s.is_atom(d) && !s.is_struct(d)) return false;
-    const analysis::PredicateInfo* pi = a->info(db::pred_of(s, d));
-    if (pi == nullptr || !pi->all_ground_success()) return false;
-  }
-  return true;
-}
 
 RelationResult solve_to_relation(
     engine::Interpreter& ip, const term::Store& store,
     const std::vector<term::TermRef>& goals,
     const std::vector<std::pair<Symbol, term::TermRef>>& vars,
     const search::SearchOptions& opts) {
-  const bool assume_ground = statically_all_ground(ip, store, goals, opts);
+  const bool assume_ground = statically_all_ground(
+      ip, store, goals, opts.expander.static_analysis);
   RelationResult out;
   for (const auto& [name, v] : vars) out.rel.schema.push_back(name);
 
@@ -75,6 +48,7 @@ RelationResult solve_to_relation(
 
   const auto res = ip.solve(q, opts);
   out.nodes = res.stats.nodes_expanded;
+  out.outcome = res.outcome;
   for (const auto& sol : res.solutions) {
     std::vector<std::string> row;
     if (!vars.empty()) {
@@ -89,6 +63,341 @@ RelationResult solve_to_relation(
     out.rel.rows.push_back(std::move(row));
   }
   return out;
+}
+
+/// A work item's collected answers as a Relation over its schema.
+Relation item_relation(const WorkItem& item,
+                       const parallel::JoinNode::ItemAnswers& ans) {
+  Relation r;
+  r.schema.reserve(item.vars.size());
+  for (const auto& [name, v] : item.vars) r.schema.push_back(name);
+  r.rows = ans.rows;
+  return r;
+}
+
+/// Render `combined` rows as "X=a,Y=b" in query-variable order (matching
+/// the sequential engine), sorted.
+void render_solutions(const Relation& combined,
+                      const std::vector<std::pair<Symbol, term::TermRef>>& qvars,
+                      std::vector<std::string>& out) {
+  for (const auto& row : combined.rows) {
+    std::string text;
+    for (const auto& [name, v] : qvars) {
+      const auto col = combined.column(name);
+      if (col < 0) continue;
+      if (!text.empty()) text += ",";
+      text += symbol_name(name) + "=" + row[static_cast<std::size_t>(col)];
+    }
+    if (text.empty()) text = "true";
+    out.push_back(std::move(text));
+  }
+  std::sort(out.begin(), out.end());
+}
+
+/// Bound the *joined* answer set: max_solutions is applied after the
+/// combine (on the sorted set, so the cut is deterministic) and reported
+/// as SolutionLimit — never a silent cross-product truncation.
+void apply_solution_limit(AndParallelResult& out, std::size_t max_solutions) {
+  if (out.outcome != search::Outcome::Exhausted) return;
+  if (out.solutions.size() <= max_solutions) return;
+  out.solutions.resize(max_solutions);
+  out.outcome = search::Outcome::SolutionLimit;
+}
+
+/// The query-variable slice covered by one group (union of its goals'
+/// variables, query order) — the fallback re-solve schema.
+std::vector<std::pair<Symbol, term::TermRef>> group_vars(
+    const term::Store& store,
+    const std::vector<std::pair<Symbol, term::TermRef>>& qvars,
+    const std::vector<term::TermRef>& goals,
+    const std::vector<std::size_t>& group, GoalVarCache& cache) {
+  std::vector<std::pair<Symbol, term::TermRef>> vs;
+  for (const auto& [name, v] : qvars) {
+    const term::TermRef dv = store.deref(v);
+    for (const std::size_t gi : group) {
+      const auto& gv = cache.vars(goals[gi]);
+      if (std::find(gv.begin(), gv.end(), dv) != gv.end()) {
+        vs.emplace_back(name, v);
+        break;
+      }
+    }
+  }
+  return vs;
+}
+
+/// Pre-unification execution: each group solved by its own sequential
+/// engine run (kept for regression comparison). Limits are threaded
+/// across groups — the node budget is global, and a group solve that ends
+/// on anything but Exhausted propagates its outcome instead of joining a
+/// partial relation.
+void solve_legacy(engine::Interpreter& ip, const term::Store& store,
+                  const std::vector<std::pair<Symbol, term::TermRef>>& qvars,
+                  const std::vector<term::TermRef>& goals, GoalVarCache& cache,
+                  const ForkPlan& plan, const AndParallelOptions& opts,
+                  AndParallelResult& out) {
+  std::size_t nodes_used = 0;
+  const std::size_t max_nodes = opts.search.limits.max_nodes;
+  // Per-group engine options: the remaining global node budget, no
+  // solution cap (max_solutions bounds the joined set, not a group's
+  // relation — capping here would silently truncate cross-products).
+  const auto group_opts = [&] {
+    search::SearchOptions o = opts.search;
+    o.limits.max_solutions = std::numeric_limits<std::size_t>::max();
+    o.limits.max_nodes = max_nodes - std::min(nodes_used, max_nodes);
+    return o;
+  };
+  const auto check = [&](const RelationResult& rr) {
+    nodes_used += rr.nodes;
+    if (rr.outcome == search::Outcome::Exhausted) return true;
+    out.outcome = rr.outcome;
+    return false;
+  };
+
+  Relation combined;
+  bool first = true;
+  for (std::size_t g = 0; g < plan.analysis.groups.size(); ++g) {
+    const auto& group = plan.analysis.groups[g];
+    GroupReport grep;
+    grep.goal_indices = group;
+
+    std::vector<term::TermRef> ggoals;
+    for (const std::size_t gi : group) ggoals.push_back(goals[gi]);
+    const auto gvars = group_vars(store, qvars, goals, group, cache);
+
+    Relation grel;
+    const auto& item_ids = plan.group_items[g];
+    if (plan.items[item_ids.front()].per_goal) {
+      // Shared-variable group: per-goal relations combined by semi-join.
+      bool join_ok = true;
+      std::vector<Relation> rels;
+      for (const std::size_t id : item_ids) {
+        const WorkItem& item = plan.items[id];
+        auto rr = solve_to_relation(ip, store, {goals[item.goal_indices[0]]},
+                                    item.vars, group_opts());
+        grep.nodes_expanded += rr.nodes;
+        if (!check(rr)) {
+          out.solutions.clear();
+          return;
+        }
+        if (!rr.all_ground) {
+          join_ok = false;
+          break;
+        }
+        rels.push_back(std::move(rr.rel));
+      }
+      if (join_ok && !rels.empty()) {
+        grel = std::move(rels.front());
+        for (std::size_t r = 1; r < rels.size(); ++r)
+          grel = semi_join_then_join(grel, rels[r], &out.join);
+      } else {
+        // Fall back to sequential resolution of the whole group.
+        auto rr = solve_to_relation(ip, store, ggoals, gvars, group_opts());
+        grep.nodes_expanded += rr.nodes;
+        if (!check(rr)) {
+          out.solutions.clear();
+          return;
+        }
+        grel = std::move(rr.rel);
+      }
+    } else {
+      auto rr = solve_to_relation(ip, store, ggoals, gvars, group_opts());
+      grep.nodes_expanded = rr.nodes;
+      if (!check(rr)) {
+        out.solutions.clear();
+        return;
+      }
+      grel = std::move(rr.rel);
+    }
+
+    grep.solutions = grel.size();
+    out.sequential_nodes += grep.nodes_expanded;
+    out.critical_path_nodes = std::max(out.critical_path_nodes, grep.nodes_expanded);
+    out.groups.push_back(std::move(grep));
+
+    // Combine with previous groups: disjoint schemas ⇒ cross product.
+    if (first) {
+      combined = std::move(grel);
+      first = false;
+    } else {
+      combined = hash_join(combined, grel, &out.join);
+    }
+    if (combined.rows.empty() && !combined.schema.empty()) break;
+  }
+
+  render_solutions(combined, qvars, out.solutions);
+}
+
+/// Unified execution: all work items forked into one scheduler partition
+/// (standalone workers or an Executor job), answers deposited into a
+/// JoinNode, combined exactly once after the partition's termination
+/// detector fires.
+void solve_unified(engine::Interpreter& ip, const term::Store& store,
+                   const std::vector<std::pair<Symbol, term::TermRef>>& qvars,
+                   const std::vector<term::TermRef>& goals, GoalVarCache& cache,
+                   ForkPlan& plan, const AndParallelOptions& opts,
+                   AndParallelResult& out) {
+  const std::size_t n_items = plan.items.size();
+  out.unified = true;
+  out.forked_items = n_items;
+
+  parallel::JoinNode jn(n_items);
+  // Per-item expansion counters: fork tags == item ids, stamped on the
+  // roots and inherited through every expansion (see DetachedNode::fork_tag).
+  std::vector<std::atomic<std::uint64_t>> fork_nodes(n_items);
+
+  // Answer sink: solutions self-identify via their $andp(Id, ...) wrapper;
+  // decode and deposit. Runs under the job's solution lock.
+  const auto sink = [&](const search::Solution& sol) {
+    DecodedAnswer dec = decode_forked_answer(sol);
+    if (!dec.ground && !plan.items[dec.item].assume_ground &&
+        plan.items[dec.item].per_goal)
+      jn.mark_nonground(dec.item);
+    jn.deposit(dec.item, std::move(dec.values));
+  };
+
+  obs::TraceSink* trace = opts.search.trace;
+  for (const WorkItem& item : plan.items)
+    obs::trace(trace, obs::client_lane(), obs::EventKind::kAndFork,
+               static_cast<std::uint32_t>(item.id));
+
+  parallel::ParallelOptions popts;
+  popts.workers = std::max(1u, opts.workers);
+  popts.scheduler = opts.scheduler;
+  popts.limits = opts.search.limits;
+  // max_solutions bounds the *joined* set; the items run unbounded and
+  // the cap is applied after the combine (apply_solution_limit).
+  popts.limits.max_solutions = std::numeric_limits<std::size_t>::max();
+  popts.update_weights = opts.search.update_weights;
+  popts.expander = opts.search.expander;
+  popts.cancel = opts.search.cancel;
+  popts.trace = trace;
+
+  parallel::ParallelResult pr;
+  if (opts.executor != nullptr) {
+    // One pool job whose partition holds every forked root: items[0] is
+    // the job's query (fork_tag 0), the rest ride as child work items.
+    parallel::JobRequest req;
+    req.program = &ip.program();
+    req.weights = &ip.weights();
+    req.builtins = &ip.builtins();
+    req.slots = popts.workers;
+    req.opts = popts;
+    req.query = std::move(plan.items[0].query);
+    req.forks.reserve(n_items - 1);
+    for (std::size_t i = 1; i < n_items; ++i)
+      req.forks.push_back(std::move(plan.items[i].query));
+    req.fork_nodes = fork_nodes.data();
+    req.fork_tag_count = static_cast<std::uint32_t>(n_items);
+    req.on_answer = sink;
+    const parallel::JobTicket ticket = opts.executor->submit(std::move(req));
+    if (!ticket.valid()) {
+      // Pool refused (queue full): honest refusal, no partial answers.
+      out.outcome = search::Outcome::Cancelled;
+      jn.mark_incomplete();
+    } else {
+      pr = ticket.wait();
+    }
+  } else {
+    popts.on_solution = sink;
+    std::vector<search::Query> roots;
+    roots.reserve(n_items);
+    for (WorkItem& item : plan.items) roots.push_back(std::move(item.query));
+    parallel::ParallelEngine eng(ip.program(), ip.weights(), &ip.builtins(),
+                                 popts);
+    pr = eng.solve_forked(roots, fork_nodes.data(),
+                          static_cast<std::uint32_t>(n_items));
+  }
+  if (out.outcome == search::Outcome::Exhausted) out.outcome = pr.outcome;
+
+  // Per-group node attribution from the fork-tag counters.
+  std::vector<std::size_t> group_nodes(plan.analysis.groups.size(), 0);
+  for (const WorkItem& item : plan.items)
+    group_nodes[item.group] +=
+        fork_nodes[item.id].load(std::memory_order_relaxed);
+
+  if (out.outcome != search::Outcome::Exhausted) {
+    // Some item may still have unexplored alternatives (budget, deadline,
+    // cancel): poison the join so partial answers never leak.
+    jn.mark_incomplete();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Relation combined;
+  const bool resolved = jn.resolve([&](auto answers) {
+    bool first = true;
+    for (std::size_t g = 0; g < plan.analysis.groups.size(); ++g) {
+      const auto& group = plan.analysis.groups[g];
+      GroupReport grep;
+      grep.goal_indices = group;
+      grep.nodes_expanded = group_nodes[g];
+
+      Relation grel;
+      const auto& item_ids = plan.group_items[g];
+      if (plan.items[item_ids.front()].per_goal) {
+        bool join_ok = true;
+        for (const std::size_t id : item_ids) join_ok &= answers[id].ground;
+        if (join_ok) {
+          grel = item_relation(plan.items[item_ids[0]], answers[item_ids[0]]);
+          for (std::size_t r = 1; r < item_ids.size(); ++r)
+            grel = semi_join_then_join(
+                grel, item_relation(plan.items[item_ids[r]], answers[item_ids[r]]),
+                &out.join);
+        } else {
+          // A goal's relation did not ground its variables: the per-goal
+          // split is unsound for this group — re-solve it whole,
+          // sequentially (same fallback as the legacy path).
+          std::vector<term::TermRef> ggoals;
+          for (const std::size_t gi : group) ggoals.push_back(goals[gi]);
+          search::SearchOptions o = opts.search;
+          o.limits.max_solutions = std::numeric_limits<std::size_t>::max();
+          auto rr = solve_to_relation(
+              ip, store, ggoals, group_vars(store, qvars, goals, group, cache),
+              o);
+          grep.nodes_expanded += rr.nodes;
+          group_nodes[g] += rr.nodes;
+          grel = std::move(rr.rel);
+        }
+      } else {
+        grel = item_relation(plan.items[item_ids[0]], answers[item_ids[0]]);
+      }
+
+      grep.solutions = grel.size();
+      out.groups.push_back(std::move(grep));
+
+      if (first) {
+        combined = std::move(grel);
+        first = false;
+      } else {
+        combined = hash_join(combined, grel, &out.join);
+      }
+    }
+  });
+  out.join_micros =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  out.join_resolves = jn.resolves();
+
+  for (const std::size_t n : group_nodes) {
+    out.sequential_nodes += n;
+    out.critical_path_nodes = std::max(out.critical_path_nodes, n);
+  }
+
+  if (!resolved) {
+    // Incomplete join: report the honest outcome with an empty set and
+    // the per-group progress made so far.
+    for (std::size_t g = 0; g < plan.analysis.groups.size(); ++g) {
+      GroupReport grep;
+      grep.goal_indices = plan.analysis.groups[g];
+      grep.nodes_expanded = group_nodes[g];
+      out.groups.push_back(std::move(grep));
+    }
+    return;
+  }
+
+  obs::trace(trace, obs::client_lane(), obs::EventKind::kAndJoin,
+             static_cast<std::uint32_t>(combined.rows.size()));
+  render_solutions(combined, qvars, out.solutions);
 }
 
 }  // namespace
@@ -110,7 +419,7 @@ AndParallelResult solve_and_parallel(engine::Interpreter& ip,
   term::Store store;
   const term::ReadTerm rt = term::parse_term(query_text, store);
   std::vector<term::TermRef> goals;
-  flatten_conj(store, rt.term, goals);
+  flatten_conjunction(store, rt.term, goals);
 
   // One memoized variable-scan per goal serves the independence analysis
   // and every variable-slicing pass below (the store's bindings never
@@ -118,126 +427,18 @@ AndParallelResult solve_and_parallel(engine::Interpreter& ip,
   // stores).
   GoalVarCache var_cache(store);
 
-  // Compile-time verdict first: a freshly parsed conjunction has only
-  // unbound variables, so syntactic disjointness is definitive and the
-  // run-time union-find scan can be skipped. Dependent/Unknown verdicts
-  // still need the scan — the grouping itself is its output.
-  IndependenceAnalysis analysis;
-  const bool fresh_parse = opts.search.expander.static_analysis;
-  if (fresh_parse && analysis::static_conjunction_verdict(store, goals) ==
-                         analysis::Indep::Independent) {
-    out.static_independent = true;
-    analysis.groups.reserve(goals.size());
-    for (std::size_t i = 0; i < goals.size(); ++i)
-      analysis.groups.push_back({i});
-    analysis.shared_vars = 0;
-  } else {
-    analysis = analyze(store, goals, &var_cache);
-  }
-  out.shared_vars = analysis.shared_vars;
+  ForkPlan plan =
+      plan_fork(ip, store, rt.variables, goals, var_cache, opts.fork,
+                opts.use_semi_join, opts.search.expander.static_analysis);
+  out.shared_vars = plan.analysis.shared_vars;
+  out.static_independent = plan.static_independent;
 
-  // Variables used by each goal (to slice the query's named variables).
-  const auto goal_vars = [&](std::size_t i) -> const std::vector<term::TermRef>& {
-    return var_cache.vars(goals[i]);
-  };
+  if (opts.unified)
+    solve_unified(ip, store, rt.variables, goals, var_cache, plan, opts, out);
+  else
+    solve_legacy(ip, store, rt.variables, goals, var_cache, plan, opts, out);
 
-  auto vars_of = [&](const std::vector<std::size_t>& goal_idx) {
-    std::vector<std::pair<Symbol, term::TermRef>> vs;
-    for (const auto& [name, v] : rt.variables) {
-      const term::TermRef dv = store.deref(v);
-      for (const std::size_t gi : goal_idx) {
-        const auto& gv = goal_vars(gi);
-        if (std::find(gv.begin(), gv.end(), dv) != gv.end()) {
-          vs.emplace_back(name, v);
-          break;
-        }
-      }
-    }
-    return vs;
-  };
-
-  // Solve each independence group (conceptually in parallel).
-  Relation combined;
-  bool first = true;
-  for (const auto& group : analysis.groups) {
-    GroupReport grep;
-    grep.goal_indices = group;
-
-    std::vector<term::TermRef> ggoals;
-    for (const std::size_t gi : group) ggoals.push_back(goals[gi]);
-    const auto gvars = vars_of(group);
-
-    // Builtin goals have no solution relation of their own (they constrain
-    // other goals' bindings); a group containing one must run sequentially.
-    bool has_builtin = false;
-    for (const std::size_t gi : group)
-      has_builtin |= ip.builtins().is_builtin(db::pred_of(store, goals[gi]));
-
-    Relation grel;
-    if (group.size() > 1 && opts.use_semi_join && !has_builtin) {
-      // Shared-variable group: per-goal relations combined by semi-join.
-      bool join_ok = true;
-      std::vector<Relation> rels;
-      for (const std::size_t gi : group) {
-        std::vector<std::pair<Symbol, term::TermRef>> gv;
-        for (const auto& [name, v] : rt.variables) {
-          const term::TermRef dv = store.deref(v);
-          const auto& gvars = goal_vars(gi);
-          if (std::find(gvars.begin(), gvars.end(), dv) != gvars.end())
-            gv.emplace_back(name, v);
-        }
-        auto rr = solve_to_relation(ip, store, {goals[gi]}, gv, opts.search);
-        grep.nodes_expanded += rr.nodes;
-        if (!rr.all_ground) {
-          join_ok = false;
-          break;
-        }
-        rels.push_back(std::move(rr.rel));
-      }
-      if (join_ok && !rels.empty()) {
-        grel = std::move(rels.front());
-        for (std::size_t r = 1; r < rels.size(); ++r)
-          grel = semi_join_then_join(grel, rels[r], &out.join);
-      } else {
-        // Fall back to sequential resolution of the whole group.
-        auto rr = solve_to_relation(ip, store, ggoals, gvars, opts.search);
-        grep.nodes_expanded += rr.nodes;
-        grel = std::move(rr.rel);
-      }
-    } else {
-      auto rr = solve_to_relation(ip, store, ggoals, gvars, opts.search);
-      grep.nodes_expanded = rr.nodes;
-      grel = std::move(rr.rel);
-    }
-
-    grep.solutions = grel.size();
-    out.sequential_nodes += grep.nodes_expanded;
-    out.critical_path_nodes = std::max(out.critical_path_nodes, grep.nodes_expanded);
-    out.groups.push_back(std::move(grep));
-
-    // Combine with previous groups: disjoint schemas ⇒ cross product.
-    if (first) {
-      combined = std::move(grel);
-      first = false;
-    } else {
-      combined = hash_join(combined, grel, &out.join);
-    }
-    if (combined.rows.empty() && !combined.schema.empty()) break;
-  }
-
-  // Render solutions in query-variable order, matching the interpreter.
-  for (const auto& row : combined.rows) {
-    std::string text;
-    for (const auto& [name, v] : rt.variables) {
-      const auto col = combined.column(name);
-      if (col < 0) continue;
-      if (!text.empty()) text += ",";
-      text += symbol_name(name) + "=" + row[static_cast<std::size_t>(col)];
-    }
-    if (text.empty()) text = "true";
-    out.solutions.push_back(std::move(text));
-  }
-  std::sort(out.solutions.begin(), out.solutions.end());
+  apply_solution_limit(out, opts.search.limits.max_solutions);
   return out;
 }
 

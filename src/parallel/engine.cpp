@@ -13,6 +13,12 @@ ParallelEngine::ParallelEngine(const db::Program& program, db::WeightStore& weig
     : program_(program), weights_(weights), builtins_(builtins), opts_(opts) {}
 
 ParallelResult ParallelEngine::solve(const search::Query& q) {
+  return solve_forked({&q, 1});
+}
+
+ParallelResult ParallelEngine::solve_forked(
+    std::span<const search::Query> roots,
+    std::atomic<std::uint64_t>* fork_nodes, std::uint32_t fork_tag_count) {
   search::Expander expander(program_, weights_, builtins_, opts_.expander);
   SchedulerTuning tuning;
   tuning.adaptive = opts_.adaptive_capacity;
@@ -37,13 +43,22 @@ ParallelResult ParallelEngine::solve(const search::Query& q) {
                           opts_.scheduler == SchedulerKind::WorkStealing;
   const std::unique_ptr<Scheduler> net = make_scheduler(
       opts_.scheduler, opts_.workers, opts_.steal_deque_capacity, tuning);
-  net->push_root(expander.make_root(q));
+  // Every root enters the same partition; push_root bumps the scheduler's
+  // outstanding-work counter per call, so one termination detector covers
+  // all forked subtrees.
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    search::DetachedNode root = expander.make_root(roots[i]);
+    root.fork_tag = static_cast<std::uint32_t>(i);
+    net->push_root(std::move(root));
+  }
 
   ParallelResult result;
   result.workers.resize(opts_.workers);
   JobControls ctl;
   ctl.arm(opts_.limits, opts_.cancel);
   ctl.on_solution = opts_.on_solution;
+  ctl.fork_nodes = fork_nodes;
+  ctl.fork_tag_count = fork_tag_count;
   JobConfig cfg;
   cfg.d_threshold = opts_.d_threshold;
   cfg.local_capacity = opts_.local_capacity;

@@ -17,7 +17,7 @@ struct JobState {
   JobRequest req;
   unsigned slots = 1;
 
-  // Parallel machinery (slots > 1). The expander binds the request's
+  // Parallel machinery (slots > 1 or forked roots). The expander binds the request's
   // program/weights/builtins; the scheduler is this job's partition of the
   // minimum-seeking network (its outstanding-work counter is the per-job
   // termination detector).
@@ -149,7 +149,10 @@ JobTicket Executor::submit(JobRequest req) {
                    ? &preempt_epoch_
                    : nullptr;
 
-  if (job->slots > 1) {
+  // A job is scheduler-backed when it wants parallel width OR carries
+  // AND-parallel child work items (forked roots need the partition's
+  // termination detector even at slots == 1).
+  if (job->slots > 1 || !r.forks.empty()) {
     job->expander = std::make_unique<search::Expander>(
         *r.program, *r.weights, r.builtins, r.opts.expander);
     SchedulerTuning tuning;
@@ -171,7 +174,14 @@ JobTicket Executor::submit(JobRequest req) {
     job->net = make_scheduler(r.opts.scheduler, job->slots,
                               r.opts.steal_deque_capacity, tuning);
     job->net->push_root(job->expander->make_root(r.query));
+    for (std::size_t i = 0; i < r.forks.size(); ++i) {
+      search::DetachedNode root = job->expander->make_root(r.forks[i]);
+      root.fork_tag = static_cast<std::uint32_t>(i + 1);
+      job->net->push_root(std::move(root));
+    }
     job->ctl.arm(r.opts.limits, &job->cancel_flag);
+    job->ctl.fork_nodes = r.fork_nodes;
+    job->ctl.fork_tag_count = r.fork_tag_count;
     if (r.on_answer) {
       JobState* js = job.get();
       job->ctl.on_solution = [js](const search::Solution& s) {
@@ -272,7 +282,7 @@ void Executor::worker_main(unsigned worker) {
                  obs::EventKind::kJobStart,
                  static_cast<std::uint32_t>(job->id));
 
-    if (job->slots > 1) {
+    if (job->net) {
       if (!job->wstats[slot].numa_node) job->wstats[slot].numa_node = numa_node;
       run_job_worker(*job->expander, *job->req.weights, *job->net, slot,
                      static_cast<std::uint16_t>(worker), job->wstats[slot],
@@ -330,7 +340,7 @@ void Executor::run_sequential(detail::JobState& job) {
 
 void Executor::finalize(const std::shared_ptr<detail::JobState>& job) {
   ParallelResult r;
-  if (job->slots > 1) {
+  if (job->net) {
     r.solutions = std::move(job->ctl.solutions);
     r.workers = std::move(job->wstats);
     r.network = job->net->stats();

@@ -135,6 +135,9 @@ void run_job_worker(const search::Expander& expander, db::WeightStore& weights,
         break;
       }
       ++ws.expanded;
+      if (ctl.fork_nodes != nullptr && runner.fork_tag() < ctl.fork_tag_count)
+        ctl.fork_nodes[runner.fork_tag()].fetch_add(
+            1, std::memory_order_relaxed);
       if (trace != nullptr) ++burst;
     }
     resuming = false;

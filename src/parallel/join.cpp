@@ -1,0 +1,51 @@
+#include "blog/parallel/join.hpp"
+
+namespace blog::parallel {
+
+namespace {
+std::atomic<std::uint64_t> g_forked{0};
+std::atomic<std::uint64_t> g_joined{0};
+}  // namespace
+
+JoinNode::JoinNode(std::size_t items) : items_(items) {
+  g_forked.fetch_add(items, std::memory_order_relaxed);
+}
+
+void JoinNode::deposit(std::size_t item, std::vector<std::string> row) {
+  if (incomplete_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  items_[item].rows.push_back(std::move(row));
+}
+
+void JoinNode::mark_nonground(std::size_t item) {
+  std::lock_guard<std::mutex> lk(mu_);
+  items_[item].ground = false;
+}
+
+void JoinNode::mark_incomplete() {
+  incomplete_.store(true, std::memory_order_release);
+}
+
+bool JoinNode::resolve(const Combine& combine) {
+  if (incomplete_.load(std::memory_order_acquire)) return false;
+  bool expect = false;
+  if (!resolved_.compare_exchange_strong(expect, true,
+                                         std::memory_order_acq_rel))
+    return false;
+  // All depositors are done by contract (the job's termination detector
+  // fired), so the lock is uncontended — held anyway to fence their
+  // writes.
+  std::lock_guard<std::mutex> lk(mu_);
+  combine(std::span<const ItemAnswers>(items_.data(), items_.size()));
+  g_joined.fetch_add(items_.size(), std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t JoinNode::total_forked() {
+  return g_forked.load(std::memory_order_relaxed);
+}
+std::uint64_t JoinNode::total_joined() {
+  return g_joined.load(std::memory_order_relaxed);
+}
+
+}  // namespace blog::parallel

@@ -150,6 +150,7 @@ DetachedNode Expander::make_child(const DetachedNode& parent, const db::Clause& 
   child.chain = std::make_shared<Chain>(Chain{arc, parent.chain});
   child.id = next_id();
   child.parent_id = parent.id;
+  child.fork_tag = parent.fork_tag;
   if (stats) {
     stats->cells_copied += child.store.size();
     ++stats->detaches;

@@ -28,6 +28,7 @@ void Runner::load_root(const Query& q) {
     state_.goals.push_back(g);
   }
   state_.id = ex_.next_id();
+  fork_tag_ = 0;
   has_state_ = true;
 }
 
@@ -46,6 +47,7 @@ void Runner::load(DetachedNode n) {
   state_.chain = std::move(n.chain);
   state_.id = n.id;
   state_.parent_id = n.parent_id;
+  fork_tag_ = n.fork_tag;
   has_state_ = true;
 }
 
@@ -437,6 +439,7 @@ DetachedNode Runner::materialize(PendingChoice&& c, ExpandStats* stats) {
   d.chain = std::move(c.chain);
   d.id = c.id;
   d.parent_id = c.parent_id;
+  d.fork_tag = fork_tag_;
 
   // Discard the transient clause application.
   term::rollback(store_, trail_, c.cp);
@@ -522,6 +525,7 @@ DetachedNode Runner::detach_state(ExpandStats* stats) {
   d.chain = std::move(state_.chain);
   d.id = state_.id;
   d.parent_id = state_.parent_id;
+  d.fork_tag = fork_tag_;
   has_state_ = false;
   if (stats) {
     stats->cells_copied += d.store.size();
@@ -645,6 +649,7 @@ DetachedNode Runner::materialize_as_of(const PendingChoice& c,
   d.chain = c.chain;
   d.id = c.id;
   d.parent_id = c.parent_id;
+  d.fork_tag = fork_tag_;
   if (stats) {
     stats->cells_copied += d.store.size();
     ++stats->detaches;

@@ -1,8 +1,11 @@
-// Second-wave AND-parallel tests: join algebra edge cases and executor
-// corner cases.
+// Second-wave AND-parallel tests: join algebra edge cases, executor
+// corner cases, and the unified-scheduler fork/join stress storm.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "blog/andp/exec.hpp"
+#include "blog/parallel/join.hpp"
 
 namespace blog::andp {
 namespace {
@@ -133,6 +136,86 @@ TEST(AndExec2, SpeedupNeverBelowOne) {
   ip.consult_string("p(1). q(2). r(3).");
   const auto res = solve_and_parallel(ip, "p(A), q(B), r(C)");
   EXPECT_GE(res.and_speedup(), 1.0);
+}
+
+// ------------------------------------------------------------------ storm --
+// TSan stress (run in the CI tsan job's isolated step list): an 8-worker
+// Executor pool under a storm of concurrent mixed AND/OR conjunctions.
+// Every query's forked items run as child work items of one pool job;
+// the fork/join balance counters must come out even and every JoinNode
+// must resolve exactly once.
+
+TEST(AndOrStorm, EightWorkerMixedQueriesBalanceForkJoinCounters) {
+  const char* kProgram = R"(
+    p(1). p(2). p(3).
+    q(a). q(b).
+    e(1,a). e(2,b). e(3,c).
+    f(a,x). f(b,y). f(c,x).
+    g(x,u). g(y,v).
+    edge(n1,n2). edge(n2,n3). edge(n1,n3). edge(n3,n4).
+    reach(X,X).
+    reach(X,Z) :- edge(X,Y), reach(Y,Z).
+  )";
+  // Mixed shapes: pure cross product (AND), a shared-variable semi-join
+  // chain, a recursive OR-heavy goal beside an AND sibling, single-goal OR.
+  const std::vector<std::string> kQueries = {
+      "p(X), q(Y)",
+      "e(A,B), f(B,C), g(C,D)",
+      "reach(n1,R), p(N)",
+      "reach(n1,R)",
+  };
+
+  Interpreter ip;
+  ip.consult_string(kProgram);
+  // Expected sets, computed sequentially up front.
+  std::vector<std::vector<std::string>> expected;
+  {
+    Interpreter seq;
+    seq.consult_string(kProgram);
+    search::SearchOptions so;
+    so.update_weights = false;
+    for (const auto& q : kQueries)
+      expected.push_back(engine::solution_texts(seq.solve(q, so)));
+  }
+
+  parallel::ExecutorOptions eo;
+  eo.workers = 8;
+  eo.numa_aware = false;
+  parallel::Executor pool(eo);
+
+  const std::uint64_t forked0 = parallel::JoinNode::total_forked();
+  const std::uint64_t joined0 = parallel::JoinNode::total_joined();
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t qi =
+            static_cast<std::size_t>(c + round) % kQueries.size();
+        AndParallelOptions o;
+        o.search.update_weights = false;
+        o.executor = &pool;
+        o.workers = 4;
+        const auto res = solve_and_parallel(ip, kQueries[qi], o);
+        if (res.outcome != search::Outcome::Exhausted ||
+            res.join_resolves != 1 ||
+            engine::solution_texts(res.solutions) != expected[qi])
+          failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Every forked item was joined: no join resolved early (with items
+  // outstanding) and none was left dangling.
+  EXPECT_EQ(parallel::JoinNode::total_forked() - forked0,
+            parallel::JoinNode::total_joined() - joined0);
+  EXPECT_GT(parallel::JoinNode::total_forked() - forked0, 0u);
 }
 
 }  // namespace

@@ -216,6 +216,78 @@ TEST_P(EngineConsistency, AndParallelMatchesSequential) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineConsistency,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
 
+// ------------------------------------- unified AND/OR scheduler properties --
+
+/// Random conjunctions over the deductive-db workload: every goal keeps at
+/// least one variable (so both engines render bindings, not "true"), args
+/// are drawn from a shared variable pool plus occasional ground constants.
+class UnifiedAndOr : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string random_dd_conjunction(Rng& rng) {
+  static const char* kVars[] = {"A", "B", "C", "D", "E", "F"};
+  // Constant pools by second-argument domain of deductive_db(24, 4).
+  static const std::vector<std::vector<std::string>> kPools = {
+      /*employees*/ {"e0", "e1", "e5", "e11", "e23"},
+      /*departments*/ {"d0", "d1", "d2", "d3"},
+      /*managers*/ {"m0", "m1", "m2", "m3"},
+      /*bands*/ {"junior", "mid", "senior", "staff"},
+  };
+  struct Sig {
+    const char* name;
+    int dom1;
+  };
+  static const Sig kSigs[] = {
+      {"works_in", 1}, {"salary_band", 3}, {"manages", 1},
+      {"boss", 2},     {"peer", 0},
+  };
+
+  const int goals = 2 + static_cast<int>(rng.below(3));  // 2..4 goals
+  std::string q;
+  for (int g = 0; g < goals; ++g) {
+    const Sig& sig = kSigs[rng.below(std::size(kSigs))];
+    // Each arg: variable from the pool (70%) or a ground constant (30%);
+    // arg 0 is forced to a variable so no goal is fully ground.
+    std::string a0 = kVars[rng.below(std::size(kVars))];
+    std::string a1 = rng.chance(0.7)
+                         ? kVars[rng.below(std::size(kVars))]
+                         : kPools[sig.dom1][rng.below(kPools[sig.dom1].size())];
+    if (!q.empty()) q += ", ";
+    q += std::string(sig.name) + "(" + a0 + "," + a1 + ")";
+  }
+  return q;
+}
+
+TEST_P(UnifiedAndOr, SolutionsEqualSequentialAcrossJoinStrategies) {
+  Rng rng(GetParam() * 6151 + 13);
+  const std::string program = workloads::deductive_db(24, 4);
+
+  Interpreter seq;
+  seq.consult_string(program);
+  Interpreter ap;
+  ap.consult_string(program);
+
+  constexpr int kTrials = 40;  // × 5 seeds = 200 conjunctions
+  for (int t = 0; t < kTrials; ++t) {
+    const std::string query = random_dd_conjunction(rng);
+    const auto expected =
+        solution_texts(seq.solve(query, {.update_weights = false}));
+    for (const bool semi : {true, false}) {
+      andp::AndParallelOptions o;
+      o.search.update_weights = false;
+      o.use_semi_join = semi;
+      o.workers = 2;
+      const auto res = andp::solve_and_parallel(ap, query, o);
+      EXPECT_TRUE(res.unified);
+      EXPECT_EQ(res.outcome, search::Outcome::Exhausted);
+      EXPECT_EQ(solution_texts(res.solutions), expected)
+          << "trial " << t << " semi_join=" << semi << " query: " << query;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnifiedAndOr,
+                         ::testing::Values(7u, 77u, 777u, 7777u, 77777u));
+
 // ------------------------------------------------------- SPD properties --
 
 class SpdProps : public ::testing::TestWithParam<std::uint64_t> {};

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <string>
 
+#include "blog/andp/exec.hpp"
 #include "blog/parallel/engine.hpp"
 #include "blog/workloads/workloads.hpp"
 
@@ -463,6 +464,149 @@ INSTANTIATE_TEST_SUITE_P(CompileLayer, IndexBytecodeGrid,
                          ::testing::Combine(::testing::Bool(),
                                             ::testing::Bool(),
                                             ::testing::Values(1u, 2u, 8u)));
+
+// ------------------------------------------------------------ and/or grid --
+
+/// Workloads exercising every fork shape: pure cross product, a
+/// shared-variable semi-join chain, mixed groups, and a recursive group
+/// whose answers need the groundness fallback machinery.
+std::vector<Workload> andor_workload_set() {
+  return {
+      {"cross", "p(1). p(2). p(3). q(a). q(b). r(x). r(y).",
+       "p(X), q(Y), r(Z)"},
+      {"semijoin",
+       "e(1,a). e(2,b). e(3,c). f(a,x). f(b,y). f(c,x). g(x,u). g(y,v).",
+       "e(A,B), f(B,C), g(C,D)"},
+      {"mixed", "m(1,2). m(2,3). n(2,7). n(3,9). lone(q). lone(r).",
+       "m(X,Y), n(Y,Z), lone(W)"},
+      {"recursive",
+       "append([],L,L). append([H|T],L,[H|R]) :- append(T,L,R). c(k1). c(k2).",
+       "append(A,B,[1,2,3]), c(C)"},
+  };
+}
+
+/// The tentpole grid: unified AND/OR execution must be byte-identical to
+/// the sequential interpreter across {and-parallel on/off} × {fork:
+/// static/runtime/off} × {scheduler} × {workers 1,2,8}, with the
+/// strategy axis folded into the per-group engine options.
+class AndOrGrid
+    : public ::testing::TestWithParam<
+          std::tuple<andp::ForkMode, parallel::SchedulerKind, unsigned>> {};
+
+TEST_P(AndOrGrid, UnifiedSolutionsByteIdenticalToSequential) {
+  const auto [fork, kind, workers] = GetParam();
+  for (const Workload& w : andor_workload_set()) {
+    for (const auto strat :
+         {search::Strategy::DepthFirst, search::Strategy::BestFirst}) {
+      search::SearchOptions so;
+      so.strategy = strat;
+      so.update_weights = false;
+      Interpreter seq;
+      seq.consult_string(w.program);
+      const auto expected = solution_texts(seq.solve(w.query, so));
+
+      // And-parallel ON, unified scheduler.
+      Interpreter uni;
+      uni.consult_string(w.program);
+      andp::AndParallelOptions o;
+      o.search = so;
+      o.fork = fork;
+      o.scheduler = kind;
+      o.workers = workers;
+      const auto res = andp::solve_and_parallel(uni, w.query, o);
+      EXPECT_EQ(res.outcome, search::Outcome::Exhausted) << w.name;
+      EXPECT_EQ(solution_texts(res.solutions), expected)
+          << w.name << " fork=" << andp::fork_mode_name(fork)
+          << " sched=" << static_cast<int>(kind) << " workers=" << workers
+          << " strat=" << search::strategy_name(strat);
+      EXPECT_EQ(res.join_resolves, 1u) << w.name;
+
+      // And-parallel ON, pre-unification per-group path (the "unified
+      // off" axis) — same fork mode, same answers.
+      andp::AndParallelOptions lo = o;
+      lo.unified = false;
+      Interpreter leg;
+      leg.consult_string(w.program);
+      const auto lres = andp::solve_and_parallel(leg, w.query, lo);
+      EXPECT_EQ(lres.outcome, search::Outcome::Exhausted) << w.name;
+      EXPECT_EQ(solution_texts(lres.solutions), expected)
+          << w.name << " (legacy path) fork=" << andp::fork_mode_name(fork);
+    }
+  }
+}
+
+TEST_P(AndOrGrid, SharedVariableSemiJoinOnOffIsByteIdentical) {
+  const auto [fork, kind, workers] = GetParam();
+  const Workload w = andor_workload_set()[1];  // the semi-join chain
+  Interpreter seq;
+  seq.consult_string(w.program);
+  search::SearchOptions so;
+  so.update_weights = false;
+  const auto expected = solution_texts(seq.solve(w.query, so));
+  for (const bool semi : {true, false}) {
+    Interpreter uni;
+    uni.consult_string(w.program);
+    andp::AndParallelOptions o;
+    o.search = so;
+    o.fork = fork;
+    o.scheduler = kind;
+    o.workers = workers;
+    o.use_semi_join = semi;
+    const auto res = andp::solve_and_parallel(uni, w.query, o);
+    EXPECT_EQ(solution_texts(res.solutions), expected)
+        << "semi_join=" << semi << " workers=" << workers;
+  }
+}
+
+TEST_P(AndOrGrid, CancellationMidJoinLeaksNoPartialAnswers) {
+  const auto [fork, kind, workers] = GetParam();
+  // A tiny group beside a large one, with a node budget that lets the
+  // tiny group finish (and deposit its answers into the join) while the
+  // large group is still running: the poisoned join must refuse to
+  // resolve, so no partial cross-product leaks out.
+  Workload w{"partial",
+             std::string("tiny(a). tiny(b). ") + layered_dag(4, 4),
+             "tiny(T), path(n0_0,Z,P)"};
+  {
+    Interpreter ip;
+    ip.consult_string(w.program);
+    andp::AndParallelOptions o;
+    o.search.update_weights = false;
+    o.search.limits.max_nodes = 10;  // tiny finishes, the DAG walk cannot
+    o.fork = fork;
+    o.scheduler = kind;
+    o.workers = workers;
+    const auto res = andp::solve_and_parallel(ip, w.query, o);
+    EXPECT_EQ(res.outcome, search::Outcome::BudgetExceeded);
+    EXPECT_TRUE(res.solutions.empty());
+    EXPECT_EQ(res.join_resolves, 0u);
+  }
+  {
+    // Pre-set cancel flag: workers stop at their first expansion boundary.
+    std::atomic<bool> cancel{true};
+    Interpreter ip;
+    ip.consult_string(w.program);
+    andp::AndParallelOptions o;
+    o.search.update_weights = false;
+    o.search.cancel = &cancel;
+    o.fork = fork;
+    o.scheduler = kind;
+    o.workers = workers;
+    const auto res = andp::solve_and_parallel(ip, w.query, o);
+    EXPECT_EQ(res.outcome, search::Outcome::Cancelled);
+    EXPECT_TRUE(res.solutions.empty());
+    EXPECT_EQ(res.join_resolves, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AndOrWorkers, AndOrGrid,
+    ::testing::Combine(::testing::Values(andp::ForkMode::Static,
+                                         andp::ForkMode::Runtime,
+                                         andp::ForkMode::Off),
+                       ::testing::Values(parallel::SchedulerKind::GlobalFrontier,
+                                         parallel::SchedulerKind::WorkStealing),
+                       ::testing::Values(1u, 2u, 8u)));
 
 // ------------------------------------------------------- copy accounting --
 
